@@ -1,0 +1,57 @@
+// Ablation: push-only vs direction-optimized BFS (extension).
+//
+// Blaze's published engine is push-only; Ligra's direction optimization
+// pulls over the transpose on dense rounds. This bench compares total IO
+// bytes and wall time of both on the stand-in datasets. Expected shape:
+// on low-diameter power-law graphs (r2/r3/tw/fr) a couple of mid-BFS
+// rounds carry most of the frontier's out-edges and pull cuts the bytes
+// read; on the high-diameter sk stand-in frontiers stay sparse and the
+// hybrid never (or rarely) switches.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace blaze;
+  using namespace blaze::bench;
+
+  const auto profile = bench_optane();
+  std::printf("# Ablation: push-only vs direction-optimized BFS\n");
+  std::printf(
+      "graph,push_s,push_MiB,hybrid_s,hybrid_MiB,pull_rounds,"
+      "byte_reduction\n");
+
+  for (const auto& gname : graphs6()) {
+    const auto& ds = dataset(gname);
+    auto out_g = format::make_simulated_graph(ds.csr, profile);
+    auto in_g = format::make_simulated_graph(ds.transpose, profile);
+
+    double push_s = 1e30, hybrid_s = 1e30;
+    std::uint64_t push_bytes = 0, hybrid_bytes = 0;
+    std::uint32_t pull_rounds = 0;
+    for (int rep = 0; rep < 3; ++rep) {  // min-of-3 (host jitter)
+      core::Runtime rt(bench_config(out_g));
+      Timer t;
+      auto r = algorithms::bfs(rt, out_g, 0);
+      push_s = std::min(push_s, t.seconds());
+      push_bytes = r.stats.bytes_read;
+    }
+    for (int rep = 0; rep < 3; ++rep) {
+      core::Runtime rt(bench_config(out_g));
+      Timer t;
+      auto r = algorithms::bfs_hybrid(rt, out_g, in_g, 0);
+      hybrid_s = std::min(hybrid_s, t.seconds());
+      hybrid_bytes = r.stats.bytes_read;
+      pull_rounds = r.pull_iterations;
+    }
+    std::printf("%s,%.3f,%.2f,%.3f,%.2f,%u,%.2f\n", gname.c_str(), push_s,
+                static_cast<double>(push_bytes) / (1 << 20), hybrid_s,
+                static_cast<double>(hybrid_bytes) / (1 << 20), pull_rounds,
+                push_bytes > 0
+                    ? 1.0 - static_cast<double>(hybrid_bytes) /
+                                static_cast<double>(push_bytes)
+                    : 0.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 11: impact of binning configurations on the rmat27 stand-in.
+//
+// Left plot: processing time of every query while doubling the bin count
+// from 4 to 16384 at fixed bin space. The paper's shape: flat across a
+// wide middle range, rising at both extremes (too few bins = rotation
+// contention; too many = tiny buffers and cache-unfriendly gathers).
+//
+// Right plot: processing time across scatter:gather thread ratios at a
+// fixed total. The paper's shape: a flat valley around 1:1, rising
+// sharply as either side starves.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace blaze;
+  using namespace blaze::bench;
+
+  const auto profile = bench_optane();
+  const auto& ds = dataset("r2");
+  auto out_g = format::make_simulated_graph(ds.csr, profile);
+  auto in_g = format::make_simulated_graph(ds.transpose, profile);
+  const unsigned pr_iters = 5;
+
+  std::printf("# Figure 11a: processing time vs bin count (bin space "
+              "fixed)\n");
+  std::printf("query,bin_count,seconds\n");
+  for (const auto& query : queries5()) {
+    for (std::size_t bins = 4; bins <= 16384; bins *= 4) {
+      auto cfg = bench_config(out_g);
+      cfg.bin_count = bins;
+      core::Runtime rt(cfg);
+      // Median of three runs: single-run jitter on a shared 1-core host
+      // is comparable to the effect size in the flat region.
+      double t[3];
+      for (auto& x : t) {
+        x = run_blaze_query(rt, out_g, in_g, query, pr_iters).seconds;
+      }
+      std::sort(t, t + 3);
+      std::printf("%s,%zu,%.3f\n", query.c_str(), bins, t[1]);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("# Figure 11b: processing time vs scatter:gather ratio "
+              "(total %zu workers)\n",
+              bench_workers());
+  std::printf("query,scatter,gather,seconds\n");
+  const auto total = bench_workers();
+  for (const auto& query : queries5()) {
+    for (std::size_t scatter : {total - 1, total * 3 / 4, total / 2,
+                                total / 4, std::size_t{1}}) {
+      auto cfg = bench_config(out_g);
+      cfg.scatter_ratio =
+          static_cast<double>(scatter) / static_cast<double>(total);
+      core::Runtime rt(cfg);
+      double t[3];
+      for (auto& x : t) {
+        x = run_blaze_query(rt, out_g, in_g, query, pr_iters).seconds;
+      }
+      std::sort(t, t + 3);
+      std::printf("%s,%zu,%zu,%.3f\n", query.c_str(), cfg.scatter_threads(),
+                  cfg.gather_threads(), t[1]);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 12: memory footprint relative to the input graph size.
+//
+// DRAM used by each query (IO buffers + bins + graph metadata + frontiers
+// + algorithm arrays) as a fraction of the on-disk graph size. The paper's
+// shape: 10-20 % for BFS/WCC/SpMV, rising to 16-33 % for PageRank (three
+// float arrays) and largest for BC (per-level frontiers + three arrays).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace blaze;
+using namespace blaze::bench;
+
+struct Footprint {
+  core::MemoryFootprint fp;
+};
+
+Footprint run_with_footprint(const std::string& query,
+                             const format::OnDiskGraph& out_g,
+                             const format::OnDiskGraph& in_g) {
+  auto cfg = bench_config(out_g);
+  // The paper sizes IO buffers at 64 MB on 100+ GB graphs (<1 %); scale
+  // the static pools down proportionally for the stand-in graphs.
+  cfg.io_buffer_bytes = std::max<std::size_t>(out_g.input_bytes() / 100,
+                                              128u << 10);
+  cfg.bin_space_bytes = std::max<std::size_t>(
+      static_cast<std::size_t>(0.05 * out_g.input_bytes()), 64u << 10);
+  core::Runtime rt(cfg);
+
+  Footprint f;
+  const vertex_t n = out_g.num_vertices();
+  f.fp.graph_metadata = out_g.metadata_bytes();
+  f.fp.frontiers = 2 * (n / 8 + out_g.num_pages() / 8);  // in/out + pages
+
+  if (query == "BFS") {
+    auto r = algorithms::bfs(rt, out_g, 0);
+    f.fp.algorithm = r.algorithm_bytes();
+  } else if (query == "PR") {
+    algorithms::PageRankOptions o;
+    o.max_iterations = 5;
+    auto r = algorithms::pagerank(rt, out_g, o);
+    f.fp.algorithm = r.algorithm_bytes();
+  } else if (query == "WCC") {
+    auto r = algorithms::wcc(rt, out_g, in_g);
+    f.fp.algorithm = r.algorithm_bytes();
+    f.fp.graph_metadata += in_g.metadata_bytes();
+  } else if (query == "SpMV") {
+    std::vector<float> x(n, 1.0f);
+    auto r = algorithms::spmv(rt, out_g, x);
+    f.fp.algorithm = r.algorithm_bytes();
+  } else if (query == "BC") {
+    auto r = algorithms::bc(rt, out_g, in_g, 0);
+    f.fp.algorithm = r.algorithm_bytes();
+    f.fp.graph_metadata += in_g.metadata_bytes();
+  }
+  f.fp.io_buffers = rt.io_pool().memory_bytes();
+  f.fp.bins = cfg.sync_mode ? 0 : cfg.bin_space_bytes;
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 12: DRAM footprint as %% of input graph size\n");
+  std::printf(
+      "query,graph,input_MiB,metadata_MiB,bins_MiB,io_MiB,algo_MiB,"
+      "total_MiB,percent\n");
+  auto mib = [](std::uint64_t b) {
+    return static_cast<double>(b) / (1 << 20);
+  };
+  for (const auto& query : queries5()) {
+    for (const auto& gname : graphs6()) {
+      const auto& ds = dataset(gname);
+      auto out_g = format::make_mem_graph(ds.csr);
+      auto in_g = format::make_mem_graph(ds.transpose);
+      auto f = run_with_footprint(query, out_g, in_g);
+      double pct = 100.0 * static_cast<double>(f.fp.total()) /
+                   static_cast<double>(out_g.input_bytes());
+      std::printf("%s,%s,%.1f,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f\n",
+                  query.c_str(), gname.c_str(), mib(out_g.input_bytes()),
+                  mib(f.fp.graph_metadata), mib(f.fp.bins),
+                  mib(f.fp.io_buffers), mib(f.fp.algorithm),
+                  mib(f.fp.total()), pct);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table I: the evolution of storage bandwidth.
+//
+// Profiles each SsdProfile with sequential and random 4 kB read streams
+// through the SimulatedSsd timing model (unscaled) and prints the measured
+// MB/s next to the datasheet values the model was calibrated against.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "device/simulated_ssd.h"
+
+namespace {
+
+using namespace blaze;
+
+/// Measures throughput at queue depth 32 (latency overlapped, as fio would
+/// drive a real device).
+double measure_mbps(device::SimulatedSsd& ssd, bool sequential,
+                    std::size_t reads) {
+  // Deep enough that even the highest-latency profile (V-NAND, 60 us) is
+  // bandwidth-bound rather than pipeline-bound.
+  constexpr std::size_t kQueueDepth = 64;
+  auto ch = ssd.open_channel();
+  std::vector<std::vector<std::byte>> bufs(
+      kQueueDepth, std::vector<std::byte>(kPageSize));
+  Xoshiro256 rng(1);
+  const std::uint64_t pages = ssd.size() / kPageSize;
+  std::vector<std::uint64_t> done;
+  std::uint64_t next = 0;
+  Timer t;
+  for (std::size_t i = 0; i < reads; ++i) {
+    std::uint64_t page = sequential ? next++ : rng.next_below(pages);
+    if (next >= pages) next = 0;
+    device::AsyncRead req;
+    req.offset = page * kPageSize;
+    req.length = kPageSize;
+    req.buffer = bufs[i % kQueueDepth].data();
+    req.user = i;
+    ch->submit(req);
+    if (ch->pending() >= kQueueDepth) {
+      done.clear();
+      ch->wait(1, done);
+    }
+  }
+  while (ch->pending() > 0) {
+    done.clear();
+    ch->wait(1, done);
+  }
+  return static_cast<double>(reads) * kPageSize / 1e6 / t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Table I: storage bandwidth evolution (4 kB reads)\n");
+  std::printf("# measured through the SimulatedSsd model; datasheet values "
+              "in parentheses are the calibration targets\n");
+  std::printf("ssd,seq_MBps,seq_target,rand_MBps,rand_target,rand/seq\n");
+
+  // The profiled run issues enough IO to amortize latency; 128 MB device.
+  for (auto profile :
+       {device::nand_s3520(), device::optane_p4800x(),
+        device::znand_sz983(), device::vnand_980pro()}) {
+    device::SimulatedSsd ssd("bench", 128ull << 20, profile);
+    // Scale the number of reads with bandwidth to keep wall time ~0.2 s.
+    auto reads = static_cast<std::size_t>(profile.rand_read_mbps * 50);
+    double seq = measure_mbps(ssd, true, reads);
+    double rnd = measure_mbps(ssd, false, reads);
+    std::printf("%s,%.0f,(%.0f),%.0f,(%.0f),%.2f\n", profile.name.c_str(),
+                seq, profile.seq_read_mbps, rnd, profile.rand_read_mbps,
+                rnd / seq);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table II: target graphs.
+//
+// Prints the inventory of scaled stand-in datasets with the same columns
+// as the paper's table (|V|, |E|, distribution, diameter estimate) plus the
+// measured skew statistic used to classify the distribution.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace blaze;
+  std::printf("# Table II: target graphs (scaled stand-ins, fixed seeds)\n");
+  std::printf(
+      "short,V,E,distribution,diameter_est,max_degree,degree_gini,"
+      "stand_in_for\n");
+  for (const auto& name : graph::dataset_names(true)) {
+    graph::Dataset d = graph::make_dataset(name, bench::bench_shift());
+    auto st = graph::compute_stats(d.csr, 3);
+    std::printf("%s,%u,%llu,%s,%u,%u,%.3f,%s\n", d.short_name.c_str(),
+                st.num_vertices,
+                static_cast<unsigned long long>(st.num_edges),
+                d.distribution.c_str(), st.diameter_estimate,
+                st.max_out_degree, st.degree_gini, d.description.c_str());
+  }
+  return 0;
+}

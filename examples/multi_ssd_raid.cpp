@@ -1,0 +1,53 @@
+// Balanced IO over multiple SSDs: stripes one graph RAID-0 across four
+// simulated Optane drives (paper Section IV-E) and shows the per-device
+// byte balance Blaze's page interleaving delivers even under selective
+// scheduling — the property Graphene's topology-aware partitioning loses.
+#include <cstdio>
+
+#include "algorithms/bfs.h"
+#include "core/runtime.h"
+#include "device/raid0_device.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace blaze;
+
+  graph::Csr csr = graph::generate_rmat(17, 16, 21);
+  constexpr std::size_t kSsds = 4;
+  auto g = format::make_simulated_graph(csr, device::optane_p4800x(),
+                                        kSsds);
+  std::printf("graph: %u vertices, %llu edges striped over %zu simulated "
+              "Optane SSDs (4 kB RAID-0)\n",
+              csr.num_vertices(),
+              static_cast<unsigned long long>(csr.num_edges()), kSsds);
+
+  core::Config cfg;
+  cfg.compute_workers = 4;
+  core::Runtime rt(cfg);
+
+  // BFS uses selective scheduling: each iteration touches only the pages
+  // of the current frontier — the access pattern that breaks topology-
+  // aware partitioning.
+  auto result = algorithms::bfs(rt, g, 0);
+  std::printf("BFS finished in %u iterations, %.1f MiB read, %.2f GB/s "
+              "aggregate\n",
+              result.iterations,
+              static_cast<double>(result.stats.bytes_read) / (1 << 20),
+              result.stats.avg_read_gbps());
+
+  auto* raid = dynamic_cast<device::Raid0Device*>(&g.device());
+  std::printf("\nper-device bytes (balanced by page interleaving):\n");
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (std::size_t d = 0; d < raid->num_children(); ++d) {
+    auto bytes = raid->child(d).stats().total_bytes();
+    lo = std::min(lo, bytes);
+    hi = std::max(hi, bytes);
+    std::printf("  %s: %.2f MiB\n", raid->child(d).name().c_str(),
+                static_cast<double>(bytes) / (1 << 20));
+  }
+  std::printf("busiest/least ratio: %.3f (paper reports 1.7-2.1x for "
+              "Graphene's partitioning on power-law graphs)\n",
+              static_cast<double>(hi) / static_cast<double>(lo));
+  return 0;
+}

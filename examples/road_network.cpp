@@ -1,0 +1,75 @@
+// Road-network routing: weighted shortest paths on a high-diameter grid.
+//
+// The opposite workload corner from social graphs: uniform degree ~4, a
+// diameter in the hundreds, and per-iteration frontiers that stay narrow —
+// which is exactly where out-of-core engines live or die on per-iteration
+// overhead rather than raw bandwidth. Demonstrates the stored-weight
+// on-disk format (8-byte interleaved records) and sssp_weighted.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "algorithms/bfs.h"
+#include "algorithms/sssp.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "graph/weighted.h"
+
+int main() {
+  using namespace blaze;
+
+  // A 400x400 city grid (160k intersections) with 64 random highways, and
+  // travel times as stored edge weights.
+  graph::Csr roads = graph::generate_grid(400, 400, /*highway_seed=*/3,
+                                          /*highways=*/64);
+  graph::WeightedCsr weighted =
+      graph::attach_random_weights(roads, /*seed=*/17, 1.0f, 10.0f);
+  auto st = graph::compute_stats(roads, 2);
+  std::printf("road network: %u intersections, %llu road segments, "
+              "diameter >= %u hops\n",
+              st.num_vertices,
+              static_cast<unsigned long long>(st.num_edges),
+              st.diameter_estimate);
+
+  // Stored-weight on-disk layout (records carry the travel time).
+  auto g = format::make_simulated_graph(weighted, device::optane_p4800x());
+  std::printf("on-disk: %llu pages of 8-byte (dst, weight) records\n",
+              static_cast<unsigned long long>(g.num_pages()));
+
+  core::Config cfg;
+  cfg.compute_workers = 4;
+  core::Runtime rt(cfg);
+
+  const vertex_t depot = 0;  // top-left corner
+
+  // Hop distances first (unweighted BFS over the structure).
+  auto unweighted = format::make_simulated_graph(roads,
+                                                 device::optane_p4800x());
+  auto hops = algorithms::bfs(rt, unweighted, depot);
+  std::printf("\nBFS from the depot: %u iterations (narrow-frontier "
+              "regime: %.1f vertices per iteration on average)\n",
+              hops.iterations,
+              static_cast<double>(roads.num_vertices()) / hops.iterations);
+
+  // Travel-time routing over stored weights.
+  auto routes = algorithms::sssp_weighted(rt, g, depot);
+  float farthest = 0;
+  vertex_t farthest_v = depot;
+  for (vertex_t v = 0; v < roads.num_vertices(); ++v) {
+    if (!std::isinf(routes.dist[v]) && routes.dist[v] > farthest) {
+      farthest = routes.dist[v];
+      farthest_v = v;
+    }
+  }
+  std::printf("weighted routing converged in %u rounds; farthest "
+              "intersection is (%u,%u) at travel time %.1f\n",
+              routes.iterations, farthest_v % 400, farthest_v / 400,
+              farthest);
+  std::printf("IO: %.1f MiB read across both queries\n",
+              static_cast<double>(hops.stats.bytes_read +
+                                  routes.stats.bytes_read) /
+                  (1 << 20));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Web-graph exploration on a high-locality crawl graph (the sk2005-style
+// workload): reachability from a seed page, shortest click paths, and the
+// most "between" pages on shortest paths from the seed.
+//
+// Demonstrates queries that need the transpose graph (BC) — the artifact's
+// -inIndexFilename/-inAdjFilenames inputs.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "algorithms/bc.h"
+#include "algorithms/bfs.h"
+#include "algorithms/sssp.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace blaze;
+
+  graph::Csr csr = graph::generate_weblike(120000, 24, 11, 0.92);
+  graph::Csr csr_t = graph::transpose(csr);
+  std::printf("crawl graph: %u pages, %llu links\n", csr.num_vertices(),
+              static_cast<unsigned long long>(csr.num_edges()));
+
+  auto g = format::make_simulated_graph(csr, device::optane_p4800x());
+  auto gt = format::make_simulated_graph(csr_t, device::optane_p4800x());
+
+  core::Config cfg;
+  cfg.compute_workers = 4;
+  core::Runtime rt(cfg);
+  const vertex_t seed = 123;
+
+  // --- Reachability (BFS) -------------------------------------------------
+  auto bfs = algorithms::bfs(rt, g, seed);
+  std::uint64_t reached = 0;
+  for (vertex_t p : bfs.parent) reached += p != kInvalidVertex;
+  std::printf("\nfrom page %u: %llu pages reachable in %u clicks or "
+              "fewer\n",
+              seed, static_cast<unsigned long long>(reached),
+              bfs.iterations);
+
+  // --- Weighted shortest paths (SSSP) -------------------------------------
+  auto paths = algorithms::sssp(rt, g, seed);
+  std::uint64_t far = 0;
+  std::uint32_t max_cost = 0;
+  for (auto d : paths.dist) {
+    if (d != algorithms::kInfDist) {
+      max_cost = std::max(max_cost, d);
+      ++far;
+    }
+  }
+  std::printf("weighted link costs: farthest reachable page costs %u, "
+              "converged in %u rounds\n",
+              max_cost, paths.iterations);
+
+  // --- Betweenness (BC) ----------------------------------------------------
+  auto bc = algorithms::bc(rt, g, gt, seed);
+  std::vector<vertex_t> order(csr.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](vertex_t a, vertex_t b) {
+                      return bc.dependency[a] > bc.dependency[b];
+                    });
+  std::printf("\npages most central to shortest paths from the seed "
+              "(%u BFS levels kept for the backward pass):\n",
+              bc.levels);
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  page %8u  dependency %.1f\n", order[i],
+                bc.dependency[order[i]]);
+  }
+  std::printf("\nBC memory note: per-level frontiers held %.1f KiB — this "
+              "is why BC is the paper's most memory-hungry query\n",
+              static_cast<double>(bc.frontier_bytes) / 1024);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Out-of-core single-source Betweenness Centrality (Brandes's algorithm,
+// frontier-based as in Ligra).
+//
+// Two phases over the on-disk graph: a forward BFS accumulating shortest-
+// path counts level by level, then a backward sweep over the transpose
+// accumulating dependency scores. The per-level frontiers kept for the
+// backward pass are why BC has the largest memory footprint of the paper's
+// queries (it could not run on hyperlink14 within 96 GB — Section V-F).
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+
+namespace blaze::algorithms {
+
+struct BcResult {
+  /// dependency[v]: Brandes dependency score of v w.r.t. the source.
+  std::vector<float> dependency;
+  /// num_paths[v]: number of shortest source-v paths (sigma).
+  std::vector<float> num_paths;
+  std::uint32_t levels = 0;
+  core::QueryStats stats;
+  std::uint64_t frontier_bytes = 0;  ///< retained per-level frontiers
+
+  std::uint64_t algorithm_bytes() const {
+    // sigma, dependency, acc, level arrays + retained frontiers.
+    return dependency.size() * (3 * sizeof(float) + sizeof(std::uint32_t)) +
+           frontier_bytes;
+  }
+};
+
+/// Runs Brandes BC from `source`. `out_g` is the graph, `in_g` its
+/// transpose (the artifact's -inIndexFilename/-inAdjFilenames inputs).
+BcResult bc(core::Runtime& rt, const format::OnDiskGraph& out_g,
+            const format::OnDiskGraph& in_g, vertex_t source);
+
+}  // namespace blaze::algorithms

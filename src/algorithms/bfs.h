@@ -1,0 +1,41 @@
+// Out-of-core Breadth-First Search (paper Algorithm 1).
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+
+namespace blaze::algorithms {
+
+struct BfsResult {
+  /// parent[v] is the BFS-tree parent of v, the source for the source
+  /// itself, and kInvalidVertex for unreached vertices.
+  std::vector<vertex_t> parent;
+  std::uint32_t iterations = 0;
+  core::QueryStats stats;
+
+  /// DRAM bytes of the algorithm-specific arrays (Figure 12).
+  std::uint64_t algorithm_bytes() const {
+    return parent.size() * sizeof(vertex_t);
+  }
+};
+
+/// Runs BFS from `source` over the on-disk graph `g`.
+BfsResult bfs(core::Runtime& rt, const format::OnDiskGraph& g,
+              vertex_t source);
+
+struct HybridBfsResult : BfsResult {
+  std::uint32_t pull_iterations = 0;  ///< rounds executed in pull mode
+};
+
+/// Direction-optimized BFS (extension): pushes on sparse frontiers and
+/// pulls over the transpose `gt` on dense ones (Ligra's optimization,
+/// which the paper's push-only engine forgoes). `threshold_div` is the
+/// |E|/x density switch point.
+HybridBfsResult bfs_hybrid(core::Runtime& rt, const format::OnDiskGraph& g,
+                           const format::OnDiskGraph& gt, vertex_t source,
+                           std::uint64_t threshold_div = 20);
+
+}  // namespace blaze::algorithms

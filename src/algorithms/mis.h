@@ -1,0 +1,47 @@
+// Out-of-core Maximal Independent Set (Luby's algorithm).
+//
+// Each vertex gets a unique pseudo-random priority (a bijective hash of
+// its ID); a vertex enters the set when it out-prioritizes every
+// undecided neighbor, and its neighbors drop out. With fixed priorities
+// this converges to the unique lexicographically-first-by-priority MIS,
+// so the result is checkable against a simple sequential oracle. Runs
+// over the undirected closure (graph + transpose), like WCC.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+
+namespace blaze::algorithms {
+
+enum class MisState : std::uint8_t { kUndecided = 0, kIn = 1, kOut = 2 };
+
+/// Unique per-vertex priority: multiplication by an odd constant is a
+/// bijection on u32, so no two vertices tie.
+inline std::uint32_t mis_priority(vertex_t v) {
+  return (v + 1u) * 0x9E3779B1u;
+}
+
+struct MisResult {
+  std::vector<MisState> state;
+  std::uint32_t rounds = 0;
+  core::QueryStats stats;
+
+  std::uint64_t in_count() const {
+    std::uint64_t c = 0;
+    for (auto s : state) c += s == MisState::kIn;
+    return c;
+  }
+  std::uint64_t algorithm_bytes() const {
+    // state + neighbor-priority-max array.
+    return state.size() * (sizeof(MisState) + sizeof(std::uint32_t));
+  }
+};
+
+/// Computes the MIS over the undirected closure of (out_g, in_g).
+MisResult mis(core::Runtime& rt, const format::OnDiskGraph& out_g,
+              const format::OnDiskGraph& in_g);
+
+}  // namespace blaze::algorithms

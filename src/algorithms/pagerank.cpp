@@ -1,0 +1,53 @@
+#include "algorithms/pagerank.h"
+
+#include <cmath>
+
+#include "algorithms/programs.h"
+#include "core/edge_map.h"
+
+namespace blaze::algorithms {
+
+
+PageRankResult pagerank(core::Runtime& rt, const format::OnDiskGraph& g,
+                        const PageRankOptions& options) {
+  const vertex_t n = g.num_vertices();
+  PageRankResult result;
+  result.rank.assign(n, 0.0f);
+  std::vector<float> delta(n, 1.0f / static_cast<float>(n));
+  std::vector<float> ngh_sum(n, 0.0f);
+  const auto damping = static_cast<float>(options.damping);
+  const auto epsilon = static_cast<float>(options.epsilon);
+
+  // First iteration applies the base rank in addition to the propagated
+  // delta, as in Ligra's PageRank-delta; afterwards only deltas propagate.
+  PrProgram prog{g.index(), delta, ngh_sum};
+  core::VertexSubset frontier = core::VertexSubset::all(n);
+  core::EdgeMapOptions opts;
+  opts.output = false;
+  opts.stats = &result.stats;
+
+  while (!frontier.empty() && result.iterations < options.max_iterations) {
+    core::edge_map(rt, g, frontier, prog, opts);
+    bool first = result.iterations == 0;
+    const float base =
+        first ? (1.0f - damping) / static_cast<float>(n) : 0.0f;
+    frontier = core::vertex_map(
+        rt, core::VertexSubset::all(n),
+        [&](vertex_t i) {
+          // APPLYFILTER from paper Algorithm 2 (plus the first-iteration
+          // base term).
+          delta[i] = ngh_sum[i] * damping + base;
+          ngh_sum[i] = 0.0f;
+          if (std::fabs(delta[i]) > epsilon * result.rank[i]) {
+            result.rank[i] += delta[i];
+            return true;
+          }
+          return false;
+        },
+        &result.stats);
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace blaze::algorithms

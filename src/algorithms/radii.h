@@ -1,0 +1,37 @@
+// Out-of-core graph radii (eccentricity) estimation.
+//
+// Multi-source BFS with 32-bit visitor masks (Shun's eccentricity
+// estimation, cited by the paper as a Ligra-API application): 32 sample
+// sources run simultaneously, each vertex tracks which samples reached it
+// in a bitmask — exactly one 4-byte EdgeMap value — and a vertex's radius
+// estimate is the round in which its mask last grew. The result lower-
+// bounds the true eccentricities and the maximum estimates the diameter.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+
+namespace blaze::algorithms {
+
+struct RadiiResult {
+  /// radii[v]: estimated eccentricity of v (~0u if never reached).
+  std::vector<std::uint32_t> radii;
+  std::vector<vertex_t> sources;  ///< the samples used
+  std::uint32_t rounds = 0;
+  core::QueryStats stats;
+
+  std::uint64_t algorithm_bytes() const {
+    // radii + two visitor masks.
+    return radii.size() * (sizeof(std::uint32_t) + 2 * sizeof(std::uint32_t));
+  }
+};
+
+/// Estimates radii from up to 32 sample sources (deterministically chosen
+/// from `seed` among vertices with out-edges).
+RadiiResult radii(core::Runtime& rt, const format::OnDiskGraph& g,
+                  std::uint64_t seed = 1, unsigned num_samples = 32);
+
+}  // namespace blaze::algorithms

@@ -1,0 +1,41 @@
+// Out-of-core Sparse Matrix-Vector multiplication: y = A^T x over the
+// graph's adjacency structure (edge (s, d) contributes w(s,d) * x[s] to
+// y[d]).
+//
+// The graph format stores structure only; edge weights are synthesized
+// deterministically from the endpoint IDs, so every engine (Blaze,
+// baselines, oracle) sees identical weights without an on-disk weight
+// array.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+#include "graph/weighted.h"
+
+namespace blaze::algorithms {
+
+/// Deterministic synthetic edge weight in (0, 1] (the canonical definition
+/// lives in graph/weighted.h so stored weights can match it).
+inline float edge_weight(vertex_t s, vertex_t d) {
+  return graph::hash_edge_weight(s, d);
+}
+
+struct SpmvResult {
+  std::vector<float> y;
+  core::QueryStats stats;
+
+  std::uint64_t algorithm_bytes() const {
+    // x and y vectors.
+    return 2 * y.size() * sizeof(float);
+  }
+};
+
+/// Computes y[d] = sum over edges (s,d) of edge_weight(s,d) * x[s].
+/// `x` must have g.num_vertices() entries.
+SpmvResult spmv(core::Runtime& rt, const format::OnDiskGraph& g,
+                const std::vector<float>& x);
+
+}  // namespace blaze::algorithms

@@ -1,0 +1,78 @@
+#include "algorithms/sssp.h"
+
+#include <limits>
+
+#include "algorithms/detail/atomics.h"
+#include "algorithms/programs.h"
+#include "core/edge_map.h"
+
+namespace blaze::algorithms {
+
+
+SsspResult sssp(core::Runtime& rt, const format::OnDiskGraph& g,
+                vertex_t source) {
+  SsspResult result;
+  result.dist.assign(g.num_vertices(), kInfDist);
+  result.dist[source] = 0;
+
+  SsspProgram prog{result.dist};
+  core::VertexSubset frontier =
+      core::VertexSubset::single(g.num_vertices(), source);
+  core::EdgeMapOptions opts;
+  opts.output = true;
+  opts.stats = &result.stats;
+  while (!frontier.empty()) {
+    frontier = core::edge_map(rt, g, frontier, prog, opts);
+    ++result.iterations;
+  }
+  return result;
+}
+
+namespace {
+
+/// Stored-weight relaxation: the engine hands the on-disk weight to
+/// scatter; gather keeps the minimum tentative distance.
+struct WeightedSsspProgram {
+  using value_type = float;
+  std::vector<float>& dist;
+
+  value_type scatter(vertex_t s, vertex_t, float w) const {
+    return dist[s] + w;
+  }
+  bool cond(vertex_t) const { return true; }
+  bool gather(vertex_t d, value_type v) {
+    if (v < dist[d]) {
+      dist[d] = v;
+      return true;
+    }
+    return false;
+  }
+  bool gather_atomic(vertex_t d, value_type v) {
+    return detail::atomic_min(dist[d], v);
+  }
+};
+
+}  // namespace
+
+WeightedSsspResult sssp_weighted(core::Runtime& rt,
+                                 const format::OnDiskGraph& g,
+                                 vertex_t source) {
+  WeightedSsspResult result;
+  result.dist.assign(g.num_vertices(),
+                     std::numeric_limits<float>::infinity());
+  result.dist[source] = 0.0f;
+
+  WeightedSsspProgram prog{result.dist};
+  core::VertexSubset frontier =
+      core::VertexSubset::single(g.num_vertices(), source);
+  core::EdgeMapOptions opts;
+  opts.output = true;
+  opts.stats = &result.stats;
+  while (!frontier.empty()) {
+    frontier = core::edge_map(rt, g, frontier, prog, opts);
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace blaze::algorithms

@@ -1,0 +1,62 @@
+// Out-of-core Single-Source Shortest Paths (frontier-based Bellman-Ford).
+//
+// An extension beyond the paper's five queries, showing the EdgeMap API
+// carries weighted relaxations as naturally as unweighted traversals. Edge
+// weights are synthesized deterministically from the endpoints (the on-disk
+// format stores structure only), identical across all engines and oracles.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+#include "util/rng.h"
+
+namespace blaze::algorithms {
+
+/// Deterministic integer edge weight in [1, 16].
+inline std::uint32_t sssp_weight(vertex_t s, vertex_t d) {
+  return static_cast<std::uint32_t>(
+             hash64((static_cast<std::uint64_t>(s) << 32) ^ d ^
+                    0x55aa55aaULL) &
+             15) +
+         1;
+}
+
+inline constexpr std::uint32_t kInfDist = ~0u;
+
+struct SsspResult {
+  std::vector<std::uint32_t> dist;  ///< kInfDist when unreachable
+  std::uint32_t iterations = 0;
+  core::QueryStats stats;
+
+  std::uint64_t algorithm_bytes() const {
+    return dist.size() * sizeof(std::uint32_t);
+  }
+};
+
+/// Runs Bellman-Ford from `source`; converges in at most |V| rounds (no
+/// negative weights by construction).
+SsspResult sssp(core::Runtime& rt, const format::OnDiskGraph& g,
+                vertex_t source);
+
+struct WeightedSsspResult {
+  std::vector<float> dist;  ///< +inf when unreachable
+  std::uint32_t iterations = 0;
+  core::QueryStats stats;
+
+  std::uint64_t algorithm_bytes() const {
+    return dist.size() * sizeof(float);
+  }
+};
+
+/// Bellman-Ford over a graph with STORED weights (8-byte interleaved
+/// on-disk records; build with format::make_*_graph(WeightedCsr)). The
+/// engine streams (dst, weight) records and the program relaxes with the
+/// real weight — no synthesized weights involved.
+WeightedSsspResult sssp_weighted(core::Runtime& rt,
+                                 const format::OnDiskGraph& g,
+                                 vertex_t source);
+
+}  // namespace blaze::algorithms

@@ -1,0 +1,55 @@
+#include "algorithms/wcc.h"
+
+#include "algorithms/programs.h"
+#include "core/edge_map.h"
+
+namespace blaze::algorithms {
+
+
+WccResult wcc(core::Runtime& rt, const format::OnDiskGraph& out_g,
+              const format::OnDiskGraph& in_g) {
+  BLAZE_CHECK(out_g.num_vertices() == in_g.num_vertices(),
+              "wcc: graph/transpose vertex count mismatch");
+  const vertex_t n = out_g.num_vertices();
+  WccResult result;
+  result.ids.resize(n);
+  std::vector<vertex_t> prev_ids(n);
+  for (vertex_t v = 0; v < n; ++v) {
+    result.ids[v] = v;
+    prev_ids[v] = v;
+  }
+
+  WccProgram prog{result.ids};
+  core::VertexSubset frontier = core::VertexSubset::all(n);
+  core::EdgeMapOptions opts;
+  opts.output = false;
+  opts.stats = &result.stats;
+
+  while (!frontier.empty()) {
+    core::edge_map(rt, out_g, frontier, prog, opts);
+    core::edge_map(rt, in_g, frontier, prog, opts);
+    frontier = core::vertex_map(
+        rt, core::VertexSubset::all(n),
+        [&](vertex_t i) {
+          // APPLYFILTER: pointer jumping, then activate changed vertices.
+          // Neighboring lambda invocations may touch the same label slots
+          // concurrently, so go through relaxed atomics; labels only ever
+          // decrease, so stale reads just delay convergence by a round.
+          std::atomic_ref<vertex_t> my(result.ids[i]);
+          vertex_t label = my.load(std::memory_order_relaxed);
+          vertex_t id = std::atomic_ref<vertex_t>(result.ids[label])
+                            .load(std::memory_order_relaxed);
+          if (label != id) my.store(id, std::memory_order_relaxed);
+          if (prev_ids[i] != id) {
+            prev_ids[i] = id;
+            return true;
+          }
+          return false;
+        },
+        &result.stats);
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace blaze::algorithms

@@ -1,0 +1,36 @@
+// Weakly Connected Components via shortcutting label propagation
+// (paper Algorithm 3, after Stergiou et al.).
+//
+// Labels propagate along both edge directions (EdgeMap over the graph and
+// its transpose), and a pointer-jumping VertexMap shortcuts label chains
+// each iteration.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+
+namespace blaze::algorithms {
+
+struct WccResult {
+  /// ids[v] is the component label of v: the smallest vertex ID reachable
+  /// through undirected paths.
+  std::vector<vertex_t> ids;
+  std::uint32_t iterations = 0;
+  core::QueryStats stats;
+
+  std::uint64_t algorithm_bytes() const {
+    // Ids and PrevIds arrays.
+    return 2 * ids.size() * sizeof(vertex_t);
+  }
+};
+
+/// Runs WCC. `out_g` stores out-edges, `in_g` its transpose; both views of
+/// the same input graph must be provided (paper Algorithm 3 runs EdgeMap on
+/// outG and inG each iteration).
+WccResult wcc(core::Runtime& rt, const format::OnDiskGraph& out_g,
+              const format::OnDiskGraph& in_g);
+
+}  // namespace blaze::algorithms

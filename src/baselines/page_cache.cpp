@@ -1,0 +1,54 @@
+#include "baselines/page_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace blaze::baseline {
+
+LruPageCache::LruPageCache(std::size_t capacity_bytes)
+    : capacity_pages_(std::max<std::size_t>(8, capacity_bytes / kPageSize)),
+      storage_(capacity_pages_ * kPageSize) {
+  free_slots_.reserve(capacity_pages_);
+  for (std::size_t i = 0; i < capacity_pages_; ++i) free_slots_.push_back(i);
+  map_.reserve(capacity_pages_ * 2);
+}
+
+bool LruPageCache::lookup(std::uint64_t page, std::byte* out) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(page);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  std::memcpy(out, storage_.data() + it->second->second * kPageSize,
+              kPageSize);
+  return true;
+}
+
+void LruPageCache::insert(std::uint64_t page, const std::byte* data) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    std::memcpy(storage_.data() + it->second->second * kPageSize, data,
+                kPageSize);
+    return;
+  }
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    auto victim = std::prev(lru_.end());
+    slot = victim->second;
+    map_.erase(victim->first);
+    lru_.erase(victim);
+  }
+  std::memcpy(storage_.data() + slot * kPageSize, data, kPageSize);
+  lru_.emplace_front(page, slot);
+  map_[page] = lru_.begin();
+}
+
+}  // namespace blaze::baseline

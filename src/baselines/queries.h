@@ -1,0 +1,162 @@
+// Generic query drivers over the baseline engines.
+//
+// Templated over an Engine concept (FlashGraphEngine / GrapheneEngine)
+// providing num_vertices(), edge_map(frontier, program, output, stats),
+// and vertex_map(frontier, fn, stats). The drivers mirror the Blaze
+// drivers in src/algorithms exactly and run the identical Programs from
+// algorithms/programs.h, so cross-engine results are comparable edge for
+// edge.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "algorithms/programs.h"
+#include "core/stats.h"
+#include "core/vertex_subset.h"
+
+namespace blaze::baseline {
+
+/// BFS (paper Algorithm 1) on any baseline engine.
+template <typename Engine>
+std::vector<vertex_t> run_bfs(Engine& eng, vertex_t source,
+                              core::QueryStats* stats = nullptr) {
+  const vertex_t n = eng.num_vertices();
+  std::vector<vertex_t> parent(n, kInvalidVertex);
+  parent[source] = source;
+  algorithms::BfsProgram prog{parent};
+  core::VertexSubset frontier = core::VertexSubset::single(n, source);
+  while (!frontier.empty()) {
+    frontier = eng.edge_map(frontier, prog, /*output=*/true, stats);
+  }
+  return parent;
+}
+
+/// PageRank-delta (paper Algorithm 2). `index` supplies out-degrees.
+template <typename Engine>
+std::vector<float> run_pagerank(Engine& eng, const format::GraphIndex& index,
+                                double damping, double epsilon,
+                                unsigned max_iterations,
+                                core::QueryStats* stats = nullptr) {
+  const vertex_t n = eng.num_vertices();
+  std::vector<float> rank(n, 0.0f);
+  std::vector<float> delta(n, 1.0f / static_cast<float>(n));
+  std::vector<float> ngh_sum(n, 0.0f);
+  const auto d = static_cast<float>(damping);
+  const auto eps = static_cast<float>(epsilon);
+
+  algorithms::PrProgram prog{index, delta, ngh_sum};
+  core::VertexSubset frontier = core::VertexSubset::all(n);
+  for (unsigned it = 0; it < max_iterations && !frontier.empty(); ++it) {
+    eng.edge_map(frontier, prog, /*output=*/false, stats);
+    const float base = it == 0 ? (1.0f - d) / static_cast<float>(n) : 0.0f;
+    frontier = eng.vertex_map(
+        core::VertexSubset::all(n),
+        [&](vertex_t i) {
+          delta[i] = ngh_sum[i] * d + base;
+          ngh_sum[i] = 0.0f;
+          if (std::fabs(delta[i]) > eps * rank[i]) {
+            rank[i] += delta[i];
+            return true;
+          }
+          return false;
+        },
+        stats);
+  }
+  return rank;
+}
+
+/// WCC (paper Algorithm 3); `out_eng`/`in_eng` wrap the graph and its
+/// transpose.
+template <typename Engine>
+std::vector<vertex_t> run_wcc(Engine& out_eng, Engine& in_eng,
+                              core::QueryStats* stats = nullptr) {
+  const vertex_t n = out_eng.num_vertices();
+  std::vector<vertex_t> ids(n), prev_ids(n);
+  for (vertex_t v = 0; v < n; ++v) {
+    ids[v] = v;
+    prev_ids[v] = v;
+  }
+  algorithms::WccProgram prog{ids};
+  core::VertexSubset frontier = core::VertexSubset::all(n);
+  while (!frontier.empty()) {
+    out_eng.edge_map(frontier, prog, /*output=*/false, stats);
+    in_eng.edge_map(frontier, prog, /*output=*/false, stats);
+    frontier = out_eng.vertex_map(
+        core::VertexSubset::all(n),
+        [&](vertex_t i) {
+          std::atomic_ref<vertex_t> my(ids[i]);
+          vertex_t label = my.load(std::memory_order_relaxed);
+          vertex_t id = std::atomic_ref<vertex_t>(ids[label]).load(
+              std::memory_order_relaxed);
+          if (label != id) my.store(id, std::memory_order_relaxed);
+          if (prev_ids[i] != id) {
+            prev_ids[i] = id;
+            return true;
+          }
+          return false;
+        },
+        stats);
+  }
+  return ids;
+}
+
+/// SpMV with the shared synthetic weights.
+template <typename Engine>
+std::vector<float> run_spmv(Engine& eng, const std::vector<float>& x,
+                            core::QueryStats* stats = nullptr) {
+  const vertex_t n = eng.num_vertices();
+  std::vector<float> y(n, 0.0f);
+  algorithms::SpmvProgram prog{x, y};
+  core::VertexSubset frontier = core::VertexSubset::all(n);
+  eng.edge_map(frontier, prog, /*output=*/false, stats);
+  return y;
+}
+
+/// Brandes BC dependency scores from one source.
+template <typename Engine>
+std::vector<float> run_bc(Engine& out_eng, Engine& in_eng, vertex_t source,
+                          core::QueryStats* stats = nullptr) {
+  const vertex_t n = out_eng.num_vertices();
+  std::vector<float> sigma(n, 0.0f), sigma_next(n, 0.0f);
+  std::vector<float> dependency(n, 0.0f);
+  std::vector<std::uint32_t> level(n,
+                                   algorithms::BcForwardProgram::kUnvisited);
+  std::vector<std::vector<vertex_t>> level_members;
+
+  sigma[source] = 1.0f;
+  level[source] = 0;
+  level_members.push_back({source});
+
+  core::VertexSubset frontier = core::VertexSubset::single(n, source);
+  std::uint32_t round = 0;
+  while (!frontier.empty()) {
+    algorithms::BcForwardProgram fwd{sigma, sigma_next, level};
+    core::VertexSubset next =
+        out_eng.edge_map(frontier, fwd, /*output=*/true, stats);
+    ++round;
+    next.for_each([&](vertex_t v) {
+      level[v] = round;
+      sigma[v] = sigma_next[v];
+      sigma_next[v] = 0.0f;
+    });
+    if (!next.empty()) level_members.push_back(next.sparse_view());
+    frontier = std::move(next);
+  }
+
+  std::vector<float>& acc = sigma_next;
+  for (std::uint32_t r = static_cast<std::uint32_t>(level_members.size());
+       r-- > 1;) {
+    core::VertexSubset senders(n);
+    for (vertex_t v : level_members[r]) senders.add(v);
+    algorithms::BcBackwardProgram bwd{sigma, dependency, acc, level, r - 1};
+    in_eng.edge_map(senders, bwd, /*output=*/false, stats);
+    for (vertex_t v : level_members[r - 1]) {
+      dependency[v] = sigma[v] * acc[v];
+      acc[v] = 0.0f;
+    }
+  }
+  return dependency;
+}
+
+}  // namespace blaze::baseline

@@ -1,0 +1,312 @@
+// Out-of-core EDGEMAP / VERTEXMAP (paper Sections IV-B and IV-C).
+//
+// edge_map() executes a user Program over all out-edges of the frontier:
+//
+//   1. The frontier is transformed in parallel into a page frontier (the
+//      set of on-disk pages holding the frontier vertices' adjacency).
+//   2. One IO thread per device streams those pages into buffers from the
+//      free MPMC queue (merging up to 4 contiguous pages per request) and
+//      pushes filled buffers to the filled MPMC queue.
+//   3. Scatter threads pop filled buffers, locate the frontier vertices
+//      inside each page via the page-to-vertex map, evaluate cond() and
+//      scatter() per edge, and stage (dst, value) records into the bins.
+//   4. Gather threads drain full bins and apply gather() to the
+//      algorithm's vertex data — without synchronization, thanks to the
+//      bins' per-destination exclusivity — setting output-frontier bits.
+//
+// A Program provides:
+//   using value_type = <trivially copyable, 4 bytes>;
+//   value_type scatter(vertex_t src, vertex_t dst);
+//   bool cond(vertex_t dst);                      // pre-scatter filter
+//   bool gather(vertex_t dst, value_type v);      // no atomics needed
+//   bool gather_atomic(vertex_t dst, value_type v); // sync-variant (CAS)
+//
+// gather()/gather_atomic() return true to activate dst in the output
+// frontier.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "core/vertex_subset.h"
+#include "device/raid0_device.h"
+#include "format/on_disk_graph.h"
+#include "format/page_scan.h"
+#include "io/read_engine.h"
+#include "util/backoff.h"
+#include "util/busy_wait.h"
+#include "util/timer.h"
+
+namespace blaze::core {
+
+struct EdgeMapOptions {
+  /// When false, no output frontier is materialized (the paper's
+  /// `output = false` mode used by PageRank/WCC, which rebuild the
+  /// frontier in VertexMap instead).
+  bool output = true;
+  /// Optional accumulator for IO/compute statistics.
+  QueryStats* stats = nullptr;
+};
+
+namespace detail {
+
+/// A program that consumes stored edge weights declares
+/// scatter(src, dst, weight); the engine dispatches on the graph's
+/// on-disk record size and checks program/graph compatibility at runtime.
+template <typename Program>
+concept WeightedScatter =
+    requires(Program p, vertex_t v, float w) { p.scatter(v, v, w); };
+
+template <typename Program>
+concept UnweightedScatter =
+    requires(Program p, vertex_t v) { p.scatter(v, v); };
+
+/// Unwraps RAID-0 into its member devices so the engine can run one IO
+/// thread per physical device (paper: "Blaze uses one thread for each SSD
+/// and maintains the page frontier for each SSD").
+inline std::vector<device::BlockDevice*> leaf_devices(
+    device::BlockDevice& dev) {
+  if (auto* raid = dynamic_cast<device::Raid0Device*>(&dev)) {
+    std::vector<device::BlockDevice*> out;
+    for (std::size_t i = 0; i < raid->num_children(); ++i) {
+      out.push_back(&raid->child(i));
+    }
+    return out;
+  }
+  return {&dev};
+}
+
+}  // namespace detail
+
+template <typename Program>
+VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
+                      const VertexSubset& frontier, Program& prog,
+                      const EdgeMapOptions& opts = {}) {
+  static_assert(sizeof(typename Program::value_type) == sizeof(bin_value_t),
+                "Program::value_type must be 4 bytes");
+  using value_type = typename Program::value_type;
+
+  Timer timer;
+  const Config& cfg = rt.config();
+  const vertex_t n = g.num_vertices();
+  VertexSubset out(n);
+  if (opts.stats) ++opts.stats->edge_map_calls;
+  // Program/graph record-format compatibility, checked before any pipeline
+  // threads start.
+  const bool weighted_records =
+      g.index().record_bytes() == sizeof(format::WeightedEdgeRecord);
+  if (weighted_records) {
+    BLAZE_CHECK(detail::WeightedScatter<Program>,
+                "weighted graph requires scatter(src, dst, weight)");
+  } else {
+    BLAZE_CHECK(detail::UnweightedScatter<Program>,
+                "unweighted graph requires scatter(src, dst)");
+  }
+  if (frontier.empty()) return out;
+
+  // ---- Step 1: vertex frontier -> page frontier --------------------------
+  ConcurrentBitmap page_bits(g.num_pages());
+  frontier.for_each_parallel(rt.pool(), [&](vertex_t v) {
+    if (g.degree(v) == 0) return;
+    auto [first, last] = g.page_range(v);
+    for (std::uint64_t p = first; p <= last; ++p) page_bits.set(p);
+  });
+
+  auto devices = detail::leaf_devices(g.device());
+  const std::size_t num_devices = devices.size();
+  std::vector<std::vector<std::uint64_t>> dev_pages(num_devices);
+  page_bits.for_each([&](std::size_t p) {
+    dev_pages[p % num_devices].push_back(p / num_devices);
+  });
+
+  // ---- Shared pipeline state ---------------------------------------------
+  io::IoBufferPool& io_pool = rt.io_pool();
+  MpmcQueue<std::uint32_t> filled(io_pool.num_buffers() + 1);
+  std::atomic<std::size_t> io_remaining{num_devices};
+  std::atomic<std::uint64_t> edges_scattered{0};
+  std::atomic<std::uint64_t> records_binned{0};
+  QueryStats io_stats_acc;  // guarded by io_stats_mu
+  Spinlock io_stats_mu;
+
+  const bool sync_mode = cfg.sync_mode;
+  BinSet* bins = sync_mode ? nullptr : &rt.acquire_bins();
+  if (!sync_mode) rt.scatter_buffer(0);  // materialize before workers race
+  const std::size_t scatter_threads =
+      sync_mode ? cfg.compute_workers : cfg.scatter_threads();
+
+  // ---- IO threads: one per device (paper step 2-4) -----------------------
+  // Device failures are captured and rethrown on the calling thread after
+  // the pipeline drains — a failed read must surface as an exception, never
+  // as a silently-partial result.
+  std::exception_ptr io_error;
+  std::vector<std::jthread> io_threads;
+  io_threads.reserve(num_devices);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    io_threads.emplace_back([&, d] {
+      try {
+        io::ReadEngineStats st = io::run_reads(
+            *devices[d], static_cast<std::uint32_t>(d), dev_pages[d],
+            io_pool, filled, cfg.max_inflight_io);
+        std::lock_guard lock(io_stats_mu);
+        io_stats_acc.pages_read += st.pages;
+        io_stats_acc.io_requests += st.requests;
+        io_stats_acc.bytes_read += st.bytes;
+      } catch (...) {
+        std::lock_guard lock(io_stats_mu);
+        if (!io_error) io_error = std::current_exception();
+      }
+      io_remaining.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // ---- Gather helpers -----------------------------------------------------
+  auto process_full = [&](const FullBinRef& ref) {
+    for (const BinRecord& rec : bins->records(ref)) {
+      value_type v = std::bit_cast<value_type>(rec.value);
+      if (prog.gather(rec.dst, v) && opts.output) out.add(rec.dst);
+    }
+    bins->complete(ref);
+  };
+  auto help_gather_once = [&] {
+    if (auto ref = bins->pop_full()) {
+      process_full(*ref);
+    } else {
+      std::this_thread::yield();
+    }
+  };
+  // Like help_gather_once, but backs off the CPU while the pipeline is
+  // quiet (idle spinners must not starve working threads when workers
+  // outnumber cores).
+  auto drain_with_backoff = [&] {
+    Backoff backoff;
+    while (!bins->drained()) {
+      if (auto ref = bins->pop_full()) {
+        process_full(*ref);
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+  };
+
+  // ---- Scatter over one filled buffer -------------------------------------
+  auto apply_update = [&](ScatterBuffer* sbuf, std::uint64_t* local_records,
+                          vertex_t dst, value_type val) {
+    if (sync_mode) {
+      if (prog.gather_atomic(dst, val) && opts.output) out.add(dst);
+      busy_spin_ns(cfg.sim_atomic_contention_ns);
+    } else {
+      sbuf->append(*bins, dst, std::bit_cast<bin_value_t>(val),
+                   help_gather_once);
+      ++*local_records;
+    }
+  };
+  auto scatter_buffer = [&](std::uint32_t buf_id, ScatterBuffer* sbuf,
+                            std::uint64_t* local_edges,
+                            std::uint64_t* local_records) {
+    const io::BufferMeta& meta = io_pool.meta(buf_id);
+    const std::byte* data = io_pool.data(buf_id);
+    auto active = [&](vertex_t v) { return frontier.contains(v); };
+    for (std::uint32_t j = 0; j < meta.num_pages; ++j) {
+      const std::uint64_t logical_page =
+          (meta.first_page + j) * num_devices + meta.device;
+      const std::byte* page = data + static_cast<std::size_t>(j) * kPageSize;
+      if constexpr (detail::WeightedScatter<Program>) {
+        if (weighted_records) {
+          *local_edges += format::scan_page_weighted(
+              g.index(), g.page_map(), logical_page, page, active,
+              [&](vertex_t src, vertex_t dst, float w) {
+                if (!prog.cond(dst)) return;
+                apply_update(sbuf, local_records, dst,
+                             prog.scatter(src, dst, w));
+              });
+          continue;
+        }
+      }
+      if constexpr (detail::UnweightedScatter<Program>) {
+        *local_edges += format::scan_page(
+            g.index(), g.page_map(), logical_page, page, active,
+            [&](vertex_t src, vertex_t dst) {
+              if (!prog.cond(dst)) return;
+              apply_update(sbuf, local_records, dst, prog.scatter(src, dst));
+            });
+      }
+    }
+    io_pool.release(buf_id);
+  };
+
+  // ---- Compute workers (paper steps 5-9) ----------------------------------
+  rt.pool().run_on_all([&](std::size_t worker) {
+    const bool is_scatter = worker < scatter_threads;
+    std::uint64_t local_edges = 0, local_records = 0;
+    if (is_scatter) {
+      ScatterBuffer* sbuf = sync_mode ? nullptr : &rt.scatter_buffer(worker);
+      Backoff backoff;
+      for (;;) {
+        auto buf = filled.pop();
+        if (!buf) {
+          if (io_remaining.load(std::memory_order_acquire) == 0) {
+            buf = filled.pop();  // re-check after the release fence
+            if (!buf) break;
+          } else {
+            if (!sync_mode && bins->pop_full_hint()) help_gather_once();
+            else backoff.pause();
+            continue;
+          }
+        }
+        backoff.reset();
+        scatter_buffer(static_cast<std::uint32_t>(*buf), sbuf, &local_edges,
+                       &local_records);
+      }
+      if (!sync_mode) {
+        sbuf->flush_all(*bins, help_gather_once);
+        if (bins->scatter_done(scatter_threads)) bins->seal(help_gather_once);
+      }
+    }
+    // Everyone — dedicated gather workers from the start, scatter workers
+    // once their input is exhausted — drains the bins to completion.
+    if (!sync_mode) drain_with_backoff();
+    edges_scattered.fetch_add(local_edges, std::memory_order_relaxed);
+    records_binned.fetch_add(local_records, std::memory_order_relaxed);
+  });
+
+  io_threads.clear();  // join
+
+  if (io_error) {
+    // A device failed mid-pipeline: buffers may be stranded, so drop the
+    // arenas (they are rebuilt lazily) and surface the failure.
+    rt.invalidate_arenas();
+    std::rethrow_exception(io_error);
+  }
+
+  if (opts.stats) {
+    opts.stats->pages_read += io_stats_acc.pages_read;
+    opts.stats->io_requests += io_stats_acc.io_requests;
+    opts.stats->bytes_read += io_stats_acc.bytes_read;
+    opts.stats->edges_scattered +=
+        edges_scattered.load(std::memory_order_relaxed);
+    opts.stats->records_binned +=
+        records_binned.load(std::memory_order_relaxed);
+    opts.stats->seconds += timer.seconds();
+  }
+  return out;
+}
+
+/// VERTEXMAP (paper Section IV-B): applies `f` to every frontier member
+/// fully in memory; the members where `f` returns true form the result.
+template <typename Fn>
+VertexSubset vertex_map(Runtime& rt, const VertexSubset& frontier, Fn&& f,
+                        QueryStats* stats = nullptr) {
+  VertexSubset out(frontier.universe());
+  frontier.for_each_parallel(rt.pool(), [&](vertex_t v) {
+    if (f(v)) out.add(v);
+  });
+  if (stats) ++stats->vertex_map_calls;
+  return out;
+}
+
+}  // namespace blaze::core

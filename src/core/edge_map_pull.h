@@ -1,0 +1,190 @@
+// Pull-direction and direction-optimized EDGEMAP (extension).
+//
+// Blaze's engine is push-only: the frontier's out-edges are scattered
+// through the bins. Ligra — whose API the paper adopts — additionally
+// switches to a *pull* traversal when the frontier is dense: every
+// still-interesting destination scans its in-neighbors and stops as soon
+// as one is in the frontier. Out-of-core, pull reads the transpose
+// adjacency of the candidate destinations instead of the frontier's
+// out-adjacency, which is cheaper exactly when the frontier's out-edge
+// volume exceeds the candidates' in-edge volume (classic BFS mid-rounds).
+//
+// Pull needs no bins: each destination accumulates locally while its page
+// is scanned. One subtlety is out-of-core-specific: a destination whose
+// in-adjacency spans a page boundary can be processed by two scatter
+// workers concurrently, so pull applies updates through gather_atomic()
+// (for BFS-style claims that is one CAS per *successful* update — rare).
+#pragma once
+
+#include "core/edge_map.h"
+
+namespace blaze::core {
+
+/// Pull-mode EdgeMap over the transpose graph `in_g`: for every vertex d
+/// in `candidates`, applies gather_atomic(d, scatter(s, d)) for each
+/// in-neighbor s of d that is in `frontier`, until cond(d) turns false
+/// (early exit). Returns the activated destinations.
+template <typename Program>
+VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
+                           const VertexSubset& frontier,
+                           const VertexSubset& candidates, Program& prog,
+                           const EdgeMapOptions& opts = {}) {
+  using value_type = typename Program::value_type;
+  Timer timer;
+  const Config& cfg = rt.config();
+  BLAZE_CHECK(in_g.index().record_bytes() == sizeof(vertex_t),
+              "pull mode currently supports unweighted graphs");
+  const vertex_t n = in_g.num_vertices();
+  VertexSubset out(n);
+  if (opts.stats) ++opts.stats->edge_map_calls;
+  if (frontier.empty() || candidates.empty()) return out;
+
+  // Page frontier over the *candidates'* in-adjacency.
+  ConcurrentBitmap page_bits(in_g.num_pages());
+  candidates.for_each_parallel(rt.pool(), [&](vertex_t v) {
+    if (in_g.degree(v) == 0 || !prog.cond(v)) return;
+    auto [first, last] = in_g.page_range(v);
+    for (std::uint64_t p = first; p <= last; ++p) page_bits.set(p);
+  });
+
+  auto devices = detail::leaf_devices(in_g.device());
+  const std::size_t num_devices = devices.size();
+  std::vector<std::vector<std::uint64_t>> dev_pages(num_devices);
+  page_bits.for_each([&](std::size_t p) {
+    dev_pages[p % num_devices].push_back(p / num_devices);
+  });
+
+  io::IoBufferPool& io_pool = rt.io_pool();
+  MpmcQueue<std::uint32_t> filled(io_pool.num_buffers() + 1);
+  std::atomic<std::size_t> io_remaining{num_devices};
+  std::atomic<std::uint64_t> edges_scanned{0};
+  QueryStats io_stats_acc;
+  Spinlock io_stats_mu;
+  std::exception_ptr io_error;
+
+  std::vector<std::jthread> io_threads;
+  io_threads.reserve(num_devices);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    io_threads.emplace_back([&, d] {
+      try {
+        io::ReadEngineStats st = io::run_reads(
+            *devices[d], static_cast<std::uint32_t>(d), dev_pages[d],
+            io_pool, filled, cfg.max_inflight_io);
+        std::lock_guard lock(io_stats_mu);
+        io_stats_acc.pages_read += st.pages;
+        io_stats_acc.io_requests += st.requests;
+        io_stats_acc.bytes_read += st.bytes;
+      } catch (...) {
+        std::lock_guard lock(io_stats_mu);
+        if (!io_error) io_error = std::current_exception();
+      }
+      io_remaining.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  const format::GraphIndex& index = in_g.index();
+  const format::PageVertexMap& pvmap = in_g.page_map();
+  rt.pool().run_on_all([&](std::size_t) {
+    std::uint64_t local_edges = 0;
+    Backoff backoff;
+    for (;;) {
+      auto buf = filled.pop();
+      if (!buf) {
+        if (io_remaining.load(std::memory_order_acquire) == 0) {
+          buf = filled.pop();
+          if (!buf) break;
+        } else {
+          backoff.pause();
+          continue;
+        }
+      }
+      backoff.reset();
+      const io::BufferMeta& meta = io_pool.meta(*buf);
+      const std::byte* data = io_pool.data(*buf);
+      for (std::uint32_t j = 0; j < meta.num_pages; ++j) {
+        const std::uint64_t logical_page =
+            (meta.first_page + j) * num_devices + meta.device;
+        const std::uint64_t page_base = logical_page * kPageSize;
+        const std::byte* page =
+            data + static_cast<std::size_t>(j) * kPageSize;
+        const auto range = pvmap.range(logical_page);
+        std::uint64_t off = index.byte_offset(range.begin);
+        for (vertex_t d = range.begin; d < range.end; ++d) {
+          const std::uint64_t len =
+              static_cast<std::uint64_t>(index.degree(d)) *
+              sizeof(vertex_t);
+          const std::uint64_t vb = off;
+          off += len;
+          if (len == 0 || !candidates.contains(d)) continue;
+          if (!prog.cond(d)) continue;  // claimed meanwhile: early skip
+          const std::uint64_t ob = std::max(vb, page_base);
+          const std::uint64_t oe = std::min(vb + len, page_base + kPageSize);
+          if (ob >= oe) continue;
+          const auto* srcs = reinterpret_cast<const vertex_t*>(
+              page + (ob - page_base));
+          const std::size_t cnt = (oe - ob) / sizeof(vertex_t);
+          for (std::size_t k = 0; k < cnt; ++k) {
+            ++local_edges;
+            const vertex_t s = srcs[k];
+            if (!frontier.contains(s)) continue;
+            const value_type val = prog.scatter(s, d);
+            if (prog.gather_atomic(d, val) && opts.output) out.add(d);
+            if (!prog.cond(d)) break;  // destination satisfied: early exit
+          }
+        }
+      }
+      io_pool.release(*buf);
+    }
+    edges_scanned.fetch_add(local_edges, std::memory_order_relaxed);
+  });
+  io_threads.clear();
+
+  if (io_error) {
+    rt.invalidate_arenas();
+    std::rethrow_exception(io_error);
+  }
+  if (opts.stats) {
+    opts.stats->pages_read += io_stats_acc.pages_read;
+    opts.stats->io_requests += io_stats_acc.io_requests;
+    opts.stats->bytes_read += io_stats_acc.bytes_read;
+    opts.stats->edges_scattered +=
+        edges_scanned.load(std::memory_order_relaxed);
+    opts.stats->seconds += timer.seconds();
+  }
+  return out;
+}
+
+/// Sum of out-degrees of the frontier (the Ligra density measure),
+/// computed in parallel from the index.
+inline std::uint64_t frontier_out_edges(Runtime& rt,
+                                        const format::OnDiskGraph& g,
+                                        const VertexSubset& frontier) {
+  std::atomic<std::uint64_t> sum{0};
+  frontier.for_each_parallel(rt.pool(), [&](vertex_t v) {
+    sum.fetch_add(g.degree(v), std::memory_order_relaxed);
+  });
+  return sum.load(std::memory_order_relaxed);
+}
+
+/// Direction-optimized EdgeMap: pushes through the bins when the frontier
+/// is sparse, pulls over the transpose when the frontier's out-edge volume
+/// crosses |E| / threshold_div (Ligra's default 20). `candidates` is the
+/// pull-side filter (e.g. the unvisited set for BFS).
+template <typename Program>
+VertexSubset edge_map_hybrid(Runtime& rt, const format::OnDiskGraph& out_g,
+                             const format::OnDiskGraph& in_g,
+                             const VertexSubset& frontier,
+                             const VertexSubset& candidates, Program& prog,
+                             const EdgeMapOptions& opts = {},
+                             std::uint64_t threshold_div = 20,
+                             bool* used_pull = nullptr) {
+  const std::uint64_t push_volume = frontier_out_edges(rt, out_g, frontier);
+  const bool pull = push_volume > out_g.num_edges() / threshold_div;
+  if (used_pull) *used_pull = pull;
+  if (pull) {
+    return edge_map_pull(rt, in_g, frontier, candidates, prog, opts);
+  }
+  return edge_map(rt, out_g, frontier, prog, opts);
+}
+
+}  // namespace blaze::core

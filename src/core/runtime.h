@@ -1,0 +1,97 @@
+// Blaze runtime: configuration, the persistent worker pool, and reusable
+// engine arenas (IO buffer pool, bin space).
+#pragma once
+
+#include <memory>
+
+#include "core/bins.h"
+#include "core/config.h"
+#include "io/buffer_pool.h"
+#include "util/thread_pool.h"
+
+namespace blaze::core {
+
+/// Owns the compute worker pool and the large engine allocations for a
+/// sequence of queries. Construct one per process (or per experiment
+/// configuration) and pass it to the algorithms; EdgeMap/VertexMap reuse
+/// its threads and arenas, so per-iteration setup cost is zero
+/// (Core Guidelines CP.41). Not safe for concurrent EdgeMap calls.
+class Runtime {
+ public:
+  explicit Runtime(Config config)
+      : config_(config), pool_(config.compute_workers) {}
+
+  const Config& config() const { return config_; }
+  ThreadPool& pool() { return pool_; }
+
+  /// Mutable access for experiment sweeps. Changing bin_count /
+  /// bin_space_bytes / io_buffer_bytes takes effect on the next EdgeMap;
+  /// changing compute_workers requires a new Runtime.
+  Config& mutable_config() {
+    bins_.reset();     // force re-creation with new parameters
+    io_pool_.reset();
+    return config_;
+  }
+
+  /// Bin space, (re)created lazily from the current config and reset
+  /// between EdgeMap executions.
+  BinSet& acquire_bins() {
+    if (!bins_ || bins_->bin_count() != config_.bin_count) {
+      bins_ = std::make_unique<BinSet>(config_.bin_count,
+                                       config_.bin_space_bytes);
+    }
+    bins_->reset();
+    return *bins_;
+  }
+
+  /// The static IO buffer pool (paper: 64 MB regardless of workload).
+  io::IoBufferPool& io_pool() {
+    if (!io_pool_) {
+      io_pool_ = std::make_unique<io::IoBufferPool>(config_.io_buffer_bytes);
+    }
+    return *io_pool_;
+  }
+
+  /// Per-worker scatter staging buffers, cached across EdgeMap calls
+  /// (fresh allocation per call costs mmap + page-fault churn that dwarfs
+  /// small iterations). Buffers are empty between calls by construction:
+  /// every EdgeMap flushes them before finishing.
+  ScatterBuffer& scatter_buffer(std::size_t worker) {
+    if (sbufs_.size() != config_.compute_workers ||
+        sbuf_bin_count_ != config_.bin_count) {
+      sbufs_.clear();
+      sbufs_.reserve(config_.compute_workers);
+      for (std::size_t i = 0; i < config_.compute_workers; ++i) {
+        sbufs_.push_back(std::make_unique<ScatterBuffer>(config_.bin_count));
+      }
+      sbuf_bin_count_ = config_.bin_count;
+    }
+    return *sbufs_[worker];
+  }
+
+  /// Drops the engine arenas; they are rebuilt lazily on next use. Called
+  /// on the EdgeMap error path, where in-flight buffers may be stranded.
+  void invalidate_arenas() {
+    bins_.reset();
+    io_pool_.reset();
+    sbufs_.clear();
+  }
+
+  /// Bytes currently held by the engine arenas (memory-footprint figure).
+  std::uint64_t arena_bytes() const {
+    std::uint64_t b = 0;
+    if (bins_) b += bins_->memory_bytes();
+    if (io_pool_) b += io_pool_->memory_bytes();
+    return b;
+  }
+
+ private:
+  Config config_;
+  ThreadPool pool_;
+  std::unique_ptr<BinSet> bins_;
+  std::unique_ptr<io::IoBufferPool> io_pool_;
+  std::vector<std::unique_ptr<ScatterBuffer>> sbufs_;
+  std::size_t sbuf_bin_count_ = 0;
+};
+
+}  // namespace blaze::core

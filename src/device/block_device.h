@@ -1,0 +1,71 @@
+// Abstract block device with synchronous and asynchronous read interfaces.
+//
+// Blaze's IO engine talks only to this interface, so the same pipeline runs
+// against real files (FileDevice), plain memory (MemDevice), modeled SSDs
+// (SimulatedSsd), and RAID-0 stripes of any of them (Raid0Device).
+// Target workloads are read-only (paper Section II-B footnote), so the
+// interface is read-only; writes happen offline through the format writers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/io_stats.h"
+#include "util/common.h"
+
+namespace blaze::device {
+
+/// One in-flight asynchronous read.
+struct AsyncRead {
+  std::uint64_t offset = 0;  ///< byte offset on the device
+  std::uint32_t length = 0;  ///< byte count
+  void* buffer = nullptr;    ///< destination (caller-owned, >= length bytes)
+  std::uint64_t user = 0;    ///< opaque tag returned on completion
+};
+
+/// Per-submitter asynchronous channel. Channels are NOT thread-safe; each IO
+/// thread opens its own. Completion order may differ from submission order.
+class AsyncChannel {
+ public:
+  virtual ~AsyncChannel() = default;
+
+  /// Queues a read. The buffer must stay valid until completion.
+  virtual void submit(const AsyncRead& read) = 0;
+
+  /// Number of submitted-but-not-yet-reaped reads.
+  virtual std::size_t pending() const = 0;
+
+  /// Blocks until at least `min_completions` reads finish (or all pending
+  /// ones, if fewer). Appends their user tags to `completed`.
+  virtual void wait(std::size_t min_completions,
+                    std::vector<std::uint64_t>& completed) = 0;
+};
+
+/// Read-only block device.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Device capacity in bytes.
+  virtual std::uint64_t size() const = 0;
+
+  /// Synchronous read; blocks for the full modeled/actual duration.
+  /// Aborts on out-of-range access (programming error, not runtime input).
+  virtual void read(std::uint64_t offset, std::span<std::byte> out) = 0;
+
+  /// Opens an asynchronous channel for one submitter thread.
+  virtual std::unique_ptr<AsyncChannel> open_channel() = 0;
+
+  /// IO accounting for this device.
+  virtual IoStats& stats() = 0;
+  const IoStats& stats() const {
+    return const_cast<BlockDevice*>(this)->stats();
+  }
+};
+
+}  // namespace blaze::device

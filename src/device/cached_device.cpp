@@ -1,0 +1,184 @@
+#include "device/cached_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace blaze::device {
+
+CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
+                           std::size_t capacity_bytes,
+                           EvictionPolicy policy)
+    : name_(inner->name() + "+cache"),
+      inner_(std::move(inner)),
+      policy_(policy),
+      capacity_pages_(std::max<std::size_t>(4, capacity_bytes / kPageSize)),
+      storage_(capacity_pages_ * kPageSize),
+      stats_(0),
+      slot_page_(capacity_pages_, ~0ull),
+      lru_prev_(capacity_pages_, kNil),
+      lru_next_(capacity_pages_, kNil) {
+  free_slots_.reserve(capacity_pages_);
+  for (std::size_t i = 0; i < capacity_pages_; ++i) free_slots_.push_back(i);
+  map_.reserve(capacity_pages_ * 2);
+}
+
+void CachedDevice::lru_unlink(std::size_t slot) {
+  const bool linked = lru_head_ == slot || lru_prev_[slot] != kNil ||
+                      lru_next_[slot] != kNil;
+  if (!linked) return;
+  std::size_t p = lru_prev_[slot], n = lru_next_[slot];
+  if (p != kNil) lru_next_[p] = n;
+  else lru_head_ = n;
+  if (n != kNil) lru_prev_[n] = p;
+  else lru_tail_ = p;
+  lru_prev_[slot] = lru_next_[slot] = kNil;
+}
+
+void CachedDevice::lru_push_front(std::size_t slot) {
+  lru_prev_[slot] = kNil;
+  lru_next_[slot] = lru_head_;
+  if (lru_head_ != kNil) lru_prev_[lru_head_] = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNil) lru_tail_ = slot;
+}
+
+std::size_t CachedDevice::pick_victim_locked() {
+  if (policy_ == EvictionPolicy::kLru) return lru_tail_;
+  // Random: any occupied slot.
+  return static_cast<std::size_t>(rng_.next_below(capacity_pages_));
+}
+
+bool CachedDevice::lookup(std::uint64_t page, std::byte* out) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(page);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  std::size_t slot = it->second;
+  if (policy_ == EvictionPolicy::kLru) {
+    lru_unlink(slot);
+    lru_push_front(slot);
+  }
+  std::memcpy(out, storage_.data() + slot * kPageSize, kPageSize);
+  return true;
+}
+
+void CachedDevice::fill(std::uint64_t page, const std::byte* data) {
+  std::lock_guard lock(mu_);
+  std::size_t slot;
+  if (auto it = map_.find(page); it != map_.end()) {
+    slot = it->second;  // racing fill of the same page: refresh in place
+  } else if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = pick_victim_locked();
+    if (slot == kNil) return;
+    map_.erase(slot_page_[slot]);
+    if (policy_ == EvictionPolicy::kLru) lru_unlink(slot);
+  }
+  std::memcpy(storage_.data() + slot * kPageSize, data, kPageSize);
+  slot_page_[slot] = page;
+  map_[page] = slot;
+  if (policy_ == EvictionPolicy::kLru) {
+    lru_unlink(slot);  // no-op when freshly allocated
+    lru_push_front(slot);
+  }
+}
+
+void CachedDevice::read(std::uint64_t offset, std::span<std::byte> out) {
+  const bool aligned =
+      offset % kPageSize == 0 && out.size() % kPageSize == 0;
+  if (!aligned) {
+    inner_->read(offset, out);
+    stats_.record_read(out.size(), 0);
+    return;
+  }
+  for (std::size_t done = 0; done < out.size(); done += kPageSize) {
+    std::uint64_t page = (offset + done) / kPageSize;
+    std::byte* dst = out.data() + done;
+    if (!lookup(page, dst)) {
+      inner_->read(offset + done,
+                   std::span<std::byte>(dst, kPageSize));
+      fill(page, dst);
+    }
+  }
+  stats_.record_read(out.size(), 0);
+}
+
+namespace {
+
+/// Async facade: hits complete immediately; misses are forwarded to the
+/// inner channel and inserted into the cache at completion.
+class CachedChannel : public AsyncChannel {
+ public:
+  explicit CachedChannel(CachedDevice& dev)
+      : dev_(dev), inner_(dev.inner().open_channel()) {}
+
+  void submit(const AsyncRead& read) override {
+    const bool aligned =
+        read.offset % kPageSize == 0 && read.length % kPageSize == 0;
+    if (aligned) {
+      // Serve entirely from the cache when every page of the (possibly
+      // merged) request hits; on any miss the whole request goes to the
+      // inner device and repopulates the cache at completion.
+      bool all_hit = true;
+      for (std::uint32_t off = 0; off < read.length && all_hit;
+           off += kPageSize) {
+        all_hit = dev_.lookup((read.offset + off) / kPageSize,
+                              static_cast<std::byte*>(read.buffer) + off);
+      }
+      if (all_hit) {
+        ready_.push_back(read.user);
+        return;
+      }
+    }
+    inflight_.push_back(read);
+    inner_->submit(read);
+  }
+
+  std::size_t pending() const override {
+    return ready_.size() + inner_->pending();
+  }
+
+  void wait(std::size_t min_completions,
+            std::vector<std::uint64_t>& completed) override {
+    completed.insert(completed.end(), ready_.begin(), ready_.end());
+    std::size_t got = ready_.size();
+    ready_.clear();
+    if (got >= min_completions) min_completions = 0;
+    else min_completions -= got;
+    std::size_t before = completed.size();
+    inner_->wait(min_completions, completed);
+    // Insert completed miss pages into the cache.
+    for (std::size_t i = before; i < completed.size(); ++i) {
+      for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+        if (it->user == completed[i]) {
+          for (std::uint32_t off = 0; off + kPageSize <= it->length;
+               off += kPageSize) {
+            dev_.fill((it->offset + off) / kPageSize,
+                      static_cast<const std::byte*>(it->buffer) + off);
+          }
+          inflight_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  CachedDevice& dev_;
+  std::unique_ptr<AsyncChannel> inner_;
+  std::vector<std::uint64_t> ready_;
+  std::vector<AsyncRead> inflight_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncChannel> CachedDevice::open_channel() {
+  return std::make_unique<CachedChannel>(*this);
+}
+
+}  // namespace blaze::device

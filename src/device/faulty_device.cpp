@@ -1,0 +1,49 @@
+#include "device/faulty_device.h"
+
+#include <stdexcept>
+
+namespace blaze::device {
+
+void FaultyDevice::check(std::uint64_t offset, std::uint64_t length) {
+  if (should_fail_(offset, length)) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    throw std::runtime_error("injected device read failure");
+  }
+}
+
+void FaultyDevice::read(std::uint64_t offset, std::span<std::byte> out) {
+  check(offset, out.size());
+  inner_->read(offset, out);
+}
+
+namespace {
+
+class FaultyChannel : public AsyncChannel {
+ public:
+  FaultyChannel(FaultyDevice& dev, std::unique_ptr<AsyncChannel> inner)
+      : dev_(dev), inner_(std::move(inner)) {}
+
+  void submit(const AsyncRead& read) override {
+    dev_.check(read.offset, read.length);
+    inner_->submit(read);
+  }
+
+  std::size_t pending() const override { return inner_->pending(); }
+
+  void wait(std::size_t min_completions,
+            std::vector<std::uint64_t>& completed) override {
+    inner_->wait(min_completions, completed);
+  }
+
+ private:
+  FaultyDevice& dev_;
+  std::unique_ptr<AsyncChannel> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncChannel> FaultyDevice::open_channel() {
+  return std::make_unique<FaultyChannel>(*this, inner_->open_channel());
+}
+
+}  // namespace blaze::device

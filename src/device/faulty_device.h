@@ -1,0 +1,47 @@
+// Fault-injection wrapper for failure-path testing.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "device/block_device.h"
+
+namespace blaze::device {
+
+/// Wraps another device and corrupts or rejects selected reads. Tests use it
+/// to verify that the IO engine surfaces device failures instead of
+/// silently producing wrong results.
+class FaultyDevice : public BlockDevice {
+ public:
+  /// `should_fail(offset, length)` decides per read. Failures throw
+  /// std::runtime_error from read()/submit().
+  FaultyDevice(std::shared_ptr<BlockDevice> inner,
+               std::function<bool(std::uint64_t, std::uint64_t)> should_fail)
+      : inner_(std::move(inner)), should_fail_(std::move(should_fail)) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  std::uint64_t size() const override { return inner_->size(); }
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+
+  std::unique_ptr<AsyncChannel> open_channel() override;
+
+  IoStats& stats() override { return inner_->stats(); }
+
+  std::uint64_t injected_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Throws if the fault policy rejects this (offset, length) pair. Used by
+  /// the async channel before delegating to the wrapped device.
+  void check(std::uint64_t offset, std::uint64_t length);
+
+ private:
+  friend class FaultyChannel;
+  std::shared_ptr<BlockDevice> inner_;
+  std::function<bool(std::uint64_t, std::uint64_t)> should_fail_;
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace blaze::device

@@ -1,0 +1,81 @@
+#include "device/file_device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace blaze::device {
+
+FileDevice::FileDevice(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("FileDevice: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    int err = errno;
+    ::close(fd_);
+    throw std::runtime_error("FileDevice: fstat failed for '" + path +
+                             "': " + std::strerror(err));
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+FileDevice::~FileDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileDevice::read(std::uint64_t offset, std::span<std::byte> out) {
+  BLAZE_CHECK(offset + out.size() <= size_, "FileDevice read out of range");
+  std::uint64_t t0 = Timer::now_ns();
+  std::size_t done = 0;
+  while (done < out.size()) {
+    ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                        static_cast<off_t>(offset + done));
+    BLAZE_CHECK(n > 0, "FileDevice pread failed");
+    done += static_cast<std::size_t>(n);
+  }
+  stats_.record_read(out.size(), Timer::now_ns() - t0);
+}
+
+namespace {
+
+/// Synchronous-completion channel: pread happens at submit time.
+class FileChannel : public AsyncChannel {
+ public:
+  explicit FileChannel(FileDevice& dev) : dev_(dev) {}
+
+  void submit(const AsyncRead& read) override {
+    dev_.read(read.offset,
+              std::span<std::byte>(static_cast<std::byte*>(read.buffer),
+                                   read.length));
+    done_.push_back(read.user);
+  }
+
+  std::size_t pending() const override { return done_.size(); }
+
+  void wait(std::size_t,
+            std::vector<std::uint64_t>& completed) override {
+    completed.insert(completed.end(), done_.begin(), done_.end());
+    done_.clear();
+  }
+
+ private:
+  FileDevice& dev_;
+  std::vector<std::uint64_t> done_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncChannel> FileDevice::open_channel() {
+  return std::make_unique<FileChannel>(*this);
+}
+
+}  // namespace blaze::device

@@ -1,0 +1,41 @@
+// File-backed block device using positional reads.
+//
+// Used when datasets live on a real filesystem (the artifact's deployment
+// mode). Reads are thread-safe pread(2) calls, so many IO threads can share
+// one device, matching the paper's one-IO-thread-per-SSD structure.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "device/block_device.h"
+
+namespace blaze::device {
+
+/// Read-only block device over a regular file. Throws std::runtime_error if
+/// the file cannot be opened (invalid user input, not a programming error).
+class FileDevice : public BlockDevice {
+ public:
+  explicit FileDevice(const std::string& path);
+  ~FileDevice() override;
+
+  FileDevice(const FileDevice&) = delete;
+  FileDevice& operator=(const FileDevice&) = delete;
+
+  const std::string& name() const override { return path_; }
+  std::uint64_t size() const override { return size_; }
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+
+  std::unique_ptr<AsyncChannel> open_channel() override;
+
+  IoStats& stats() override { return stats_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace blaze::device

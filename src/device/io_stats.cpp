@@ -1,0 +1,65 @@
+#include "device/io_stats.h"
+
+namespace blaze::device {
+
+IoStats::IoStats(std::uint64_t timeline_bucket_ns)
+    : bucket_ns_(timeline_bucket_ns),
+      t0_ns_(Timer::now_ns()),
+      timeline_(timeline_bucket_ns == 0 ? 0 : kMaxBuckets) {}
+
+void IoStats::record_read(std::uint64_t bytes, std::uint64_t busy_ns) {
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  total_reads_.fetch_add(1, std::memory_order_relaxed);
+  busy_ns_.fetch_add(busy_ns, std::memory_order_relaxed);
+  current_epoch_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (bucket_ns_ != 0) {
+    std::uint64_t now = Timer::now_ns();
+    std::uint64_t bucket = (now - t0_ns_) / bucket_ns_;
+    if (bucket < timeline_.size()) {
+      timeline_[bucket].fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+}
+
+void IoStats::reset() {
+  total_bytes_.store(0, std::memory_order_relaxed);
+  total_reads_.store(0, std::memory_order_relaxed);
+  busy_ns_.store(0, std::memory_order_relaxed);
+  current_epoch_bytes_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(epoch_mu_);
+    closed_epochs_.clear();
+  }
+  t0_ns_ = Timer::now_ns();
+  for (auto& b : timeline_) b.store(0, std::memory_order_relaxed);
+}
+
+void IoStats::begin_epoch() {
+  std::lock_guard lock(epoch_mu_);
+  closed_epochs_.push_back(
+      current_epoch_bytes_.exchange(0, std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> IoStats::epoch_bytes() const {
+  std::lock_guard lock(epoch_mu_);
+  std::vector<std::uint64_t> out = closed_epochs_;
+  out.push_back(current_epoch_bytes_.load(std::memory_order_relaxed));
+  return out;
+}
+
+std::vector<std::uint64_t> IoStats::timeline_bytes() const {
+  std::vector<std::uint64_t> out;
+  if (bucket_ns_ == 0) return out;
+  // Trim trailing empty buckets.
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    if (timeline_[i].load(std::memory_order_relaxed) != 0) last = i + 1;
+  }
+  out.reserve(last);
+  for (std::size_t i = 0; i < last; ++i) {
+    out.push_back(timeline_[i].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+}  // namespace blaze::device

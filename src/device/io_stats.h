@@ -1,0 +1,71 @@
+// Per-device IO accounting.
+//
+// These counters produce the raw series behind several of the paper's
+// figures: total bytes and elapsed time give average bandwidth (Figs 1, 8,
+// 10), timestamped completions give the bandwidth timeline (Fig 2), and
+// per-epoch byte counts across devices give the IO-skew plot (Fig 3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace blaze::device {
+
+/// Thread-safe per-device IO statistics.
+class IoStats {
+ public:
+  /// `timeline_bucket_ns` controls the resolution of the bandwidth
+  /// timeline; 0 disables timeline recording.
+  explicit IoStats(std::uint64_t timeline_bucket_ns = 0);
+
+  /// Records a completed read of `bytes` that kept the device busy for
+  /// `busy_ns` of modeled (or measured) service time.
+  void record_read(std::uint64_t bytes, std::uint64_t busy_ns);
+
+  /// Resets counters and restarts the timeline clock.
+  void reset();
+
+  /// Opens a new accounting epoch (e.g. one graph iteration). Bytes recorded
+  /// after this call are attributed to the new epoch.
+  void begin_epoch();
+
+  std::uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_reads() const {
+    return total_reads_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative modeled device-busy nanoseconds.
+  std::uint64_t busy_ns() const {
+    return busy_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes recorded in each finished-or-open epoch, oldest first.
+  std::vector<std::uint64_t> epoch_bytes() const;
+
+  /// Bandwidth timeline: bytes completed per bucket since the last reset.
+  /// Empty when timeline recording is disabled.
+  std::vector<std::uint64_t> timeline_bytes() const;
+  std::uint64_t timeline_bucket_ns() const { return bucket_ns_; }
+
+ private:
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> total_reads_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+
+  std::uint64_t bucket_ns_;
+  std::uint64_t t0_ns_;
+  static constexpr std::size_t kMaxBuckets = 1 << 16;
+  std::vector<std::atomic<std::uint64_t>> timeline_;
+
+  mutable std::mutex epoch_mu_;
+  std::vector<std::uint64_t> closed_epochs_;
+  std::atomic<std::uint64_t> current_epoch_bytes_{0};
+};
+
+}  // namespace blaze::device

@@ -1,0 +1,40 @@
+#include "device/mem_device.h"
+
+namespace blaze::device {
+
+namespace {
+
+/// Synchronous-completion channel: submit() performs the copy immediately,
+/// wait() just drains the completion list.
+class MemChannel : public AsyncChannel {
+ public:
+  explicit MemChannel(MemDevice& dev) : dev_(dev) {}
+
+  void submit(const AsyncRead& read) override {
+    dev_.read(read.offset,
+              std::span<std::byte>(static_cast<std::byte*>(read.buffer),
+                                   read.length));
+    done_.push_back(read.user);
+  }
+
+  std::size_t pending() const override { return done_.size(); }
+
+  void wait(std::size_t min_completions,
+            std::vector<std::uint64_t>& completed) override {
+    (void)min_completions;
+    completed.insert(completed.end(), done_.begin(), done_.end());
+    done_.clear();
+  }
+
+ private:
+  MemDevice& dev_;
+  std::vector<std::uint64_t> done_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncChannel> MemDevice::open_channel() {
+  return std::make_unique<MemChannel>(*this);
+}
+
+}  // namespace blaze::device

@@ -1,0 +1,48 @@
+// Memory-backed block device: zero-latency backing store used by tests and
+// as the storage behind SimulatedSsd.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "device/block_device.h"
+
+namespace blaze::device {
+
+/// Block device backed by an in-process byte array. Reads are immediate
+/// memcpy; useful as a correctness oracle and as SimulatedSsd's store.
+class MemDevice : public BlockDevice {
+ public:
+  MemDevice(std::string name, std::uint64_t size,
+            std::uint64_t timeline_bucket_ns = 0)
+      : name_(std::move(name)), data_(size), stats_(timeline_bucket_ns) {}
+
+  /// Constructs from existing contents (copied).
+  MemDevice(std::string name, std::vector<std::byte> data)
+      : name_(std::move(name)), data_(std::move(data)), stats_(0) {}
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t size() const override { return data_.size(); }
+
+  /// Mutable access for writers (offline graph layout).
+  std::span<std::byte> raw() { return data_; }
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override {
+    BLAZE_CHECK(offset + out.size() <= data_.size(),
+                "MemDevice read out of range");
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+    stats_.record_read(out.size(), 0);
+  }
+
+  std::unique_ptr<AsyncChannel> open_channel() override;
+
+  IoStats& stats() override { return stats_; }
+
+ private:
+  std::string name_;
+  std::vector<std::byte> data_;
+  IoStats stats_;
+};
+
+}  // namespace blaze::device

@@ -1,0 +1,51 @@
+// RAID-0 page interleaving over multiple block devices.
+//
+// This is Blaze's balanced-IO mechanism (paper Section IV-E): the logical
+// address space is striped across children in 4 kB pages, so any access
+// pattern — including the selective scheduling that defeats Graphene's
+// topology-aware 2-D partitioning — spreads IO evenly over all devices.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "device/block_device.h"
+
+namespace blaze::device {
+
+/// Stripes a logical device over N children at kPageSize granularity:
+/// logical page p lives on child (p % N) at page (p / N). The children's
+/// own IoStats keep per-device byte counts, which Figure 3 aggregates.
+class Raid0Device : public BlockDevice {
+ public:
+  /// Takes shared ownership of the children. All children must have equal
+  /// size; the logical size is the sum.
+  explicit Raid0Device(std::vector<std::shared_ptr<BlockDevice>> children);
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t size() const override { return size_; }
+  std::size_t num_children() const { return children_.size(); }
+  BlockDevice& child(std::size_t i) { return *children_[i]; }
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+
+  std::unique_ptr<AsyncChannel> open_channel() override;
+
+  /// Aggregate stats for the logical device (sum of children is also
+  /// available through child(i).stats()).
+  IoStats& stats() override { return stats_; }
+
+  /// Marks an iteration boundary on every child (Fig 3 epochs).
+  void begin_epoch_all();
+
+  /// Maps a logical byte offset to (child index, child offset).
+  std::pair<std::size_t, std::uint64_t> map(std::uint64_t offset) const;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<BlockDevice>> children_;
+  std::uint64_t size_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace blaze::device

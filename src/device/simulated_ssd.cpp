@@ -1,0 +1,117 @@
+#include "device/simulated_ssd.h"
+
+#include <cstring>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace blaze::device {
+
+SimulatedSsd::SimulatedSsd(std::string name, std::uint64_t size,
+                           SsdProfile profile,
+                           std::uint64_t timeline_bucket_ns)
+    : name_(std::move(name)),
+      data_(size),
+      profile_(std::move(profile)),
+      stats_(timeline_bucket_ns) {}
+
+std::uint64_t SimulatedSsd::book(std::uint64_t offset, std::uint64_t len) {
+  std::uint64_t now = Timer::now_ns();
+  std::uint64_t service_ns;
+  std::uint64_t completion;
+  {
+    std::lock_guard lock(ledger_mu_);
+    bool sequential = offset == last_end_offset_;
+    last_end_offset_ = offset + len;
+    double bw = sequential ? profile_.seq_read_bytes_per_ns()
+                           : profile_.rand_read_bytes_per_ns();
+    service_ns = static_cast<std::uint64_t>(static_cast<double>(len) / bw);
+    std::uint64_t start = std::max(now, busy_until_ns_);
+    busy_until_ns_ = start + service_ns;
+    completion = start + service_ns +
+                 static_cast<std::uint64_t>(profile_.latency_us * 1000.0);
+  }
+  stats_.record_read(len, service_ns);
+  return completion;
+}
+
+void SimulatedSsd::wait_until_ns(std::uint64_t deadline_ns) {
+  for (;;) {
+    std::uint64_t now = Timer::now_ns();
+    if (now >= deadline_ns) return;
+    std::uint64_t remaining = deadline_ns - now;
+    if (remaining > 200'000) {
+      // Coarse sleep, leaving ~100 us of slack for scheduler jitter.
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(remaining - 100'000));
+    } else {
+      // Close to the deadline: yield so compute threads can run while this
+      // thread polls (IO threads share cores with computation here).
+      std::this_thread::yield();
+    }
+  }
+}
+
+void SimulatedSsd::read(std::uint64_t offset, std::span<std::byte> out) {
+  BLAZE_CHECK(offset + out.size() <= data_.size(),
+              "SimulatedSsd read out of range");
+  std::uint64_t completion = book(offset, out.size());
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+  if (!no_wait_) wait_until_ns(completion);
+}
+
+namespace {
+
+/// Async channel over the shared device ledger. submit() copies the data
+/// immediately but withholds the completion until the modeled time.
+class SimChannel : public AsyncChannel {
+ public:
+  explicit SimChannel(SimulatedSsd& dev) : dev_(dev) {}
+
+  void submit(const AsyncRead& read) override {
+    BLAZE_CHECK(read.offset + read.length <= dev_.size(),
+                "SimulatedSsd async read out of range");
+    std::uint64_t completion = dev_.book(read.offset, read.length);
+    std::memcpy(read.buffer, dev_.raw().data() + read.offset, read.length);
+    heap_.push(Pending{completion, read.user});
+  }
+
+  std::size_t pending() const override { return heap_.size(); }
+
+  void wait(std::size_t min_completions,
+            std::vector<std::uint64_t>& completed) override {
+    min_completions = std::min(min_completions, heap_.size());
+    std::size_t got = 0;
+    while (!heap_.empty()) {
+      Pending top = heap_.top();
+      bool ready = dev_.no_wait() || Timer::now_ns() >= top.completion_ns;
+      if (!ready) {
+        if (got >= min_completions) break;
+        SimulatedSsd::wait_until_ns(top.completion_ns);
+      }
+      completed.push_back(top.user);
+      heap_.pop();
+      ++got;
+    }
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t completion_ns;
+    std::uint64_t user;
+    bool operator>(const Pending& o) const {
+      return completion_ns > o.completion_ns;
+    }
+  };
+
+  SimulatedSsd& dev_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncChannel> SimulatedSsd::open_channel() {
+  return std::make_unique<SimChannel>(*this);
+}
+
+}  // namespace blaze::device

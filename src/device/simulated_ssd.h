@@ -1,0 +1,69 @@
+// SimulatedSsd: an in-memory block device with a calibrated timing model.
+//
+// Substitutes for the physical Optane / NAND SSDs of the paper's testbed.
+// The model is a single service queue per device: each read occupies the
+// device for `bytes / bandwidth(pattern)` and completes `latency` after its
+// service finishes. Requests queue when the offered load exceeds bandwidth
+// and overlap their latencies otherwise — the behaviours the paper's
+// saturation figures depend on. Pattern classification is per-device: a
+// read is sequential when it starts where the previous read ended.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "device/block_device.h"
+#include "device/ssd_profile.h"
+#include "util/spinlock.h"
+
+namespace blaze::device {
+
+/// Modeled SSD over an in-memory backing store.
+class SimulatedSsd : public BlockDevice {
+ public:
+  /// Creates a device of `size` bytes behaving per `profile`.
+  /// `timeline_bucket_ns` enables bandwidth-timeline recording (Fig 2).
+  SimulatedSsd(std::string name, std::uint64_t size, SsdProfile profile,
+               std::uint64_t timeline_bucket_ns = 0);
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t size() const override { return data_.size(); }
+  const SsdProfile& profile() const { return profile_; }
+
+  /// Mutable backing store for offline graph layout.
+  std::span<std::byte> raw() { return data_; }
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+
+  std::unique_ptr<AsyncChannel> open_channel() override;
+
+  IoStats& stats() override { return stats_; }
+
+  /// Disables all modeled waiting (the accounting still runs). Tests use
+  /// this to verify data paths without paying modeled time.
+  void set_no_wait(bool no_wait) { no_wait_ = no_wait; }
+  bool no_wait() const { return no_wait_; }
+
+  /// Books a request into the device's service queue. Returns the absolute
+  /// completion time (steady-clock ns) and records stats. Exposed for the
+  /// async channel and for the device-model unit tests.
+  std::uint64_t book(std::uint64_t offset, std::uint64_t len);
+
+  /// Blocks (coarse sleep, then yield-polling) until steady-clock
+  /// `deadline_ns`.
+  static void wait_until_ns(std::uint64_t deadline_ns);
+
+ private:
+  std::string name_;
+  std::vector<std::byte> data_;
+  SsdProfile profile_;
+  IoStats stats_;
+  bool no_wait_ = false;
+
+  Spinlock ledger_mu_;
+  std::uint64_t busy_until_ns_ = 0;        // guarded by ledger_mu_
+  std::uint64_t last_end_offset_ = ~0ULL;  // guarded by ledger_mu_
+};
+
+}  // namespace blaze::device

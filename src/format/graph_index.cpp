@@ -1,0 +1,22 @@
+#include "format/graph_index.h"
+
+namespace blaze::format {
+
+GraphIndex::GraphIndex(std::span<const std::uint32_t> degrees,
+                       std::uint32_t record_bytes)
+    : degrees_(degrees.begin(), degrees.end()), record_bytes_(record_bytes) {
+  BLAZE_CHECK(record_bytes == 4 || record_bytes == 8,
+              "edge records must be 4 or 8 bytes");
+  BLAZE_CHECK(kPageSize % record_bytes == 0,
+              "records must not straddle pages");
+  group_offsets_.reserve(ceil_div(degrees_.size(), kGroupSize) + 1);
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < degrees_.size(); ++i) {
+    if (i % kGroupSize == 0) group_offsets_.push_back(off);
+    off += degrees_[i];
+  }
+  if (group_offsets_.empty()) group_offsets_.push_back(0);
+  num_edges_ = off;
+}
+
+}  // namespace blaze::format

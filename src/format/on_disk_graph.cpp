@@ -1,0 +1,193 @@
+#include "format/on_disk_graph.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "device/file_device.h"
+#include "device/mem_device.h"
+
+namespace blaze::format {
+
+namespace {
+
+constexpr std::uint32_t kIndexMagic = 0x425A4749;  // "BZGI"
+constexpr std::uint32_t kIndexVersionUnweighted = 1;
+constexpr std::uint32_t kIndexVersionWeighted = 2;
+
+std::vector<std::uint32_t> degrees_of(const graph::Csr& g) {
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  return degrees;
+}
+
+/// Stripes the logical adjacency bytes over the raw spans of the children
+/// (RAID-0 page interleaving).
+void stripe_pages(std::span<const std::byte> logical,
+                  std::vector<std::span<std::byte>> children) {
+  std::uint64_t pages = ceil_div<std::uint64_t>(logical.size(), kPageSize);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    std::size_t child = p % children.size();
+    std::uint64_t child_page = p / children.size();
+    std::size_t len = std::min<std::size_t>(
+        kPageSize, logical.size() - p * kPageSize);
+    std::memcpy(children[child].data() + child_page * kPageSize,
+                logical.data() + p * kPageSize, len);
+  }
+}
+
+/// Lays serialized adjacency bytes onto N simulated SSDs or mem devices.
+template <typename DeviceT, typename... Args>
+OnDiskGraph build_on_devices(GraphIndex index, std::vector<std::byte> adj,
+                             std::size_t num_devices, Args&&... args) {
+  BLAZE_CHECK(num_devices >= 1, "need at least one device");
+  std::uint64_t pages = adj.size() / kPageSize;
+  std::uint64_t per_child_pages = ceil_div<std::uint64_t>(pages, num_devices);
+
+  std::vector<std::shared_ptr<device::BlockDevice>> children;
+  std::vector<std::span<std::byte>> raws;
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    auto dev = std::make_shared<DeviceT>("dev" + std::to_string(i),
+                                         per_child_pages * kPageSize,
+                                         args...);
+    raws.push_back(dev->raw());
+    children.push_back(std::move(dev));
+  }
+  stripe_pages(adj, raws);
+  if (num_devices == 1) {
+    return OnDiskGraph(std::move(index), std::move(children[0]));
+  }
+  return OnDiskGraph(std::move(index),
+                     std::make_shared<device::Raid0Device>(std::move(children)));
+}
+
+void write_index_file(const std::string& path,
+                      std::span<const std::uint32_t> degrees,
+                      std::uint64_t num_edges, std::uint32_t version) {
+  std::ofstream idx(path, std::ios::binary);
+  if (!idx) throw std::runtime_error("cannot write " + path);
+  std::uint32_t magic = kIndexMagic;
+  std::uint64_t v = degrees.size(), e = num_edges;
+  idx.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  idx.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  idx.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  idx.write(reinterpret_cast<const char*>(&e), sizeof(e));
+  idx.write(reinterpret_cast<const char*>(degrees.data()),
+            static_cast<std::streamsize>(degrees.size() *
+                                         sizeof(std::uint32_t)));
+  if (!idx) throw std::runtime_error("short write on index file");
+}
+
+void write_bytes_file(const std::string& path,
+                      std::span<const std::byte> bytes) {
+  std::ofstream adj(path, std::ios::binary);
+  if (!adj) throw std::runtime_error("cannot write " + path);
+  adj.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!adj) throw std::runtime_error("short write on adjacency file");
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_adjacency(const graph::Csr& g) {
+  std::uint64_t bytes = g.num_edges() * sizeof(vertex_t);
+  std::vector<std::byte> out(round_up<std::uint64_t>(
+      std::max<std::uint64_t>(bytes, 1), kPageSize));
+  std::memcpy(out.data(), g.edges().data(), bytes);
+  return out;
+}
+
+std::vector<std::byte> serialize_adjacency(const graph::WeightedCsr& g) {
+  std::uint64_t bytes = g.num_edges() * sizeof(WeightedEdgeRecord);
+  std::vector<std::byte> out(round_up<std::uint64_t>(
+      std::max<std::uint64_t>(bytes, 1), kPageSize));
+  auto* records = reinterpret_cast<WeightedEdgeRecord*>(out.data());
+  const auto dsts = g.structure().edges();
+  const auto weights = g.weights();
+  for (std::uint64_t e = 0; e < g.num_edges(); ++e) {
+    records[e] = WeightedEdgeRecord{dsts[e], weights[e]};
+  }
+  return out;
+}
+
+OnDiskGraph make_simulated_graph(const graph::Csr& g,
+                                 const device::SsdProfile& profile,
+                                 std::size_t num_devices,
+                                 std::uint64_t timeline_bucket_ns) {
+  return build_on_devices<device::SimulatedSsd>(
+      GraphIndex(degrees_of(g)), serialize_adjacency(g), num_devices,
+      profile, timeline_bucket_ns);
+}
+
+OnDiskGraph make_mem_graph(const graph::Csr& g, std::size_t num_devices) {
+  return build_on_devices<device::MemDevice>(
+      GraphIndex(degrees_of(g)), serialize_adjacency(g), num_devices);
+}
+
+OnDiskGraph make_simulated_graph(const graph::WeightedCsr& g,
+                                 const device::SsdProfile& profile,
+                                 std::size_t num_devices,
+                                 std::uint64_t timeline_bucket_ns) {
+  return build_on_devices<device::SimulatedSsd>(
+      GraphIndex(degrees_of(g.structure()), sizeof(WeightedEdgeRecord)),
+      serialize_adjacency(g), num_devices, profile, timeline_bucket_ns);
+}
+
+OnDiskGraph make_mem_graph(const graph::WeightedCsr& g,
+                           std::size_t num_devices) {
+  return build_on_devices<device::MemDevice>(
+      GraphIndex(degrees_of(g.structure()), sizeof(WeightedEdgeRecord)),
+      serialize_adjacency(g), num_devices);
+}
+
+void write_graph_files(const graph::Csr& g, const std::string& prefix) {
+  auto degrees = degrees_of(g);
+  write_index_file(prefix + ".gr.index", degrees, g.num_edges(),
+                   kIndexVersionUnweighted);
+  write_bytes_file(prefix + ".gr.adj.0", serialize_adjacency(g));
+}
+
+void write_graph_files(const graph::WeightedCsr& g,
+                       const std::string& prefix) {
+  auto degrees = degrees_of(g.structure());
+  write_index_file(prefix + ".gr.index", degrees, g.num_edges(),
+                   kIndexVersionWeighted);
+  write_bytes_file(prefix + ".gr.adj.0", serialize_adjacency(g));
+}
+
+OnDiskGraph load_graph_files(const std::string& index_path,
+                             const std::string& adj_path) {
+  std::ifstream idx(index_path, std::ios::binary);
+  if (!idx) throw std::runtime_error("cannot open " + index_path);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t v = 0, e = 0;
+  idx.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  idx.read(reinterpret_cast<char*>(&version), sizeof(version));
+  idx.read(reinterpret_cast<char*>(&v), sizeof(v));
+  idx.read(reinterpret_cast<char*>(&e), sizeof(e));
+  if (!idx || magic != kIndexMagic ||
+      (version != kIndexVersionUnweighted &&
+       version != kIndexVersionWeighted)) {
+    throw std::runtime_error("bad index file header: " + index_path);
+  }
+  std::vector<std::uint32_t> degrees(v);
+  idx.read(reinterpret_cast<char*>(degrees.data()),
+           static_cast<std::streamsize>(degrees.size() *
+                                        sizeof(std::uint32_t)));
+  if (!idx) throw std::runtime_error("truncated index file: " + index_path);
+
+  const std::uint32_t record_bytes =
+      version == kIndexVersionWeighted ? sizeof(WeightedEdgeRecord)
+                                       : sizeof(vertex_t);
+  GraphIndex index(degrees, record_bytes);
+  if (index.num_edges() != e) {
+    throw std::runtime_error("index degree sum mismatch: " + index_path);
+  }
+  auto dev = std::make_shared<device::FileDevice>(adj_path);
+  if (dev->size() < round_up<std::uint64_t>(e * record_bytes, kPageSize)) {
+    throw std::runtime_error("adjacency file too small: " + adj_path);
+  }
+  return OnDiskGraph(std::move(index), std::move(dev));
+}
+
+}  // namespace blaze::format

@@ -1,0 +1,122 @@
+// On-disk page-oriented CSR graph (the semi-external model's storage side).
+//
+// The adjacency region is a flat array of 4-byte neighbor IDs packed
+// back-to-back in vertex order, padded to a whole number of 4 kB pages, and
+// striped RAID-0 across one or more devices. The index (degrees) and the
+// page-to-vertex map stay in DRAM, matching the paper's semi-external
+// memory budget of ~4.5 B/vertex + 8 B/page.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/block_device.h"
+#include "device/raid0_device.h"
+#include "device/simulated_ssd.h"
+#include "format/graph_index.h"
+#include "format/page_vertex_map.h"
+#include "graph/csr.h"
+#include "graph/weighted.h"
+
+namespace blaze::format {
+
+/// A graph whose adjacency lives on a block device. This is the object the
+/// out-of-core EdgeMap engine consumes.
+class OnDiskGraph {
+ public:
+  OnDiskGraph() = default;
+  OnDiskGraph(GraphIndex index, std::shared_ptr<device::BlockDevice> dev)
+      : index_(std::move(index)),
+        map_(index_),
+        dev_(std::move(dev)) {}
+
+  vertex_t num_vertices() const { return index_.num_vertices(); }
+  std::uint64_t num_edges() const { return index_.num_edges(); }
+  std::uint64_t num_pages() const { return map_.num_pages(); }
+
+  const GraphIndex& index() const { return index_; }
+  const PageVertexMap& page_map() const { return map_; }
+  device::BlockDevice& device() const { return *dev_; }
+  const std::shared_ptr<device::BlockDevice>& device_ptr() const {
+    return dev_;
+  }
+
+  std::uint32_t degree(vertex_t v) const { return index_.degree(v); }
+
+  /// First and last page of vertex v's adjacency bytes. Only meaningful for
+  /// degree > 0.
+  std::pair<std::uint64_t, std::uint64_t> page_range(vertex_t v) const {
+    std::uint64_t b = index_.byte_offset(v);
+    std::uint64_t e = index_.byte_end(v);
+    return {b / kPageSize, (e - 1) / kPageSize};
+  }
+
+  /// DRAM bytes of graph metadata (index + page map).
+  std::uint64_t metadata_bytes() const {
+    return index_.memory_bytes() + map_.memory_bytes();
+  }
+
+  /// Total on-disk bytes of the graph (index + adjacency), the denominator
+  /// in the memory-footprint figure.
+  std::uint64_t input_bytes() const {
+    return index_.num_vertices() * sizeof(std::uint32_t) +
+           num_edges() * sizeof(vertex_t);
+  }
+
+ private:
+  GraphIndex index_;
+  PageVertexMap map_;
+  std::shared_ptr<device::BlockDevice> dev_;
+};
+
+/// On-disk edge record of a weighted graph: destination + weight,
+/// interleaved (8 bytes; kPageSize is a multiple, so records never
+/// straddle pages).
+struct WeightedEdgeRecord {
+  vertex_t dst;
+  float weight;
+};
+static_assert(sizeof(WeightedEdgeRecord) == 8);
+
+/// Serializes the adjacency region of `g` (packed u32 neighbors, padded to a
+/// page multiple).
+std::vector<std::byte> serialize_adjacency(const graph::Csr& g);
+
+/// Serializes a weighted adjacency region (packed WeightedEdgeRecords).
+std::vector<std::byte> serialize_adjacency(const graph::WeightedCsr& g);
+
+/// Builds an OnDiskGraph on `num_devices` SimulatedSsds with the given
+/// profile (RAID-0 striped when num_devices > 1).
+OnDiskGraph make_simulated_graph(const graph::Csr& g,
+                                 const device::SsdProfile& profile,
+                                 std::size_t num_devices = 1,
+                                 std::uint64_t timeline_bucket_ns = 0);
+
+/// Builds an OnDiskGraph backed by plain memory devices (no timing model);
+/// tests use this for fast correctness runs.
+OnDiskGraph make_mem_graph(const graph::Csr& g, std::size_t num_devices = 1);
+
+/// Weighted variants (8-byte interleaved records).
+OnDiskGraph make_simulated_graph(const graph::WeightedCsr& g,
+                                 const device::SsdProfile& profile,
+                                 std::size_t num_devices = 1,
+                                 std::uint64_t timeline_bucket_ns = 0);
+OnDiskGraph make_mem_graph(const graph::WeightedCsr& g,
+                           std::size_t num_devices = 1);
+
+/// Writes `<prefix>.gr.index` and `<prefix>.gr.adj.0` (the artifact's file
+/// layout). Throws std::runtime_error on IO failure.
+void write_graph_files(const graph::Csr& g, const std::string& prefix);
+
+/// Weighted file layout: same index plus interleaved-record adjacency; the
+/// index header records the 8-byte record size.
+void write_graph_files(const graph::WeightedCsr& g,
+                       const std::string& prefix);
+
+/// Loads a graph written by write_graph_files, serving adjacency reads from
+/// the file through FileDevice.
+OnDiskGraph load_graph_files(const std::string& index_path,
+                             const std::string& adj_path);
+
+}  // namespace blaze::format

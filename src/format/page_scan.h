@@ -1,0 +1,86 @@
+// Scanning frontier edges out of a fetched on-disk page.
+//
+// Shared by the Blaze scatter threads and the baseline engines: given one
+// 4 kB page of the adjacency region, visit every out-edge (src, dst) whose
+// source is active and whose adjacency bytes overlap the page. The
+// page-to-vertex map provides the candidate vertex range; byte offsets are
+// advanced incrementally so the indirection index is consulted once per
+// page, not once per vertex.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "format/graph_index.h"
+#include "format/page_vertex_map.h"
+#include "util/common.h"
+
+namespace blaze::format {
+
+/// Invokes `edge_fn(src, dst)` for every edge of every active source whose
+/// bytes lie in `page` (logical page `logical_page` of the adjacency
+/// region). `is_active(v)` filters sources. Returns the number of edges
+/// visited.
+template <typename Pred, typename EdgeFn>
+std::uint64_t scan_page(const GraphIndex& index, const PageVertexMap& pvmap,
+                        std::uint64_t logical_page, const std::byte* page,
+                        Pred&& is_active, EdgeFn&& edge_fn) {
+  const std::uint64_t page_base = logical_page * kPageSize;
+  const auto range = pvmap.range(logical_page);
+  std::uint64_t off = index.byte_offset(range.begin);
+  std::uint64_t visited = 0;
+  for (vertex_t v = range.begin; v < range.end; ++v) {
+    const std::uint64_t len =
+        static_cast<std::uint64_t>(index.degree(v)) * sizeof(vertex_t);
+    const std::uint64_t vb = off;
+    off += len;
+    if (len == 0 || !is_active(v)) continue;
+    const std::uint64_t ob = std::max(vb, page_base);
+    const std::uint64_t oe = std::min(vb + len, page_base + kPageSize);
+    if (ob >= oe) continue;
+    const auto* dsts =
+        reinterpret_cast<const vertex_t*>(page + (ob - page_base));
+    const std::size_t cnt = (oe - ob) / sizeof(vertex_t);
+    visited += cnt;
+    for (std::size_t k = 0; k < cnt; ++k) edge_fn(v, dsts[k]);
+  }
+  return visited;
+}
+
+/// Weighted-record variant: visits edge_fn(src, dst, weight) over pages of
+/// interleaved WeightedEdgeRecords (8 bytes per edge; never page-split).
+template <typename Pred, typename EdgeFn>
+std::uint64_t scan_page_weighted(const GraphIndex& index,
+                                 const PageVertexMap& pvmap,
+                                 std::uint64_t logical_page,
+                                 const std::byte* page, Pred&& is_active,
+                                 EdgeFn&& edge_fn) {
+  constexpr std::uint32_t kRec = 8;
+  const std::uint64_t page_base = logical_page * kPageSize;
+  const auto range = pvmap.range(logical_page);
+  std::uint64_t off = index.byte_offset(range.begin);
+  std::uint64_t visited = 0;
+  for (vertex_t v = range.begin; v < range.end; ++v) {
+    const std::uint64_t len =
+        static_cast<std::uint64_t>(index.degree(v)) * kRec;
+    const std::uint64_t vb = off;
+    off += len;
+    if (len == 0 || !is_active(v)) continue;
+    const std::uint64_t ob = std::max(vb, page_base);
+    const std::uint64_t oe = std::min(vb + len, page_base + kPageSize);
+    if (ob >= oe) continue;
+    const std::byte* rec = page + (ob - page_base);
+    const std::size_t cnt = (oe - ob) / kRec;
+    visited += cnt;
+    for (std::size_t k = 0; k < cnt; ++k, rec += kRec) {
+      vertex_t dst;
+      float weight;
+      std::memcpy(&dst, rec, sizeof(dst));
+      std::memcpy(&weight, rec + sizeof(dst), sizeof(weight));
+      edge_fn(v, dst, weight);
+    }
+  }
+  return visited;
+}
+
+}  // namespace blaze::format

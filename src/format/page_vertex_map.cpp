@@ -1,0 +1,35 @@
+#include "format/page_vertex_map.h"
+
+namespace blaze::format {
+
+PageVertexMap::PageVertexMap(const GraphIndex& index) {
+  const std::uint64_t total_bytes =
+      index.num_edges() * index.record_bytes();
+  const std::uint64_t pages = ceil_div<std::uint64_t>(total_bytes, kPageSize);
+  ranges_.assign(pages, Range{});
+  if (pages == 0) return;
+
+  // Sweep vertices in order; each non-empty vertex covers a contiguous byte
+  // range and therefore a contiguous page range.
+  vertex_t n = index.num_vertices();
+  std::uint64_t off = 0;  // running byte offset (avoids edge_offset() calls)
+  std::vector<bool> begin_set(pages, false);
+  for (vertex_t v = 0; v < n; ++v) {
+    std::uint64_t len =
+        static_cast<std::uint64_t>(index.degree(v)) * index.record_bytes();
+    if (len != 0) {
+      std::uint64_t first = off / kPageSize;
+      std::uint64_t last = (off + len - 1) / kPageSize;
+      for (std::uint64_t p = first; p <= last; ++p) {
+        if (!begin_set[p]) {
+          ranges_[p].begin = v;
+          begin_set[p] = true;
+        }
+        ranges_[p].end = v + 1;
+      }
+    }
+    off += len;
+  }
+}
+
+}  // namespace blaze::format

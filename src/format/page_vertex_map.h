@@ -1,0 +1,42 @@
+// Page-to-vertex map (paper Section IV-F).
+//
+// Given an on-disk page number, returns the (begin_vertex, end_vertex)
+// range whose adjacency data overlaps that page — the scatter threads use
+// it to locate frontier vertices inside a fetched page without touching the
+// full index. Costs 8 bytes per disk page.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "format/graph_index.h"
+#include "util/common.h"
+
+namespace blaze::format {
+
+/// Per-page vertex ranges over the adjacency region.
+class PageVertexMap {
+ public:
+  struct Range {
+    vertex_t begin = 0;  ///< first vertex whose list overlaps the page
+    vertex_t end = 0;    ///< one past the last such vertex
+  };
+
+  PageVertexMap() = default;
+
+  /// Builds from the index. O(V + P).
+  explicit PageVertexMap(const GraphIndex& index);
+
+  std::uint64_t num_pages() const { return ranges_.size(); }
+
+  Range range(std::uint64_t page) const { return ranges_[page]; }
+
+  std::uint64_t memory_bytes() const {
+    return ranges_.size() * sizeof(Range);
+  }
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace blaze::format

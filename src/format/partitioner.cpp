@@ -1,0 +1,112 @@
+#include "format/partitioner.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "device/simulated_ssd.h"
+#include "format/on_disk_graph.h"
+
+namespace blaze::format {
+
+TopologyPartitioner::TopologyPartitioner(const GraphIndex& index,
+                                         std::size_t num_partitions,
+                                         std::size_t num_devices) {
+  BLAZE_CHECK(num_partitions >= 1 && num_devices >= 1,
+              "partitioner needs at least one partition and device");
+  const vertex_t n = index.num_vertices();
+  const std::uint64_t total_edges = index.num_edges();
+  const std::uint64_t target = ceil_div<std::uint64_t>(
+      std::max<std::uint64_t>(total_edges, 1), num_partitions);
+
+  std::vector<std::uint64_t> device_cursor(num_devices, 0);
+  vertex_t begin = 0;
+  std::uint64_t run_edges = 0;
+  std::size_t part_id = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    run_edges += index.degree(v);
+    bool close = run_edges >= target || v + 1 == n;
+    if (close) {
+      Partition p;
+      p.begin_vertex = begin;
+      p.end_vertex = v + 1;
+      p.device = part_id % num_devices;
+      p.bytes = run_edges * sizeof(vertex_t);
+      p.device_offset = device_cursor[p.device];
+      device_cursor[p.device] += round_up<std::uint64_t>(
+          std::max<std::uint64_t>(p.bytes, 1), kPageSize);
+      partition_base_bytes_.push_back(index.byte_offset(begin));
+      partitions_.push_back(p);
+      begin = v + 1;
+      run_edges = 0;
+      ++part_id;
+    }
+  }
+  if (partitions_.empty()) {
+    partitions_.push_back(Partition{0, n, 0, 0, 0});
+    partition_base_bytes_.push_back(0);
+  }
+}
+
+const Partition& TopologyPartitioner::partition_of(vertex_t v) const {
+  auto it = std::upper_bound(
+      partitions_.begin(), partitions_.end(), v,
+      [](vertex_t x, const Partition& p) { return x < p.end_vertex; });
+  BLAZE_CHECK(it != partitions_.end(), "vertex outside all partitions");
+  return *it;
+}
+
+std::pair<std::size_t, std::uint64_t> TopologyPartitioner::locate(
+    const GraphIndex& index, vertex_t v) const {
+  const Partition& p = partition_of(v);
+  std::size_t pi = static_cast<std::size_t>(&p - partitions_.data());
+  std::uint64_t rel = index.byte_offset(v) - partition_base_bytes_[pi];
+  return {p.device, p.device_offset + rel};
+}
+
+std::vector<std::uint64_t> TopologyPartitioner::device_bytes(
+    std::size_t num_devices) const {
+  std::vector<std::uint64_t> bytes(num_devices, 0);
+  for (const auto& p : partitions_) bytes[p.device] += p.bytes;
+  return bytes;
+}
+
+PartitionedGraph make_partitioned_graph(const graph::Csr& g,
+                                        const device::SsdProfile& profile,
+                                        std::size_t num_devices,
+                                        std::size_t partitions_per_device) {
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  GraphIndex index(degrees);
+  TopologyPartitioner part(index, num_devices * partitions_per_device,
+                           num_devices);
+
+  // Size each device to hold its partitions (page-aligned per partition).
+  std::vector<std::uint64_t> device_size(num_devices, kPageSize);
+  for (const auto& p : part.partitions()) {
+    device_size[p.device] = std::max(
+        device_size[p.device],
+        p.device_offset + round_up<std::uint64_t>(
+                              std::max<std::uint64_t>(p.bytes, 1), kPageSize));
+  }
+
+  PartitionedGraph out{std::move(index), std::move(part), {}};
+  std::vector<device::SimulatedSsd*> raw(num_devices);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    auto ssd = std::make_shared<device::SimulatedSsd>(
+        "part-ssd" + std::to_string(d), device_size[d], profile);
+    raw[d] = ssd.get();
+    out.devices.push_back(std::move(ssd));
+  }
+
+  // Copy each partition's adjacency slice onto its device.
+  const std::byte* edge_bytes =
+      reinterpret_cast<const std::byte*>(g.edges().data());
+  for (const auto& p : out.partitioner.partitions()) {
+    std::uint64_t src_off = out.index.byte_offset(p.begin_vertex);
+    std::memcpy(raw[p.device]->raw().data() + p.device_offset,
+                edge_bytes + src_off, p.bytes);
+  }
+  return out;
+}
+
+}  // namespace blaze::format

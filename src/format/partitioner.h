@@ -1,0 +1,78 @@
+// Graph-to-device partitioning schemes.
+//
+// Blaze itself uses topology-agnostic RAID-0 page interleaving (see
+// Raid0Device). This header provides the *topology-aware* equal-edge
+// partitioning used by the Graphene baseline, which the paper shows causes
+// skewed IO under selective scheduling (Section III-B / Figure 3): each
+// partition holds a contiguous vertex range with roughly the same number of
+// edges, and partitions are distributed round-robin over devices, so every
+// device holds an equal number of edges — yet a frontier concentrated in
+// some vertex ranges drives some devices much harder than others.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "device/block_device.h"
+#include "device/ssd_profile.h"
+#include "format/graph_index.h"
+#include "graph/csr.h"
+
+namespace blaze::format {
+
+/// One topology-aware partition: a contiguous vertex range stored
+/// contiguously on one device.
+struct Partition {
+  vertex_t begin_vertex = 0;
+  vertex_t end_vertex = 0;          ///< one past last
+  std::size_t device = 0;           ///< owning device index
+  std::uint64_t device_offset = 0;  ///< byte offset of the range's adjacency
+  std::uint64_t bytes = 0;          ///< adjacency bytes in this partition
+};
+
+/// Equal-edge contiguous partitioning of the vertex space.
+class TopologyPartitioner {
+ public:
+  /// Splits into `num_partitions` ranges with ~equal edge counts and deals
+  /// them round-robin onto `num_devices` devices.
+  TopologyPartitioner(const GraphIndex& index, std::size_t num_partitions,
+                      std::size_t num_devices);
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// Partition that owns vertex `v` (binary search).
+  const Partition& partition_of(vertex_t v) const;
+
+  /// Device byte address of vertex v's adjacency list.
+  std::pair<std::size_t, std::uint64_t> locate(const GraphIndex& index,
+                                               vertex_t v) const;
+
+  /// Bytes stored on each device (equal up to one partition by
+  /// construction).
+  std::vector<std::uint64_t> device_bytes(std::size_t num_devices) const;
+
+ private:
+  std::vector<Partition> partitions_;
+  std::vector<std::uint64_t> partition_base_bytes_;  // index.byte_offset(begin)
+};
+
+/// A graph laid out per TopologyPartitioner over simulated devices — the
+/// storage substrate of the Graphene baseline.
+struct PartitionedGraph {
+  GraphIndex index;
+  TopologyPartitioner partitioner;
+  std::vector<std::shared_ptr<device::BlockDevice>> devices;
+
+  vertex_t num_vertices() const { return index.num_vertices(); }
+  std::uint64_t num_edges() const { return index.num_edges(); }
+};
+
+/// Lays `g` out over `num_devices` SimulatedSsds with `partitions_per_device`
+/// partitions each.
+PartitionedGraph make_partitioned_graph(const graph::Csr& g,
+                                        const device::SsdProfile& profile,
+                                        std::size_t num_devices,
+                                        std::size_t partitions_per_device = 4);
+
+}  // namespace blaze::format

@@ -1,0 +1,65 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace blaze::graph {
+
+Csr build_csr(vertex_t num_vertices,
+              std::span<const std::pair<vertex_t, vertex_t>> edges,
+              bool dedup) {
+  std::vector<std::uint64_t> offsets(num_vertices + 1, 0);
+  for (const auto& [u, v] : edges) {
+    BLAZE_CHECK(u < num_vertices && v < num_vertices,
+                "edge endpoint out of range");
+    ++offsets[u + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vertex_t> neighbors(edges.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) neighbors[cursor[u]++] = v;
+
+  // Sort each adjacency list: required for the paged on-disk layout and
+  // gives deterministic traversal order.
+  for (vertex_t v = 0; v < num_vertices; ++v) {
+    std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  if (!dedup) return Csr(std::move(offsets), std::move(neighbors));
+
+  // Deduplicate within each (sorted) list and rebuild offsets.
+  std::vector<std::uint64_t> new_offsets(num_vertices + 1, 0);
+  std::vector<vertex_t> new_neighbors;
+  new_neighbors.reserve(neighbors.size());
+  for (vertex_t v = 0; v < num_vertices; ++v) {
+    std::uint64_t begin = offsets[v];
+    std::uint64_t end = offsets[v + 1];
+    vertex_t prev = kInvalidVertex;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (neighbors[i] != prev) {
+        new_neighbors.push_back(neighbors[i]);
+        prev = neighbors[i];
+      }
+    }
+    new_offsets[v + 1] = new_neighbors.size();
+  }
+  return Csr(std::move(new_offsets), std::move(new_neighbors));
+}
+
+Csr transpose(const Csr& g) {
+  vertex_t n = g.num_vertices();
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vertex_t dst : g.edges()) ++offsets[dst + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vertex_t> neighbors(g.num_edges());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (vertex_t v : g.neighbors(u)) neighbors[cursor[v]++] = u;
+  }
+  // Adjacency lists come out sorted because sources are visited in order.
+  return Csr(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace blaze::graph

@@ -1,0 +1,254 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace blaze::graph {
+
+Csr generate_rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
+                  double a, double b, double c) {
+  BLAZE_CHECK(scale < 31, "rmat scale too large for 32-bit vertex ids");
+  const vertex_t n = static_cast<vertex_t>(1) << scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(edge_factor) * n;
+  Xoshiro256 rng(seed);
+
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  edges.reserve(m);
+  const double ab = a + b;
+  const double abc = a + b + c;
+  for (std::uint64_t e = 0; e < m; ++e) {
+    vertex_t u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      double r = rng.next_double();
+      // Quadrant choice with light noise, as in the Graph500 reference.
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < ab) {
+        v |= 1u << bit;
+      } else if (r < abc) {
+        u |= 1u << bit;
+      } else {
+        u |= 1u << bit;
+        v |= 1u << bit;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return build_csr(n, edges);
+}
+
+Csr generate_uniform(vertex_t num_vertices, std::uint64_t num_edges,
+                     std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    auto u = static_cast<vertex_t>(rng.next_below(num_vertices));
+    auto v = static_cast<vertex_t>(rng.next_below(num_vertices));
+    edges.emplace_back(u, v);
+  }
+  return build_csr(num_vertices, edges);
+}
+
+Csr generate_weblike(vertex_t num_vertices, unsigned avg_degree,
+                     std::uint64_t seed, double local_fraction) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  edges.reserve(static_cast<std::uint64_t>(num_vertices) * avg_degree);
+  for (vertex_t u = 0; u < num_vertices; ++u) {
+    // Power-law out-degree (Pareto tail with finite mean): deg =
+    // avg/2 * U^-1/2 has expectation avg_degree.
+    double uu = std::max(rng.next_double(), 1e-9);
+    auto deg = static_cast<std::uint32_t>(std::min<double>(
+        avg_degree * 0.5 / std::sqrt(uu), num_vertices / 4.0));
+    for (std::uint32_t k = 0; k < deg; ++k) {
+      vertex_t v;
+      if (rng.next_double() < local_fraction) {
+        // Local link: geometric offset around the source (crawl locality).
+        std::int64_t off = 1 + static_cast<std::int64_t>(rng.next_below(64));
+        if (rng.next() & 1) off = -off;
+        std::int64_t t = static_cast<std::int64_t>(u) + off;
+        if (t < 0) t += num_vertices;
+        v = static_cast<vertex_t>(static_cast<std::uint64_t>(t) %
+                                  num_vertices);
+      } else {
+        v = static_cast<vertex_t>(rng.next_below(num_vertices));
+      }
+      edges.emplace_back(u, v);
+    }
+  }
+  return build_csr(num_vertices, edges);
+}
+
+Csr generate_small_world(vertex_t num_vertices, unsigned k, double beta,
+                         std::uint64_t seed) {
+  BLAZE_CHECK(k >= 1 && k < num_vertices / 2, "small world needs 1 <= k < n/2");
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  edges.reserve(2ull * num_vertices * k);
+  for (vertex_t u = 0; u < num_vertices; ++u) {
+    for (unsigned j = 1; j <= k; ++j) {
+      vertex_t v = static_cast<vertex_t>(
+          (static_cast<std::uint64_t>(u) + j) % num_vertices);
+      if (rng.next_double() < beta) {
+        // Rewire to a uniformly random non-self target.
+        do {
+          v = static_cast<vertex_t>(rng.next_below(num_vertices));
+        } while (v == u);
+      }
+      edges.emplace_back(u, v);
+      edges.emplace_back(v, u);
+    }
+  }
+  return build_csr(num_vertices, edges, /*dedup=*/true);
+}
+
+Csr generate_grid(vertex_t width, vertex_t height,
+                  std::uint64_t highway_seed, unsigned highways) {
+  const std::uint64_t n64 =
+      static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
+  BLAZE_CHECK(n64 < (1ull << 31), "grid too large for 32-bit vertex ids");
+  const auto n = static_cast<vertex_t>(n64);
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  edges.reserve(4ull * n);
+  auto id = [width](vertex_t x, vertex_t y) { return y * width + x; };
+  for (vertex_t y = 0; y < height; ++y) {
+    for (vertex_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        edges.emplace_back(id(x, y), id(x + 1, y));
+        edges.emplace_back(id(x + 1, y), id(x, y));
+      }
+      if (y + 1 < height) {
+        edges.emplace_back(id(x, y), id(x, y + 1));
+        edges.emplace_back(id(x, y + 1), id(x, y));
+      }
+    }
+  }
+  Xoshiro256 rng(highway_seed);
+  for (unsigned h = 0; h < highways; ++h) {
+    auto a = static_cast<vertex_t>(rng.next_below(n));
+    auto b = static_cast<vertex_t>(rng.next_below(n));
+    if (a == b) continue;
+    edges.emplace_back(a, b);
+    edges.emplace_back(b, a);
+  }
+  return build_csr(n, edges, /*dedup=*/true);
+}
+
+Csr generate_preferential(vertex_t num_vertices, unsigned m,
+                          std::uint64_t seed) {
+  BLAZE_CHECK(num_vertices > m, "preferential attachment needs n > m");
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  edges.reserve(static_cast<std::uint64_t>(num_vertices) * m);
+  // Repeated-endpoints trick: sampling a uniform element of this list is
+  // degree-proportional sampling.
+  std::vector<vertex_t> endpoints;
+  endpoints.reserve(2ull * num_vertices * m);
+  // Seed clique over the first m+1 vertices.
+  for (vertex_t u = 0; u <= m; ++u) {
+    for (vertex_t v = 0; v <= m; ++v) {
+      if (u == v) continue;
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+    }
+  }
+  for (vertex_t u = m + 1; u < num_vertices; ++u) {
+    for (unsigned j = 0; j < m; ++j) {
+      vertex_t v = endpoints[rng.next_below(endpoints.size())];
+      if (v == u) v = static_cast<vertex_t>(rng.next_below(u));
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return build_csr(num_vertices, edges);
+}
+
+Csr parse_edge_list_text(const std::string& text) {
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  vertex_t max_id = 0;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    ++line_no;
+    std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    // Trim and skip comments/blank lines.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    std::uint64_t u = 0, v = 0;
+    int fields = std::sscanf(std::string(line).c_str(),
+                             "%" SCNu64 " %" SCNu64, &u, &v);
+    if (fields != 2 || u >= (1ull << 31) || v >= (1ull << 31)) {
+      throw std::runtime_error("bad edge list line " +
+                               std::to_string(line_no));
+    }
+    edges.emplace_back(static_cast<vertex_t>(u), static_cast<vertex_t>(v));
+    max_id = std::max({max_id, static_cast<vertex_t>(u),
+                       static_cast<vertex_t>(v)});
+  }
+  return build_csr(edges.empty() ? 0 : max_id + 1, edges);
+}
+
+Dataset make_dataset(const std::string& short_name, unsigned scale_shift) {
+  auto shrink = [&](unsigned base) {
+    return base > scale_shift ? base - scale_shift : 1;
+  };
+  auto shrink_n = [&](vertex_t n) {
+    return std::max<vertex_t>(n >> scale_shift, 256);
+  };
+  if (short_name == "r2") {
+    return {"r2", "rmat27 stand-in (R-MAT)", "power",
+            generate_rmat(shrink(18), 16, 0xB1A2E001)};
+  }
+  if (short_name == "r3") {
+    return {"r3", "rmat30 stand-in (R-MAT)", "power",
+            generate_rmat(shrink(20), 16, 0xB1A2E002)};
+  }
+  if (short_name == "ur") {
+    vertex_t n = shrink_n(1u << 18);
+    return {"ur", "uran27 stand-in (uniform)", "uniform",
+            generate_uniform(n, static_cast<std::uint64_t>(n) * 16,
+                             0xB1A2E003)};
+  }
+  if (short_name == "tw") {
+    // Twitter: power-law with very heavy head (celebrities).
+    return {"tw", "twitter stand-in (skewed R-MAT)", "power",
+            generate_rmat(shrink(18), 24, 0xB1A2E004, 0.65, 0.15, 0.15)};
+  }
+  if (short_name == "sk") {
+    return {"sk", "sk2005 stand-in (high-locality web graph)", "power",
+            generate_weblike(shrink_n(160000), 38, 0xB1A2E005, 0.9995)};
+  }
+  if (short_name == "fr") {
+    // Friendster: power-law, moderate skew, lower average degree.
+    return {"fr", "friendster stand-in (mild R-MAT)", "power",
+            generate_rmat(shrink(18), 15, 0xB1A2E006, 0.50, 0.22, 0.22)};
+  }
+  if (short_name == "hy") {
+    // Hyperlink14: very large |V| relative to |E| per vertex.
+    return {"hy", "hyperlink14 stand-in (large sparse R-MAT)", "power",
+            generate_rmat(shrink(20), 6, 0xB1A2E007)};
+  }
+  throw std::invalid_argument("unknown dataset: " + short_name);
+}
+
+std::vector<std::string> dataset_names(bool include_hyperlink) {
+  std::vector<std::string> names = {"r2", "r3", "ur", "tw", "sk", "fr"};
+  if (include_hyperlink) names.push_back("hy");
+  return names;
+}
+
+}  // namespace blaze::graph

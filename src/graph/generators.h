@@ -1,0 +1,78 @@
+// Deterministic synthetic graph generators.
+//
+// The paper's billion-edge datasets (Table II) are substituted with scaled
+// stand-ins from the same topology families: R-MAT power-law (rmat27/30,
+// twitter, friendster), uniform (uran27), and a high-locality web-like
+// family (sk2005). Fixed seeds make every run byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace blaze::graph {
+
+/// R-MAT generator (Graph500-style recursive matrix). Produces
+/// 2^scale vertices and edge_factor * 2^scale directed edges following a
+/// power-law degree distribution. Default partition probabilities are the
+/// Graph500 values.
+Csr generate_rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
+                  double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Uniform random digraph: every edge endpoint drawn uniformly. This is the
+/// uran27 stand-in — maximally adversarial: no popular vertices, no
+/// locality.
+Csr generate_uniform(vertex_t num_vertices, std::uint64_t num_edges,
+                     std::uint64_t seed);
+
+/// Web-graph-like generator with high spatial locality (the sk2005
+/// stand-in): vertex IDs follow a crawl order, so most links target nearby
+/// IDs (geometric offsets) with occasional global links, and out-degrees are
+/// power-law.
+Csr generate_weblike(vertex_t num_vertices, unsigned avg_degree,
+                     std::uint64_t seed, double local_fraction = 0.9);
+
+/// Watts-Strogatz small world: ring lattice of `k` nearest neighbors with
+/// rewiring probability `beta`. High clustering, low diameter.
+Csr generate_small_world(vertex_t num_vertices, unsigned k, double beta,
+                         std::uint64_t seed);
+
+/// 2-D grid "road network": width x height lattice with 4-neighborhood,
+/// bidirectional edges, plus a few random highways. Very high diameter and
+/// uniform low degree — the opposite corner of the workload space from
+/// social graphs, and the classic SSSP stress test.
+Csr generate_grid(vertex_t width, vertex_t height,
+                  std::uint64_t highway_seed = 0, unsigned highways = 0);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices chosen proportionally to their degree. Power law
+/// with exponent ~3.
+Csr generate_preferential(vertex_t num_vertices, unsigned m,
+                          std::uint64_t seed);
+
+/// Parses a whitespace-separated text edge list ("u v" per line, "#"
+/// comments — the SNAP dataset format). Vertex IDs are used as given;
+/// `num_vertices` is max ID + 1. Throws std::runtime_error on parse
+/// errors.
+Csr parse_edge_list_text(const std::string& text);
+
+/// One scaled stand-in dataset from the paper's Table II.
+struct Dataset {
+  std::string short_name;   ///< r2, r3, ur, tw, sk, fr, hy
+  std::string description;  ///< which paper dataset it stands in for
+  std::string distribution; ///< "power" or "uniform"
+  Csr csr;
+};
+
+/// Materializes one of the stand-in datasets by short name
+/// (r2, r3, ur, tw, sk, fr, hy). Throws std::invalid_argument on unknown
+/// names. `scale_shift` uniformly shrinks every dataset by that many
+/// powers of two (tests use smaller instances than benches).
+Dataset make_dataset(const std::string& short_name, unsigned scale_shift = 0);
+
+/// Short names of all stand-in datasets in paper order.
+std::vector<std::string> dataset_names(bool include_hyperlink = false);
+
+}  // namespace blaze::graph

@@ -1,0 +1,98 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace blaze::graph {
+
+namespace {
+
+/// Plain sequential BFS returning (eccentricity-from-source, reached count,
+/// farthest vertex).
+struct BfsResult {
+  std::uint32_t eccentricity;
+  std::uint64_t reached;
+  vertex_t farthest;
+};
+
+BfsResult bfs_probe(const Csr& g, vertex_t source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), ~0u);
+  std::queue<vertex_t> q;
+  dist[source] = 0;
+  q.push(source);
+  BfsResult r{0, 1, source};
+  while (!q.empty()) {
+    vertex_t u = q.front();
+    q.pop();
+    for (vertex_t v : g.neighbors(u)) {
+      if (dist[v] == ~0u) {
+        dist[v] = dist[u] + 1;
+        if (dist[v] > r.eccentricity) {
+          r.eccentricity = dist[v];
+          r.farthest = v;
+        }
+        ++r.reached;
+        q.push(v);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Log2Histogram degree_histogram(const Csr& g) {
+  Log2Histogram h;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) h.add(g.degree(v));
+  return h;
+}
+
+GraphStats compute_stats(const Csr& g, unsigned bfs_probes) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.mean_out_degree =
+      s.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(s.num_edges) / s.num_vertices;
+
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  s.max_out_degree =
+      degrees.empty() ? 0 : *std::max_element(degrees.begin(), degrees.end());
+
+  // Gini coefficient over the sorted degree sequence.
+  std::sort(degrees.begin(), degrees.end());
+  double cum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    cum += degrees[i];
+    weighted += static_cast<double>(i + 1) * degrees[i];
+  }
+  if (cum > 0 && degrees.size() > 1) {
+    double n = static_cast<double>(degrees.size());
+    s.degree_gini = (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+  }
+
+  // Diameter estimate: start from the max-degree vertex, then repeatedly
+  // jump to the farthest vertex found (double sweep heuristic).
+  vertex_t start = 0;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > g.degree(start)) start = v;
+  }
+  BfsResult first = bfs_probe(g, start);
+  s.reach_fraction = g.num_vertices() == 0
+                         ? 0.0
+                         : static_cast<double>(first.reached) /
+                               g.num_vertices();
+  s.diameter_estimate = first.eccentricity;
+  vertex_t probe = first.farthest;
+  for (unsigned i = 1; i < bfs_probes; ++i) {
+    BfsResult r = bfs_probe(g, probe);
+    s.diameter_estimate = std::max(s.diameter_estimate, r.eccentricity);
+    probe = r.farthest;
+  }
+  return s;
+}
+
+}  // namespace blaze::graph

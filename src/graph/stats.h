@@ -1,0 +1,33 @@
+// Topology statistics for the dataset inventory (paper Table II).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "util/histogram.h"
+
+namespace blaze::graph {
+
+/// Summary statistics of a graph's degree distribution and reach.
+struct GraphStats {
+  vertex_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t max_out_degree = 0;
+  double mean_out_degree = 0.0;
+  /// Gini coefficient of the out-degree distribution: ~0 for uniform
+  /// graphs, >0.5 for heavy power laws. Used to classify "power" vs
+  /// "uniform" rows in the dataset table.
+  double degree_gini = 0.0;
+  /// Lower-bound diameter estimate from a small multi-source BFS sweep.
+  std::uint32_t diameter_estimate = 0;
+  /// Fraction of vertices reachable from the highest-degree vertex.
+  double reach_fraction = 0.0;
+};
+
+/// Computes stats. `bfs_probes` controls the diameter sweep cost.
+GraphStats compute_stats(const Csr& g, unsigned bfs_probes = 4);
+
+/// Out-degree histogram (log2 buckets).
+Log2Histogram degree_histogram(const Csr& g);
+
+}  // namespace blaze::graph

@@ -1,0 +1,51 @@
+#include "graph/weighted.h"
+
+#include "util/rng.h"
+
+namespace blaze::graph {
+
+WeightedCsr attach_hash_weights(const Csr& g) {
+  std::vector<float> w;
+  w.reserve(g.num_edges());
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_t v : g.neighbors(u)) {
+      w.push_back(hash_edge_weight(u, v));
+    }
+  }
+  return WeightedCsr(g, std::move(w));
+}
+
+WeightedCsr attach_random_weights(const Csr& g, std::uint64_t seed,
+                                  float lo, float hi) {
+  Xoshiro256 rng(seed);
+  std::vector<float> w(g.num_edges());
+  for (auto& x : w) {
+    x = lo + static_cast<float>(rng.next_double()) * (hi - lo);
+  }
+  return WeightedCsr(g, std::move(w));
+}
+
+WeightedCsr transpose(const WeightedCsr& g) {
+  const Csr& s = g.structure();
+  const vertex_t n = s.num_vertices();
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vertex_t dst : s.edges()) ++offsets[dst + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vertex_t> neighbors(s.num_edges());
+  std::vector<float> weights(s.num_edges());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (vertex_t u = 0; u < n; ++u) {
+    auto ws = g.weights_of(u);
+    auto ns = s.neighbors(u);
+    for (std::size_t k = 0; k < ns.size(); ++k) {
+      std::uint64_t slot = cursor[ns[k]]++;
+      neighbors[slot] = u;
+      weights[slot] = ws[k];
+    }
+  }
+  return WeightedCsr(Csr(std::move(offsets), std::move(neighbors)),
+                     std::move(weights));
+}
+
+}  // namespace blaze::graph

@@ -1,0 +1,67 @@
+// Weighted in-memory graphs.
+//
+// The paper's workloads are unweighted (SpMV/SSSP synthesize weights from
+// endpoint IDs), but a production engine needs stored weights; Blaze's
+// on-disk format extends naturally by interleaving a 4-byte weight with
+// each 4-byte destination (8-byte edge records, so records never straddle
+// page boundaries).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace blaze::graph {
+
+/// Canonical deterministic edge weight in (0, 1], a pure function of the
+/// endpoints. algorithms::edge_weight forwards here, so stored-weight and
+/// synthesized-weight paths agree bit for bit.
+inline float hash_edge_weight(vertex_t s, vertex_t d) {
+  std::uint64_t h = hash64((static_cast<std::uint64_t>(s) << 32) | d);
+  return static_cast<float>((h & 0xffff) + 1) * (1.0f / 65536.0f);
+}
+
+/// CSR with one float weight per edge (parallel to Csr::edges()).
+class WeightedCsr {
+ public:
+  WeightedCsr() = default;
+  WeightedCsr(Csr structure, std::vector<float> weights)
+      : csr_(std::move(structure)), weights_(std::move(weights)) {
+    BLAZE_CHECK(weights_.size() == csr_.num_edges(),
+                "weight count != edge count");
+  }
+
+  const Csr& structure() const { return csr_; }
+  vertex_t num_vertices() const { return csr_.num_vertices(); }
+  std::uint64_t num_edges() const { return csr_.num_edges(); }
+  std::uint32_t degree(vertex_t v) const { return csr_.degree(v); }
+
+  std::span<const vertex_t> neighbors(vertex_t v) const {
+    return csr_.neighbors(v);
+  }
+  std::span<const float> weights_of(vertex_t v) const {
+    return std::span<const float>(weights_.data() + csr_.offset(v),
+                                  csr_.degree(v));
+  }
+  std::span<const float> weights() const { return weights_; }
+
+ private:
+  Csr csr_;
+  std::vector<float> weights_;
+};
+
+/// Attaches deterministic weights (hash of endpoints, in (0, 1]) to an
+/// unweighted graph — matching algorithms::edge_weight so stored-weight
+/// and synthesized-weight code paths are comparable.
+WeightedCsr attach_hash_weights(const Csr& g);
+
+/// Attaches uniform random weights in [lo, hi) drawn from `seed`.
+WeightedCsr attach_random_weights(const Csr& g, std::uint64_t seed,
+                                  float lo = 1.0f, float hi = 16.0f);
+
+/// Transpose, carrying each edge's weight to the reversed edge.
+WeightedCsr transpose(const WeightedCsr& g);
+
+}  // namespace blaze::graph

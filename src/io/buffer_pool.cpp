@@ -1,0 +1,19 @@
+#include "io/buffer_pool.h"
+
+#include <algorithm>
+
+namespace blaze::io {
+
+IoBufferPool::IoBufferPool(std::size_t total_bytes)
+    : num_buffers_(std::max<std::size_t>(
+          4, total_bytes / (kMaxMergePages * kPageSize))),
+      storage_(num_buffers_ * kMaxMergePages * kPageSize),
+      metas_(num_buffers_),
+      free_(num_buffers_ + 1) {
+  for (std::uint32_t i = 0; i < num_buffers_; ++i) {
+    bool ok = free_.push(i);
+    BLAZE_CHECK(ok, "buffer pool init overflow");
+  }
+}
+
+}  // namespace blaze::io

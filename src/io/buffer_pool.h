@@ -1,0 +1,72 @@
+// Fixed-size IO buffer pool with MPMC free/filled queues.
+//
+// Paper Section IV-C: IO threads take buffers from the free queue, fill
+// them from the SSDs, and push them to the filled queue; scatter threads do
+// the reverse. The pool is statically sized (64 MB by default in the
+// paper), and backpressure on the free queue is what throttles IO when
+// computation falls behind.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+#include "util/mpmc_queue.h"
+
+namespace blaze::io {
+
+/// Number of 4 kB pages an IO request may merge (paper Section IV-C: up to
+/// four contiguous pages; larger requests do not pay off on FNDs).
+inline constexpr std::uint32_t kMaxMergePages = 4;
+
+/// Metadata of one filled buffer: which device pages it holds. Logical page
+/// j of the buffer is child page (first_page + j) of device `device`; with
+/// RAID-0 striping over D devices that corresponds to logical graph page
+/// (first_page + j) * D + device.
+struct BufferMeta {
+  std::uint32_t device = 0;
+  std::uint64_t first_page = 0;  ///< in the owning device's page space
+  std::uint32_t num_pages = 0;
+};
+
+/// Pool of aligned 16 kB buffers (4 pages) with a lock-free free list.
+class IoBufferPool {
+ public:
+  /// Creates a pool holding `total_bytes / (kMaxMergePages * kPageSize)`
+  /// buffers (at least 4).
+  explicit IoBufferPool(std::size_t total_bytes);
+
+  std::size_t num_buffers() const { return num_buffers_; }
+  std::size_t buffer_bytes() const { return kMaxMergePages * kPageSize; }
+  std::size_t memory_bytes() const { return storage_.size(); }
+
+  std::byte* data(std::uint32_t id) {
+    return storage_.data() + static_cast<std::size_t>(id) * buffer_bytes();
+  }
+  BufferMeta& meta(std::uint32_t id) { return metas_[id]; }
+
+  /// Pops a free buffer, yielding while the pool is exhausted (this is the
+  /// backpressure path that blocks IO threads when compute is slow).
+  std::uint32_t acquire_blocking() {
+    for (;;) {
+      if (auto id = free_.pop()) return static_cast<std::uint32_t>(*id);
+      std::this_thread::yield();
+    }
+  }
+
+  /// Returns a buffer to the free list.
+  void release(std::uint32_t id) {
+    bool ok = free_.push(id);
+    BLAZE_CHECK(ok, "IO buffer free list overflow");
+  }
+
+ private:
+  std::size_t num_buffers_;
+  std::vector<std::byte> storage_;
+  std::vector<BufferMeta> metas_;
+  MpmcQueue<std::uint32_t> free_;
+};
+
+}  // namespace blaze::io

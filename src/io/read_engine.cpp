@@ -1,0 +1,69 @@
+#include "io/read_engine.h"
+
+#include <thread>
+
+namespace blaze::io {
+
+ReadEngineStats run_reads(device::BlockDevice& dev,
+                          std::uint32_t device_index,
+                          std::span<const std::uint64_t> pages,
+                          IoBufferPool& pool,
+                          MpmcQueue<std::uint32_t>& filled,
+                          std::size_t max_inflight) {
+  ReadEngineStats stats;
+  auto channel = dev.open_channel();
+  std::vector<std::uint64_t> completed;
+  const std::uint64_t device_pages = dev.size() / kPageSize;
+
+  auto reap = [&](std::size_t min_done) {
+    completed.clear();
+    channel->wait(min_done, completed);
+    for (std::uint64_t user : completed) {
+      auto id = static_cast<std::uint32_t>(user);
+      while (!filled.push(id)) std::this_thread::yield();
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    // Merge a run of contiguous pages, bounded by kMaxMergePages and the
+    // device end.
+    std::uint64_t first = pages[i];
+    BLAZE_CHECK(first < device_pages, "page id beyond device");
+    std::uint32_t run = 1;
+    while (run < kMaxMergePages && i + run < pages.size() &&
+           pages[i + run] == first + run) {
+      ++run;
+    }
+    i += run;
+
+    std::uint32_t buf = pool.acquire_blocking();
+    BufferMeta& meta = pool.meta(buf);
+    meta.device = device_index;
+    meta.first_page = first;
+    meta.num_pages = run;
+
+    device::AsyncRead req;
+    req.offset = first * kPageSize;
+    req.length = run * static_cast<std::uint32_t>(kPageSize);
+    // Clamp the tail request to the device size (the last logical page may
+    // be the device's last page).
+    if (req.offset + req.length > dev.size()) {
+      req.length = static_cast<std::uint32_t>(dev.size() - req.offset);
+    }
+    req.buffer = pool.data(buf);
+    req.user = buf;
+    channel->submit(req);
+
+    ++stats.requests;
+    stats.pages += run;
+    stats.bytes += req.length;
+
+    if (channel->pending() >= max_inflight) reap(1);
+    else reap(0);  // opportunistically drain ready completions
+  }
+  while (channel->pending() > 0) reap(1);
+  return stats;
+}
+
+}  // namespace blaze::io

@@ -1,0 +1,28 @@
+#include "scaleout/cluster.h"
+
+namespace blaze::scaleout {
+
+Cluster::Cluster(const graph::Csr& g, ClusterConfig cfg)
+    : num_vertices_(g.num_vertices()), network_gbps_(cfg.network_gbps) {
+  BLAZE_CHECK(cfg.machines >= 1, "cluster needs at least one machine");
+  // Destination partitioning: machine m keeps edge (s, d) iff
+  // hash(d) % M == m (hashing balances power-law in-degree mass).
+  // Every machine indexes the full vertex ID space (sources are global),
+  // but only its own edges consume storage.
+  for (std::size_t m = 0; m < cfg.machines; ++m) {
+    std::vector<std::pair<vertex_t, vertex_t>> edges;
+    edges.reserve(g.num_edges() / cfg.machines + 1);
+    for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+      for (vertex_t d : g.neighbors(u)) {
+        if (owner(d, cfg.machines) == m) edges.emplace_back(u, d);
+      }
+    }
+    graph::Csr local = graph::build_csr(g.num_vertices(), edges);
+    auto node = std::make_unique<Node>();
+    node->graph = format::make_simulated_graph(local, cfg.profile);
+    node->runtime = std::make_unique<core::Runtime>(cfg.engine);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+}  // namespace blaze::scaleout

@@ -1,0 +1,133 @@
+// blaze-gen: dataset generator / converter.
+//
+// Generates a synthetic graph (or one of the paper's stand-in datasets)
+// and writes it in Blaze's on-disk layout: <out>.gr.index + <out>.gr.adj.0
+// plus the transpose as <out>.tgr.index + <out>.tgr.adj.0 (the BC/WCC
+// input, mirroring the artifact's file set).
+//
+// Usage:
+//   blaze-gen -type rmat -scale 18 -edgeFactor 16 -seed 42 out_prefix
+//   blaze-gen -type uniform -vertices 100000 -edges 1600000 out_prefix
+//   blaze-gen -type weblike -vertices 100000 -avgDegree 24 out_prefix
+//   blaze-gen -type smallworld -vertices 100000 -k 8 -beta 0.1 out_prefix
+//   blaze-gen -type grid -width 512 -height 512 -highways 32 out_prefix
+//   blaze-gen -type pa -vertices 100000 -m 8 out_prefix
+//   blaze-gen -dataset r3 [-shift 2] out_prefix
+//   blaze-gen -input edges.txt out_prefix        # SNAP text edge list
+//   ... -weighted                                # store random weights
+#include <cstdio>
+#include <string>
+
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include <fstream>
+
+#include "graph/weighted.h"
+#include "util/options.h"
+
+int main(int argc, char** argv) {
+  using namespace blaze;
+  Options opt(argc, argv, {"weighted"});
+  if (opt.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: blaze-gen [-type rmat|uniform|weblike | -dataset "
+                 "r2..hy] [options] <out_prefix>\n");
+    return 2;
+  }
+  const std::string prefix = opt.positional()[0];
+
+  graph::Csr csr;
+  if (opt.has("input")) {
+    std::ifstream f(opt.get_string("input", ""), std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open -input file\n");
+      return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    try {
+      csr = graph::parse_edge_list_text(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "parse error: %s\n", e.what());
+      return 1;
+    }
+  } else if (opt.has("dataset")) {
+    auto ds = graph::make_dataset(
+        opt.get_string("dataset", "r2"),
+        static_cast<unsigned>(opt.get_int("shift", 0)));
+    csr = std::move(ds.csr);
+  } else {
+    const std::string type = opt.get_string("type", "rmat");
+    const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
+    if (type == "rmat") {
+      csr = graph::generate_rmat(
+          static_cast<unsigned>(opt.get_int("scale", 18)),
+          static_cast<unsigned>(opt.get_int("edgeFactor", 16)), seed);
+    } else if (type == "uniform") {
+      auto v = static_cast<vertex_t>(opt.get_int("vertices", 1 << 18));
+      csr = graph::generate_uniform(
+          v, static_cast<std::uint64_t>(opt.get_int(
+                 "edges", static_cast<std::int64_t>(v) * 16)),
+          seed);
+    } else if (type == "weblike") {
+      csr = graph::generate_weblike(
+          static_cast<vertex_t>(opt.get_int("vertices", 1 << 18)),
+          static_cast<unsigned>(opt.get_int("avgDegree", 24)), seed,
+          opt.get_double("localFraction", 0.9));
+    } else if (type == "smallworld") {
+      csr = graph::generate_small_world(
+          static_cast<vertex_t>(opt.get_int("vertices", 1 << 18)),
+          static_cast<unsigned>(opt.get_int("k", 8)),
+          opt.get_double("beta", 0.1), seed);
+    } else if (type == "grid") {
+      csr = graph::generate_grid(
+          static_cast<vertex_t>(opt.get_int("width", 512)),
+          static_cast<vertex_t>(opt.get_int("height", 512)), seed,
+          static_cast<unsigned>(opt.get_int("highways", 0)));
+    } else if (type == "pa") {
+      csr = graph::generate_preferential(
+          static_cast<vertex_t>(opt.get_int("vertices", 1 << 18)),
+          static_cast<unsigned>(opt.get_int("m", 8)), seed);
+    } else {
+      std::fprintf(stderr, "unknown -type %s\n", type.c_str());
+      return 2;
+    }
+  }
+
+  graph::Csr transpose = graph::transpose(csr);
+  if (opt.get_bool("weighted", false)) {
+    auto wseed = static_cast<std::uint64_t>(opt.get_int("weightSeed", 99));
+    format::write_graph_files(graph::attach_random_weights(csr, wseed),
+                              prefix);
+    format::write_graph_files(
+        graph::transpose(graph::attach_random_weights(csr, wseed)),
+        prefix + ".t");
+    std::rename((prefix + ".t.gr.index").c_str(),
+                (prefix + ".tgr.index").c_str());
+    std::rename((prefix + ".t.gr.adj.0").c_str(),
+                (prefix + ".tgr.adj.0").c_str());
+    auto wst = graph::compute_stats(csr, 2);
+    std::printf("wrote WEIGHTED %s.gr.{index,adj.0} and %s.tgr.*\n",
+                prefix.c_str(), prefix.c_str());
+    std::printf("|V|=%u |E|=%llu\n", wst.num_vertices,
+                static_cast<unsigned long long>(wst.num_edges));
+    return 0;
+  }
+  format::write_graph_files(csr, prefix);
+  // Transpose files use the artifact's .tgr naming.
+  format::write_graph_files(transpose, prefix + ".t");
+  std::rename((prefix + ".t.gr.index").c_str(),
+              (prefix + ".tgr.index").c_str());
+  std::rename((prefix + ".t.gr.adj.0").c_str(),
+              (prefix + ".tgr.adj.0").c_str());
+
+  auto st = graph::compute_stats(csr, 2);
+  std::printf("wrote %s.gr.{index,adj.0} and %s.tgr.{index,adj.0}\n",
+              prefix.c_str(), prefix.c_str());
+  std::printf("|V|=%u |E|=%llu max_deg=%u gini=%.3f diameter>=%u\n",
+              st.num_vertices,
+              static_cast<unsigned long long>(st.num_edges),
+              st.max_out_degree, st.degree_gini, st.diameter_estimate);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Exponential backoff for idle pipeline workers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace blaze {
+
+/// Yield a few times, then sleep in growing steps. Used by workers waiting
+/// on pipeline queues: on a machine with spare cores pure yielding is
+/// fine, but when workers outnumber cores an idle spinner steals cycles
+/// from the threads doing real work, so prolonged idleness must get off
+/// the CPU.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < 16) {
+      ++spins_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    if (sleep_us_ < 64) sleep_us_ *= 2;
+  }
+
+  /// Call after making progress to re-arm fast spinning.
+  void reset() {
+    spins_ = 0;
+    sleep_us_ = 8;
+  }
+
+ private:
+  std::uint32_t spins_ = 0;
+  std::uint32_t sleep_us_ = 8;
+};
+
+}  // namespace blaze

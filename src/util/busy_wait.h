@@ -1,0 +1,25 @@
+// Calibrated busy-waiting, used by simulation knobs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/timer.h"
+
+namespace blaze {
+
+/// Spins for approximately `ns` nanoseconds. Used by the atomic-contention
+/// model (Config::sim_atomic_contention_ns): on this single-core testbed
+/// cross-core CAS contention cannot materialize physically, so the cycles
+/// it would burn are modeled by spinning the CPU — which is exactly the
+/// resource contention consumes.
+inline void busy_spin_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const std::uint64_t end = Timer::now_ns() + ns;
+  while (Timer::now_ns() < end) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace blaze

@@ -1,0 +1,51 @@
+// Common low-level definitions shared by all Blaze modules.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace blaze {
+
+/// Size of a CPU cache line. Used to pad concurrent data structures so that
+/// independently-updated fields never share a line (false sharing).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// On-disk page granularity. All device IO is issued in multiples of this.
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Vertex identifier. Scaled datasets fit comfortably in 32 bits; offsets
+/// into edge storage use 64 bits throughout.
+using vertex_t = std::uint32_t;
+
+/// Invalid / "none" vertex sentinel.
+inline constexpr vertex_t kInvalidVertex = static_cast<vertex_t>(-1);
+
+/// Fatal check that stays active in release builds. IO engines and the
+/// binning runtime use this for invariants whose violation would corrupt
+/// results silently.
+#define BLAZE_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      std::fprintf(stderr, "BLAZE_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, msg);                                          \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Integer ceiling division.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace blaze

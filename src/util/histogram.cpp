@@ -1,0 +1,22 @@
+#include "util/histogram.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace blaze {
+
+std::string Log2Histogram::to_string() const {
+  std::string out;
+  char buf[96];
+  std::size_t used = num_buckets_used();
+  for (std::size_t k = 0; k < used; ++k) {
+    if (buckets_[k] == 0) continue;
+    std::uint64_t lo = k == 0 ? 0 : (1ULL << k);
+    std::snprintf(buf, sizeof(buf), "[%" PRIu64 "..): %" PRIu64 "  ", lo,
+                  buckets_[k]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace blaze

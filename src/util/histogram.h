@@ -1,0 +1,56 @@
+// Simple fixed-bucket histogram for degree distributions and latency stats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blaze {
+
+/// Power-of-two bucketed histogram: bucket k counts values in
+/// [2^k, 2^(k+1)), bucket 0 counts {0, 1}. Used for degree-distribution
+/// reporting in the dataset table and for IO latency summaries.
+class Log2Histogram {
+ public:
+  Log2Histogram() : buckets_(64, 0) {}
+
+  void add(std::uint64_t value) {
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
+                                   static_cast<double>(count_);
+  }
+  std::uint64_t bucket(std::size_t k) const { return buckets_[k]; }
+
+  /// Highest non-empty bucket index plus one.
+  std::size_t num_buckets_used() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] != 0) n = i + 1;
+    }
+    return n;
+  }
+
+  /// Short text rendering, e.g. for the dataset inventory bench.
+  std::string to_string() const;
+
+  static std::size_t bucket_of(std::uint64_t value) {
+    if (value <= 1) return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(value)) - 1;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace blaze

@@ -1,0 +1,108 @@
+// Bounded multi-producer multi-consumer queue (Vyukov's algorithm).
+//
+// Blaze uses MPMC queues for three hot paths described in the paper
+// (Section IV-C): the free IO buffer pool, the filled IO buffer queue, and
+// the full_bins queue connecting scatter and gather threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/common.h"
+
+namespace blaze {
+
+/// Bounded lock-free MPMC queue. Capacity is rounded up to a power of two.
+/// `T` must be movable. push() fails (returns false) when full; pop()
+/// returns std::nullopt when empty. Both are wait-free in the absence of
+/// contention and lock-free otherwise.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::vector<Cell>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Attempts to enqueue. Returns false if the queue is full.
+  bool push(T value) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                           static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Attempts to dequeue. Returns std::nullopt if the queue is empty.
+  std::optional<T> pop() {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                           static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    T result = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return result;
+  }
+
+  /// Approximate number of enqueued elements (racy; for stats only).
+  std::size_t approx_size() const {
+    std::size_t e = enqueue_pos_.load(std::memory_order_relaxed);
+    std::size_t d = dequeue_pos_.load(std::memory_order_relaxed);
+    return e >= d ? e - d : 0;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace blaze

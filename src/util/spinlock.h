@@ -1,0 +1,41 @@
+// Minimal test-and-test-and-set spinlock for very short critical sections.
+#pragma once
+
+#include <atomic>
+
+#include "util/common.h"
+
+namespace blaze {
+
+/// A TTAS spinlock satisfying the Lockable requirements, so it can be used
+/// with std::lock_guard / std::scoped_lock (locks are always RAII-scoped,
+/// never raw lock()/unlock() at call sites).
+class alignas(kCacheLineSize) Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace blaze

@@ -1,0 +1,42 @@
+// Wall-clock timing helpers used by the engine stats and the benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace blaze {
+
+/// Monotonic stopwatch. Construction starts it; `seconds()`/`us()` report
+/// elapsed time; `reset()` restarts.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+  /// Monotonic nanoseconds since an arbitrary epoch; used to timestamp IO
+  /// completions for bandwidth timelines.
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace blaze

@@ -1,0 +1,159 @@
+// Tests for the extension algorithms: radii estimation, Luby MIS, and
+// cross-checks of their invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/mis.h"
+#include "algorithms/radii.h"
+#include "baselines/inmem.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "test_helpers.h"
+
+namespace blaze {
+namespace {
+
+using namespace algorithms;
+
+// --------------------------------------------------------------------- radii
+
+TEST(Radii, MatchesPerSourceBfsMaxima) {
+  graph::Csr g = graph::generate_rmat(10, 8, 1200);
+  auto odg = format::make_mem_graph(g);
+  core::Runtime rt(testutil::test_config());
+  auto result = radii(rt, odg, /*seed=*/7);
+  ASSERT_FALSE(result.sources.empty());
+  auto want = baseline::inmem::radii_from_sources(g, result.sources);
+  EXPECT_EQ(result.radii, want);
+}
+
+TEST(Radii, SourcesHaveRadiusFromOtherSamples) {
+  graph::Csr g = graph::generate_rmat(9, 16, 1201);  // well connected
+  auto odg = format::make_mem_graph(g);
+  core::Runtime rt(testutil::test_config());
+  auto result = radii(rt, odg, 3);
+  // In a well-connected graph, every sample is reached by other samples,
+  // so its radius exceeds 0.
+  int positive = 0;
+  for (vertex_t s : result.sources) {
+    positive += result.radii[s] != ~0u && result.radii[s] > 0;
+  }
+  EXPECT_GT(positive, static_cast<int>(result.sources.size()) / 2);
+}
+
+TEST(Radii, RoundsLowerBoundDiameter) {
+  // Path graph: radii estimation from any sources runs as many rounds as
+  // the farthest reach.
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  for (vertex_t v = 0; v + 1 < 64; ++v) edges.emplace_back(v, v + 1);
+  graph::Csr g = graph::build_csr(64, edges);
+  auto odg = format::make_mem_graph(g);
+  core::Runtime rt(testutil::test_config());
+  auto result = radii(rt, odg, 11, 8);
+  auto want = baseline::inmem::radii_from_sources(g, result.sources);
+  EXPECT_EQ(result.radii, want);
+  std::uint32_t max_est = 0;
+  for (auto r : result.radii) {
+    if (r != ~0u) max_est = std::max(max_est, r);
+  }
+  // The last discovery happens in round max_est; one further round may run
+  // to exhaust a frontier whose members have no out-edges (the path end).
+  EXPECT_GE(result.rounds, max_est);
+  EXPECT_LE(result.rounds, max_est + 1);
+}
+
+TEST(Radii, SyncVariantAgrees) {
+  graph::Csr g = graph::generate_rmat(9, 8, 1202);
+  auto odg = format::make_mem_graph(g);
+  auto cfg = testutil::test_config();
+  cfg.sync_mode = true;
+  core::Runtime rt(cfg);
+  auto result = radii(rt, odg, 7);
+  auto want = baseline::inmem::radii_from_sources(g, result.sources);
+  EXPECT_EQ(result.radii, want);
+}
+
+// ----------------------------------------------------------------------- MIS
+
+void check_mis(const graph::Csr& g, const graph::Csr& gt,
+               const std::vector<MisState>& state) {
+  const vertex_t n = g.num_vertices();
+  // Independence: no edge between two IN vertices (ignoring self-loops).
+  for (vertex_t u = 0; u < n; ++u) {
+    if (state[u] != MisState::kIn) continue;
+    for (vertex_t v : g.neighbors(u)) {
+      if (v != u) {
+        EXPECT_NE(state[v], MisState::kIn) << "edge " << u << "->" << v;
+      }
+    }
+  }
+  // Maximality: every OUT vertex has an IN neighbor.
+  for (vertex_t u = 0; u < n; ++u) {
+    EXPECT_NE(state[u], MisState::kUndecided) << u;
+    if (state[u] != MisState::kOut) continue;
+    bool has_in = false;
+    for (vertex_t v : g.neighbors(u)) has_in |= state[v] == MisState::kIn;
+    for (vertex_t v : gt.neighbors(u)) has_in |= state[v] == MisState::kIn;
+    EXPECT_TRUE(has_in) << "OUT vertex " << u << " has no IN neighbor";
+  }
+}
+
+TEST(Mis, MatchesGreedyPriorityOracle) {
+  graph::Csr g = graph::generate_rmat(10, 8, 1300);
+  graph::Csr gt = graph::transpose(g);
+  auto out_g = format::make_mem_graph(g);
+  auto in_g = format::make_mem_graph(gt);
+  core::Runtime rt(testutil::test_config());
+  auto result = mis(rt, out_g, in_g);
+  check_mis(g, gt, result.state);
+  auto want = baseline::inmem::greedy_mis(g, gt);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(result.state[v] == MisState::kIn, want[v] == 1) << v;
+  }
+}
+
+TEST(Mis, UniformGraph) {
+  graph::Csr g = graph::generate_uniform(3000, 12000, 1301);
+  graph::Csr gt = graph::transpose(g);
+  auto out_g = format::make_mem_graph(g);
+  auto in_g = format::make_mem_graph(gt);
+  core::Runtime rt(testutil::test_config());
+  auto result = mis(rt, out_g, in_g);
+  check_mis(g, gt, result.state);
+  EXPECT_GT(result.in_count(), 0u);
+}
+
+TEST(Mis, EdgelessGraphIsAllIn) {
+  graph::Csr g = graph::build_csr(50, {});
+  graph::Csr gt = graph::transpose(g);
+  auto out_g = format::make_mem_graph(g);
+  auto in_g = format::make_mem_graph(gt);
+  core::Runtime rt(testutil::test_config());
+  auto result = mis(rt, out_g, in_g);
+  EXPECT_EQ(result.in_count(), 50u);
+  EXPECT_EQ(result.rounds, 1u);
+}
+
+TEST(Mis, SelfLoopsDoNotWedge) {
+  std::vector<std::pair<vertex_t, vertex_t>> edges = {
+      {0, 0}, {0, 1}, {1, 2}, {2, 2}};
+  graph::Csr g = graph::build_csr(3, edges);
+  graph::Csr gt = graph::transpose(g);
+  auto out_g = format::make_mem_graph(g);
+  auto in_g = format::make_mem_graph(gt);
+  core::Runtime rt(testutil::test_config());
+  auto result = mis(rt, out_g, in_g);  // must terminate
+  check_mis(g, gt, result.state);
+}
+
+TEST(Mis, PrioritiesAreUnique) {
+  std::vector<std::uint32_t> prios;
+  for (vertex_t v = 0; v < 100000; ++v) prios.push_back(mis_priority(v));
+  std::sort(prios.begin(), prios.end());
+  EXPECT_EQ(std::adjacent_find(prios.begin(), prios.end()), prios.end());
+}
+
+}  // namespace
+}  // namespace blaze

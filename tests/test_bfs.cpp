@@ -1,0 +1,94 @@
+// BFS correctness against a sequential oracle, across engine
+// configurations (thread counts, bin counts, device counts, sync variant).
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "test_helpers.h"
+
+namespace blaze {
+namespace {
+
+using algorithms::bfs;
+using testutil::reference_bfs_dist;
+
+/// Validates a parent array against reference hop distances: the source is
+/// its own parent, every reached vertex has a parent one hop closer, and
+/// the reached sets agree exactly.
+void check_parents(const graph::Csr& g, vertex_t source,
+                   const std::vector<vertex_t>& parent) {
+  auto dist = reference_bfs_dist(g, source);
+  ASSERT_EQ(parent[source], source);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] == ~0u) {
+      EXPECT_EQ(parent[v], kInvalidVertex) << "vertex " << v;
+    } else if (v != source) {
+      ASSERT_NE(parent[v], kInvalidVertex) << "vertex " << v;
+      EXPECT_EQ(dist[parent[v]] + 1, dist[v]) << "vertex " << v;
+      // parent must actually have an edge to v
+      auto nbrs = g.neighbors(parent[v]);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), v), nbrs.end())
+          << "no edge " << parent[v] << "->" << v;
+    }
+  }
+}
+
+TEST(Bfs, SmallRmatMatchesOracle) {
+  graph::Csr g = graph::generate_rmat(10, 8, 42);
+  auto odg = format::make_mem_graph(g);
+  core::Runtime rt(testutil::test_config());
+  auto result = bfs(rt, odg, 0);
+  check_parents(g, 0, result.parent);
+  EXPECT_GT(result.stats.bytes_read, 0u);
+}
+
+TEST(Bfs, SyncVariantMatchesOracle) {
+  graph::Csr g = graph::generate_rmat(10, 8, 43);
+  auto odg = format::make_mem_graph(g);
+  auto cfg = testutil::test_config();
+  cfg.sync_mode = true;
+  core::Runtime rt(cfg);
+  auto result = bfs(rt, odg, 0);
+  check_parents(g, 0, result.parent);
+}
+
+TEST(Bfs, MultiDeviceRaid) {
+  graph::Csr g = graph::generate_rmat(11, 8, 44);
+  auto odg = format::make_mem_graph(g, /*num_devices=*/4);
+  core::Runtime rt(testutil::test_config());
+  auto result = bfs(rt, odg, 0);
+  check_parents(g, 0, result.parent);
+}
+
+TEST(Bfs, SingleWorkerDoesNotDeadlock) {
+  graph::Csr g = graph::generate_rmat(9, 8, 45);
+  auto odg = format::make_mem_graph(g);
+  core::Runtime rt(testutil::test_config(/*workers=*/1));
+  auto result = bfs(rt, odg, 0);
+  check_parents(g, 0, result.parent);
+}
+
+TEST(Bfs, UniformGraph) {
+  graph::Csr g = graph::generate_uniform(2000, 16000, 46);
+  auto odg = format::make_mem_graph(g);
+  core::Runtime rt(testutil::test_config());
+  auto result = bfs(rt, odg, 5);
+  check_parents(g, 5, result.parent);
+}
+
+TEST(Bfs, IsolatedSourceTerminatesImmediately) {
+  // Vertex with no out-edges: one EdgeMap over an empty page frontier.
+  std::vector<std::pair<vertex_t, vertex_t>> edges = {{1, 2}, {2, 3}};
+  graph::Csr g = graph::build_csr(4, edges);
+  auto odg = format::make_mem_graph(g);
+  core::Runtime rt(testutil::test_config());
+  auto result = bfs(rt, odg, 0);
+  EXPECT_EQ(result.parent[0], 0u);
+  EXPECT_EQ(result.parent[1], kInvalidVertex);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+}  // namespace
+}  // namespace blaze

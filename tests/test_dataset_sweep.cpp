@@ -1,0 +1,58 @@
+// Parameterized sweep across every stand-in dataset from the paper's
+// Table II: the full Blaze stack (generation -> on-disk layout -> engine ->
+// query) must agree with the oracles on each topology family.
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.h"
+#include "algorithms/wcc.h"
+#include "baselines/inmem.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "test_helpers.h"
+
+namespace blaze {
+namespace {
+
+class DatasetSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSweep, BfsAndWccMatchOracles) {
+  // shift 5 keeps every dataset small enough for an exhaustive oracle.
+  graph::Dataset ds = graph::make_dataset(GetParam(), /*scale_shift=*/5);
+  graph::Csr gt = graph::transpose(ds.csr);
+  auto out_g = format::make_mem_graph(ds.csr);
+  auto in_g = format::make_mem_graph(gt);
+  core::Runtime rt(testutil::test_config());
+
+  auto b = algorithms::bfs(rt, out_g, 0);
+  auto dist = testutil::reference_bfs_dist(ds.csr, 0);
+  for (vertex_t v = 0; v < ds.csr.num_vertices(); ++v) {
+    ASSERT_EQ(b.parent[v] == kInvalidVertex, dist[v] == ~0u)
+        << GetParam() << " vertex " << v;
+  }
+
+  auto w = algorithms::wcc(rt, out_g, in_g);
+  EXPECT_EQ(w.ids, baseline::inmem::wcc(ds.csr)) << GetParam();
+}
+
+TEST_P(DatasetSweep, SimulatedDeviceLayoutAgreesWithMemLayout) {
+  graph::Dataset ds = graph::make_dataset(GetParam(), /*scale_shift=*/6);
+  auto mem = format::make_mem_graph(ds.csr);
+  auto sim = format::make_simulated_graph(ds.csr, device::optane_p4800x(),
+                                          /*num_devices=*/2);
+  ASSERT_EQ(mem.num_pages(), sim.num_pages());
+  std::vector<std::byte> a(kPageSize), b(kPageSize);
+  for (std::uint64_t p = 0; p < mem.num_pages(); ++p) {
+    mem.device().read(p * kPageSize, a);
+    sim.device().read(p * kPageSize, b);
+    ASSERT_EQ(a, b) << GetParam() << " page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSweep,
+    ::testing::ValuesIn(graph::dataset_names(/*include_hyperlink=*/true)),
+    [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace blaze

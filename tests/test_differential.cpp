@@ -1,0 +1,163 @@
+// Randomized differential harness: every engine in the repository runs the
+// same queries on the same randomly generated graphs and must agree with
+// the sequential oracles. One failure here localizes to whichever engine
+// disagrees.
+//
+// Engines covered per round: Blaze (binned), Blaze (sync/CAS),
+// FlashGraph-like, Graphene-like, in-core Ligra-style, and the
+// destination-partitioned cluster.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/flashgraph.h"
+#include "baselines/graphene.h"
+#include "baselines/inmem.h"
+#include "baselines/ligra.h"
+#include "baselines/queries.h"
+#include "algorithms/bfs.h"
+#include "algorithms/spmv.h"
+#include "algorithms/wcc.h"
+#include "core/edge_map.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "format/partitioner.h"
+#include "graph/generators.h"
+#include "scaleout/cluster.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace blaze {
+namespace {
+
+graph::Csr random_graph(Xoshiro256& rng) {
+  switch (rng.next_below(4)) {
+    case 0:
+      return graph::generate_rmat(8 + static_cast<unsigned>(rng.next_below(3)),
+                                  4 + static_cast<unsigned>(rng.next_below(8)),
+                                  rng.next());
+    case 1: {
+      auto n = static_cast<vertex_t>(500 + rng.next_below(3000));
+      return graph::generate_uniform(n, n * (2 + rng.next_below(10)),
+                                     rng.next());
+    }
+    case 2:
+      return graph::generate_weblike(
+          static_cast<vertex_t>(1000 + rng.next_below(3000)),
+          4 + static_cast<unsigned>(rng.next_below(12)), rng.next());
+    default:
+      return graph::generate_preferential(
+          static_cast<vertex_t>(500 + rng.next_below(2000)),
+          2 + static_cast<unsigned>(rng.next_below(6)), rng.next());
+  }
+}
+
+/// Visited-set of a parent array.
+std::vector<bool> visited_of(const std::vector<vertex_t>& parent) {
+  std::vector<bool> v(parent.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    v[i] = parent[i] != kInvalidVertex;
+  }
+  return v;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, AllEnginesAgreeOnBfsWccSpmv) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  graph::Csr g = random_graph(rng);
+  graph::Csr gt = graph::transpose(g);
+  const vertex_t source =
+      static_cast<vertex_t>(rng.next_below(g.num_vertices()));
+
+  // Oracles.
+  auto want_visited = visited_of(baseline::inmem::bfs_parent(g, source));
+  auto want_wcc = baseline::inmem::wcc(g);
+  std::vector<float> x(g.num_vertices(), 1.0f);
+  auto want_y = baseline::inmem::spmv(g, x);
+  auto check_spmv = [&](const std::vector<float>& y, const char* who) {
+    for (std::size_t i = 0; i < want_y.size(); ++i) {
+      ASSERT_NEAR(y[i], want_y[i], 1e-2f + 1e-3f * std::fabs(want_y[i]))
+          << who << " vertex " << i;
+    }
+  };
+
+  // --- Blaze, binned and sync --------------------------------------------
+  for (bool sync : {false, true}) {
+    auto out_g = format::make_mem_graph(g);
+    auto in_g = format::make_mem_graph(gt);
+    auto cfg = testutil::test_config(3, 32);
+    cfg.sync_mode = sync;
+    core::Runtime rt(cfg);
+    auto b = algorithms::bfs(rt, out_g, source);
+    EXPECT_EQ(visited_of(b.parent), want_visited)
+        << (sync ? "blaze-sync" : "blaze");
+    auto w = algorithms::wcc(rt, out_g, in_g);
+    EXPECT_EQ(w.ids, want_wcc) << (sync ? "blaze-sync" : "blaze");
+    auto s = algorithms::spmv(rt, out_g, x);
+    check_spmv(s.y, sync ? "blaze-sync" : "blaze");
+  }
+
+  // --- FlashGraph-like ------------------------------------------------------
+  {
+    auto out_g = format::make_mem_graph(g);
+    auto in_g = format::make_mem_graph(gt);
+    baseline::FlashGraphConfig cfg;
+    cfg.compute_workers = 3;
+    cfg.cache_bytes = 1 << 20;
+    cfg.io_buffer_bytes = 1 << 20;
+    baseline::FlashGraphEngine out_eng(out_g, cfg);
+    baseline::FlashGraphEngine in_eng(in_g, cfg);
+    EXPECT_EQ(visited_of(baseline::run_bfs(out_eng, source)), want_visited)
+        << "flashgraph";
+    EXPECT_EQ(baseline::run_wcc(out_eng, in_eng), want_wcc) << "flashgraph";
+    check_spmv(baseline::run_spmv(out_eng, x), "flashgraph");
+  }
+
+  // --- Graphene-like --------------------------------------------------------
+  {
+    auto pg = format::make_partitioned_graph(g, device::optane_p4800x(), 2);
+    auto pgt = format::make_partitioned_graph(gt, device::optane_p4800x(),
+                                              2);
+    for (auto* p : {&pg, &pgt}) {
+      for (auto& d : p->devices) {
+        static_cast<device::SimulatedSsd*>(d.get())->set_no_wait(true);
+      }
+    }
+    baseline::GrapheneConfig cfg;
+    cfg.vertex_map_workers = 3;
+    baseline::GrapheneEngine out_eng(pg, cfg);
+    baseline::GrapheneEngine in_eng(pgt, cfg);
+    EXPECT_EQ(visited_of(baseline::run_bfs(out_eng, source)), want_visited)
+        << "graphene";
+    EXPECT_EQ(baseline::run_wcc(out_eng, in_eng), want_wcc) << "graphene";
+    check_spmv(baseline::run_spmv(out_eng, x), "graphene");
+  }
+
+  // --- In-core Ligra-style ---------------------------------------------------
+  {
+    baseline::LigraEngine out_eng(g, 3), in_eng(gt, 3);
+    EXPECT_EQ(visited_of(baseline::run_bfs(out_eng, source)), want_visited)
+        << "ligra";
+    EXPECT_EQ(baseline::run_wcc(out_eng, in_eng), want_wcc) << "ligra";
+    check_spmv(baseline::run_spmv(out_eng, x), "ligra");
+  }
+
+  // --- Scale-out cluster ------------------------------------------------------
+  {
+    scaleout::ClusterConfig cfg;
+    cfg.machines = 1 + rng.next_below(4);
+    cfg.engine = testutil::test_config(2);
+    scaleout::Cluster out_c(g, cfg);
+    scaleout::Cluster in_c(gt, cfg);
+    EXPECT_EQ(visited_of(baseline::run_bfs(out_c, source)), want_visited)
+        << "cluster";
+    EXPECT_EQ(baseline::run_wcc(out_c, in_c), want_wcc) << "cluster";
+    check_spmv(baseline::run_spmv(out_c, x), "cluster");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, DifferentialTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace blaze

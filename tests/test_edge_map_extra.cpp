@@ -1,0 +1,219 @@
+// Additional EdgeMap engine edge cases: page-boundary alignment, zero-
+// degree frontiers, binned/sync equivalence sweeps, stats accumulation,
+// and option handling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/edge_map.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace blaze::core {
+namespace {
+
+/// Commutative accumulation program used for equivalence checks.
+struct CountProgram {
+  using value_type = std::uint32_t;
+  std::vector<std::uint32_t>& acc;
+
+  value_type scatter(vertex_t, vertex_t) const { return 1; }
+  bool cond(vertex_t) const { return true; }
+  bool gather(vertex_t d, value_type v) {
+    acc[d] += v;
+    return true;
+  }
+  bool gather_atomic(vertex_t d, value_type v) {
+    std::atomic_ref<std::uint32_t>(acc[d]).fetch_add(
+        v, std::memory_order_relaxed);
+    return true;
+  }
+};
+
+std::vector<std::uint32_t> in_degrees(const graph::Csr& g) {
+  std::vector<std::uint32_t> want(g.num_vertices(), 0);
+  for (vertex_t d : g.edges()) ++want[d];
+  return want;
+}
+
+TEST(EdgeMapExtra, PageAlignedAdjacencyBoundaries) {
+  // Vertices whose lists are exactly one page (1024 u32 neighbors) force
+  // every boundary case: list == page, list starts at page start, list
+  // ends at page end.
+  const vertex_t n = 4096;
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  for (vertex_t u = 0; u < 4; ++u) {
+    for (vertex_t k = 0; k < 1024; ++k) {
+      edges.emplace_back(u, (u * 1024 + k) % n);
+    }
+  }
+  graph::Csr g = graph::build_csr(n, edges);
+  ASSERT_EQ(g.degree(0), 1024u);
+  auto odg = format::make_mem_graph(g);
+  Runtime rt(testutil::test_config());
+
+  std::vector<std::uint32_t> acc(n, 0);
+  CountProgram prog{acc};
+  edge_map(rt, odg, VertexSubset::all(n), prog, {});
+  EXPECT_EQ(acc, in_degrees(g));
+}
+
+TEST(EdgeMapExtra, FrontierOfOnlyZeroDegreeVertices) {
+  std::vector<std::pair<vertex_t, vertex_t>> edges = {{0, 1}};
+  graph::Csr g = graph::build_csr(10, edges);
+  auto odg = format::make_mem_graph(g);
+  Runtime rt(testutil::test_config());
+
+  VertexSubset frontier(10);
+  for (vertex_t v = 2; v < 10; ++v) frontier.add(v);  // all degree 0
+  std::vector<std::uint32_t> acc(10, 0);
+  CountProgram prog{acc};
+  QueryStats stats;
+  EdgeMapOptions opts;
+  opts.stats = &stats;
+  VertexSubset out = edge_map(rt, odg, frontier, prog, opts);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.edges_scattered, 0u);
+}
+
+TEST(EdgeMapExtra, OutputFalseSkipsFrontierConstruction) {
+  graph::Csr g = graph::generate_rmat(9, 8, 900);
+  auto odg = format::make_mem_graph(g);
+  Runtime rt(testutil::test_config());
+  std::vector<std::uint32_t> acc(g.num_vertices(), 0);
+  CountProgram prog{acc};
+  EdgeMapOptions opts;
+  opts.output = false;
+  VertexSubset out =
+      edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, opts);
+  EXPECT_TRUE(out.empty());               // no members materialized
+  EXPECT_EQ(acc, in_degrees(g));          // but all updates applied
+}
+
+struct EquivalenceParam {
+  const char* graph_kind;
+  std::size_t devices;
+};
+
+class SyncBinnedEquivalence
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(SyncBinnedEquivalence, SameAccumulationBothModes) {
+  const auto& p = GetParam();
+  graph::Csr g;
+  if (std::string(p.graph_kind) == "rmat") {
+    g = graph::generate_rmat(10, 8, 901);
+  } else if (std::string(p.graph_kind) == "uniform") {
+    g = graph::generate_uniform(1500, 18000, 902);
+  } else {
+    g = graph::generate_weblike(1500, 12, 903);
+  }
+  auto odg = format::make_mem_graph(g, p.devices);
+
+  std::vector<std::uint32_t> binned(g.num_vertices(), 0);
+  std::vector<std::uint32_t> synced(g.num_vertices(), 0);
+  {
+    Runtime rt(testutil::test_config(4));
+    CountProgram prog{binned};
+    edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, {});
+  }
+  {
+    auto cfg = testutil::test_config(4);
+    cfg.sync_mode = true;
+    Runtime rt(cfg);
+    CountProgram prog{synced};
+    edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, {});
+  }
+  EXPECT_EQ(binned, synced);
+  EXPECT_EQ(binned, in_degrees(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SyncBinnedEquivalence,
+    ::testing::Values(EquivalenceParam{"rmat", 1},
+                      EquivalenceParam{"rmat", 3},
+                      EquivalenceParam{"uniform", 1},
+                      EquivalenceParam{"weblike", 2}),
+    [](const auto& info) {
+      return std::string(info.param.graph_kind) + "_d" +
+             std::to_string(info.param.devices);
+    });
+
+TEST(EdgeMapExtra, StatsAccumulateAcrossCalls) {
+  graph::Csr g = graph::generate_rmat(9, 8, 904);
+  auto odg = format::make_mem_graph(g);
+  Runtime rt(testutil::test_config());
+  std::vector<std::uint32_t> acc(g.num_vertices(), 0);
+  CountProgram prog{acc};
+  QueryStats stats;
+  EdgeMapOptions opts;
+  opts.stats = &stats;
+  edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, opts);
+  auto bytes_once = stats.bytes_read;
+  edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, opts);
+  EXPECT_EQ(stats.edge_map_calls, 2u);
+  EXPECT_EQ(stats.bytes_read, 2 * bytes_once);
+}
+
+TEST(EdgeMapExtra, SimulatedContentionSlowsSyncMode) {
+  graph::Csr g = graph::generate_rmat(10, 8, 905);
+  auto odg = format::make_mem_graph(g);
+  std::vector<std::uint32_t> acc(g.num_vertices(), 0);
+
+  auto run_with = [&](std::uint64_t contention_ns) {
+    auto cfg = testutil::test_config(2);
+    cfg.sync_mode = true;
+    cfg.sim_atomic_contention_ns = contention_ns;
+    Runtime rt(cfg);
+    std::fill(acc.begin(), acc.end(), 0);
+    CountProgram prog{acc};
+    QueryStats stats;
+    EdgeMapOptions opts;
+    opts.stats = &stats;
+    edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, opts);
+    return stats.seconds;
+  };
+  double fast = run_with(0);
+  double slow = run_with(200);
+  // ~8M edges * 200ns of modeled contention must dominate the baseline.
+  EXPECT_GT(slow, fast * 2);
+  EXPECT_EQ(acc, in_degrees(g));  // and results stay correct
+}
+
+TEST(EdgeMapExtra, ScatterRatioExtremesStillCorrect) {
+  graph::Csr g = graph::generate_rmat(9, 8, 906);
+  auto odg = format::make_mem_graph(g);
+  for (double ratio : {0.01, 0.99}) {
+    auto cfg = testutil::test_config(5);
+    cfg.scatter_ratio = ratio;
+    Runtime rt(cfg);
+    ASSERT_GE(cfg.scatter_threads(), 1u);
+    ASSERT_GE(cfg.gather_threads(), 1u);
+    std::vector<std::uint32_t> acc(g.num_vertices(), 0);
+    CountProgram prog{acc};
+    edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, {});
+    EXPECT_EQ(acc, in_degrees(g)) << "ratio " << ratio;
+  }
+}
+
+TEST(EdgeMapExtra, TinyBinSpaceForcesRotationButStaysCorrect) {
+  graph::Csr g = graph::generate_rmat(10, 8, 907);
+  auto odg = format::make_mem_graph(g);
+  auto cfg = testutil::test_config(4, /*bin_count=*/8);
+  cfg.bin_space_bytes = 2048;  // 8 bins x 2 buffers x 16 records
+  Runtime rt(cfg);
+  std::vector<std::uint32_t> acc(g.num_vertices(), 0);
+  CountProgram prog{acc};
+  QueryStats stats;
+  EdgeMapOptions opts;
+  opts.stats = &stats;
+  edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, opts);
+  EXPECT_EQ(acc, in_degrees(g));
+  EXPECT_EQ(stats.records_binned, g.num_edges());
+}
+
+}  // namespace
+}  // namespace blaze::core

@@ -1,0 +1,252 @@
+// Unit tests for the on-disk format: indirection index, page-to-vertex
+// map, serialization round trips, file IO, partitioners, page scanning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+#include "format/graph_index.h"
+#include "format/on_disk_graph.h"
+#include "format/page_scan.h"
+#include "format/page_vertex_map.h"
+#include "format/partitioner.h"
+#include "graph/generators.h"
+
+namespace blaze::format {
+namespace {
+
+// --------------------------------------------------------------- GraphIndex
+
+TEST(GraphIndex, MatchesNaivePrefixSums) {
+  graph::Csr g = graph::generate_rmat(9, 8, 100);
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  GraphIndex idx(degrees);
+  ASSERT_EQ(idx.num_vertices(), g.num_vertices());
+  EXPECT_EQ(idx.num_edges(), g.num_edges());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(idx.edge_offset(v), g.offset(v)) << "vertex " << v;
+    EXPECT_EQ(idx.degree(v), g.degree(v));
+  }
+}
+
+TEST(GraphIndex, CompactMemory) {
+  std::vector<std::uint32_t> degrees(100000, 3);
+  GraphIndex idx(degrees);
+  // ~4 bytes per degree + 8 bytes per 16 vertices = 4.5 B/vertex.
+  EXPECT_LE(idx.memory_bytes(), 100000 * 5);
+  // A flat u64 offsets array would cost 8 B/vertex.
+  EXPECT_LT(idx.memory_bytes(), 100000 * sizeof(std::uint64_t));
+}
+
+TEST(GraphIndex, EmptyAndSingleVertex) {
+  GraphIndex empty(std::span<const std::uint32_t>{});
+  EXPECT_EQ(empty.num_vertices(), 0u);
+  EXPECT_EQ(empty.num_edges(), 0u);
+
+  std::vector<std::uint32_t> one = {7};
+  GraphIndex idx(one);
+  EXPECT_EQ(idx.edge_offset(0), 0u);
+  EXPECT_EQ(idx.byte_end(0), 28u);
+}
+
+// ------------------------------------------------------------ PageVertexMap
+
+TEST(PageVertexMap, RangesCoverExactlyOverlappingVertices) {
+  graph::Csr g = graph::generate_rmat(9, 8, 101);
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  GraphIndex idx(degrees);
+  PageVertexMap map(idx);
+
+  for (std::uint64_t p = 0; p < map.num_pages(); ++p) {
+    auto r = map.range(p);
+    std::uint64_t page_b = p * kPageSize, page_e = page_b + kPageSize;
+    // Every vertex in [begin, end) with degree > 0 must overlap the page...
+    bool any = false;
+    for (vertex_t v = r.begin; v < r.end; ++v) {
+      if (idx.degree(v) == 0) continue;
+      any = true;
+      EXPECT_LT(idx.byte_offset(v), page_e);
+      EXPECT_GT(idx.byte_end(v), page_b);
+    }
+    EXPECT_TRUE(any) << "page " << p << " has an empty range";
+    // ...and the neighbors just outside must not.
+    if (r.begin > 0 && idx.degree(r.begin - 1) > 0) {
+      EXPECT_LE(idx.byte_end(r.begin - 1), page_b);
+    }
+    if (r.end < idx.num_vertices() && idx.degree(r.end) > 0) {
+      EXPECT_GE(idx.byte_offset(r.end), page_e);
+    }
+  }
+}
+
+TEST(PageVertexMap, HubSpanningManyPages) {
+  // One vertex with a giant list spanning pages, plus small ones around it.
+  std::vector<std::uint32_t> degrees = {2, 5000, 3};
+  GraphIndex idx(degrees);
+  PageVertexMap map(idx);
+  ASSERT_GE(map.num_pages(), 4u);
+  // Middle pages are covered entirely by vertex 1.
+  auto mid = map.range(1);
+  EXPECT_EQ(mid.begin, 1u);
+  EXPECT_EQ(mid.end, 2u);
+  // First page holds vertices 0 and 1.
+  EXPECT_EQ(map.range(0).begin, 0u);
+  // Last page holds vertex 1's tail and vertex 2.
+  auto last = map.range(map.num_pages() - 1);
+  EXPECT_EQ(last.end, 3u);
+}
+
+// -------------------------------------------------------- OnDiskGraph + IO
+
+TEST(OnDiskGraph, MemGraphServesAdjacency) {
+  graph::Csr g = graph::generate_rmat(8, 8, 102);
+  auto odg = make_mem_graph(g);
+  EXPECT_EQ(odg.num_vertices(), g.num_vertices());
+  EXPECT_EQ(odg.num_edges(), g.num_edges());
+  // Read back a few adjacency lists directly.
+  for (vertex_t v = 0; v < g.num_vertices(); v += 37) {
+    if (g.degree(v) == 0) continue;
+    std::vector<vertex_t> nbrs(g.degree(v));
+    odg.device().read(
+        odg.index().byte_offset(v),
+        std::span<std::byte>(reinterpret_cast<std::byte*>(nbrs.data()),
+                             nbrs.size() * sizeof(vertex_t)));
+    auto want = g.neighbors(v);
+    EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), want.begin()));
+  }
+}
+
+TEST(OnDiskGraph, FileRoundTrip) {
+  graph::Csr g = graph::generate_rmat(8, 6, 103);
+  std::string prefix = "/tmp/blaze_test_graph";
+  write_graph_files(g, prefix);
+  auto odg = load_graph_files(prefix + ".gr.index", prefix + ".gr.adj.0");
+  EXPECT_EQ(odg.num_vertices(), g.num_vertices());
+  EXPECT_EQ(odg.num_edges(), g.num_edges());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(odg.degree(v), g.degree(v));
+  }
+  std::vector<vertex_t> nbrs(g.degree(0));
+  if (!nbrs.empty()) {
+    odg.device().read(
+        odg.index().byte_offset(0),
+        std::span<std::byte>(reinterpret_cast<std::byte*>(nbrs.data()),
+                             nbrs.size() * sizeof(vertex_t)));
+    auto want = g.neighbors(0);
+    EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), want.begin()));
+  }
+  std::remove((prefix + ".gr.index").c_str());
+  std::remove((prefix + ".gr.adj.0").c_str());
+}
+
+TEST(OnDiskGraph, LoadRejectsCorruptIndex) {
+  std::string path = "/tmp/blaze_test_badidx.gr.index";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::uint32_t garbage[4] = {1, 2, 3, 4};
+    std::fwrite(garbage, sizeof(garbage), 1, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_graph_files(path, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(OnDiskGraph, RaidStripingPreservesData) {
+  graph::Csr g = graph::generate_rmat(9, 8, 104);
+  auto one = make_mem_graph(g, 1);
+  auto four = make_mem_graph(g, 4);
+  // Same logical bytes through both layouts.
+  for (vertex_t v = 1; v < g.num_vertices(); v += 101) {
+    if (g.degree(v) == 0) continue;
+    std::vector<std::byte> a(g.degree(v) * sizeof(vertex_t));
+    std::vector<std::byte> b(a.size());
+    one.device().read(one.index().byte_offset(v), a);
+    four.device().read(four.index().byte_offset(v), b);
+    EXPECT_EQ(a, b) << "vertex " << v;
+  }
+}
+
+// ----------------------------------------------------------------- Scanning
+
+TEST(PageScan, VisitsExactlyFrontierEdges) {
+  graph::Csr g = graph::generate_rmat(9, 8, 105);
+  auto odg = make_mem_graph(g);
+  // Frontier: every third vertex.
+  auto active = [](vertex_t v) { return v % 3 == 0; };
+
+  std::uint64_t want_edges = 0;
+  std::map<std::pair<vertex_t, vertex_t>, int> want;
+  for (vertex_t v = 0; v < g.num_vertices(); v += 3) {
+    for (vertex_t d : g.neighbors(v)) {
+      ++want[{v, d}];
+      ++want_edges;
+    }
+  }
+
+  std::map<std::pair<vertex_t, vertex_t>, int> got;
+  std::uint64_t got_edges = 0;
+  std::vector<std::byte> page(kPageSize);
+  for (std::uint64_t p = 0; p < odg.num_pages(); ++p) {
+    odg.device().read(p * kPageSize, page);
+    got_edges += scan_page(odg.index(), odg.page_map(), p, page.data(),
+                           active, [&](vertex_t s, vertex_t d) {
+                             ++got[{s, d}];
+                           });
+  }
+  EXPECT_EQ(got_edges, want_edges);
+  EXPECT_EQ(got, want);
+}
+
+// -------------------------------------------------------------- Partitioner
+
+TEST(Partitioner, EqualEdgesPerDevice) {
+  graph::Csr g = graph::generate_rmat(10, 8, 106);
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  GraphIndex idx(degrees);
+  TopologyPartitioner part(idx, 32, 8);
+  auto bytes = part.device_bytes(8);
+  auto [lo, hi] = std::minmax_element(bytes.begin(), bytes.end());
+  // Equal-edge construction: devices within ~15 % of each other.
+  EXPECT_LT(static_cast<double>(*hi - *lo),
+            0.15 * static_cast<double>(*hi) + 2 * kPageSize);
+}
+
+TEST(Partitioner, PartitionsCoverVertexSpace) {
+  std::vector<std::uint32_t> degrees(1000, 4);
+  GraphIndex idx(degrees);
+  TopologyPartitioner part(idx, 7, 3);
+  vertex_t expect_begin = 0;
+  for (const auto& p : part.partitions()) {
+    EXPECT_EQ(p.begin_vertex, expect_begin);
+    EXPECT_GT(p.end_vertex, p.begin_vertex);
+    expect_begin = p.end_vertex;
+  }
+  EXPECT_EQ(expect_begin, 1000u);
+}
+
+TEST(Partitioner, LocateReturnsReadableAddress) {
+  graph::Csr g = graph::generate_rmat(9, 8, 107);
+  auto pg = make_partitioned_graph(g, device::optane_p4800x(), 4);
+  for (auto& d : pg.devices) {
+    static_cast<device::SimulatedSsd*>(d.get())->set_no_wait(true);
+  }
+  for (vertex_t v = 0; v < g.num_vertices(); v += 53) {
+    if (g.degree(v) == 0) continue;
+    auto [dev, off] = pg.partitioner.locate(pg.index, v);
+    std::vector<vertex_t> nbrs(g.degree(v));
+    pg.devices[dev]->read(
+        off, std::span<std::byte>(reinterpret_cast<std::byte*>(nbrs.data()),
+                                  nbrs.size() * sizeof(vertex_t)));
+    auto want = g.neighbors(v);
+    EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), want.begin()))
+        << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace blaze::format

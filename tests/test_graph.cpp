@@ -1,0 +1,211 @@
+// Unit tests for the graph module: CSR builder, transpose, generators, and
+// topology statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace blaze::graph {
+namespace {
+
+TEST(Csr, BuildFromEdgeList) {
+  std::vector<std::pair<vertex_t, vertex_t>> edges = {
+      {0, 1}, {0, 2}, {1, 2}, {2, 0}, {0, 1}};
+  Csr g = build_csr(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 3u);  // duplicate kept
+  auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<vertex_t>(n0.begin(), n0.end()),
+            (std::vector<vertex_t>{1, 1, 2}));  // sorted
+}
+
+TEST(Csr, DedupRemovesDuplicates) {
+  std::vector<std::pair<vertex_t, vertex_t>> edges = {
+      {0, 1}, {0, 1}, {0, 2}, {1, 0}, {1, 0}};
+  Csr g = build_csr(3, edges, /*dedup=*/true);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Csr, TransposeIsInvolutionAndPreservesEdges) {
+  Csr g = generate_rmat(8, 8, 200);
+  Csr gt = transpose(g);
+  EXPECT_EQ(gt.num_edges(), g.num_edges());
+  // Property: (u,v) in G <=> (v,u) in Gt; checked via multiset equality.
+  std::multiset<std::pair<vertex_t, vertex_t>> fw, bw;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_t v : g.neighbors(u)) fw.emplace(u, v);
+  }
+  for (vertex_t v = 0; v < gt.num_vertices(); ++v) {
+    for (vertex_t u : gt.neighbors(v)) bw.emplace(u, v);
+  }
+  EXPECT_EQ(fw, bw);
+  // Double transpose returns the original (lists are kept sorted).
+  Csr gtt = transpose(gt);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    auto a = g.neighbors(v);
+    auto b = gtt.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(Csr, RejectsOutOfRangeEdges) {
+  std::vector<std::pair<vertex_t, vertex_t>> edges = {{0, 5}};
+  EXPECT_DEATH(build_csr(3, edges), "out of range");
+}
+
+TEST(Generators, RmatSizesAndDeterminism) {
+  Csr a = generate_rmat(10, 8, 300);
+  Csr b = generate_rmat(10, 8, 300);
+  EXPECT_EQ(a.num_vertices(), 1024u);
+  EXPECT_EQ(a.num_edges(), 8192u);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.edges().begin(), a.edges().end(),
+                         b.edges().begin()));
+}
+
+TEST(Generators, RmatIsSkewedUniformIsNot) {
+  Csr rmat = generate_rmat(12, 8, 301);
+  Csr uni = generate_uniform(4096, 4096 * 8, 302);
+  auto rs = compute_stats(rmat, 1);
+  auto us = compute_stats(uni, 1);
+  // Power-law: strong degree inequality; uniform: mild.
+  EXPECT_GT(rs.degree_gini, 0.4);
+  EXPECT_LT(us.degree_gini, 0.25);
+  EXPECT_GT(rs.max_out_degree, us.max_out_degree * 3);
+}
+
+TEST(Generators, WeblikeHasSpatialLocality) {
+  Csr web = generate_weblike(20000, 16, 303, 0.9);
+  // Most neighbors should be close to the source in ID space.
+  std::uint64_t local = 0, total = 0;
+  for (vertex_t u = 0; u < web.num_vertices(); ++u) {
+    for (vertex_t v : web.neighbors(u)) {
+      std::int64_t d = std::abs(static_cast<std::int64_t>(u) -
+                                static_cast<std::int64_t>(v));
+      std::int64_t wrap = static_cast<std::int64_t>(web.num_vertices()) - d;
+      local += std::min(d, wrap) <= 64;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(total), 0.8);
+}
+
+TEST(Generators, DatasetRosterMatchesDesign) {
+  auto names = dataset_names(true);
+  EXPECT_EQ(names.size(), 7u);
+  for (const auto& name : names) {
+    // Heavily shrunk instances keep the generator paths cheap here.
+    Dataset d = make_dataset(name, /*scale_shift=*/6);
+    EXPECT_EQ(d.short_name, name);
+    EXPECT_GT(d.csr.num_edges(), 0u);
+    auto st = compute_stats(d.csr, 1);
+    if (d.distribution == "uniform") {
+      EXPECT_LT(st.degree_gini, 0.3) << name;
+    } else {
+      EXPECT_GT(st.degree_gini, 0.3) << name;
+    }
+  }
+  EXPECT_THROW(make_dataset("nope"), std::invalid_argument);
+}
+
+TEST(Generators, SmallWorldDegreeAndRewiring) {
+  Csr g = generate_small_world(2000, 4, 0.1, 400);
+  // Undirected closure: every vertex keeps ~2k incident edges.
+  auto st = compute_stats(g, 1);
+  EXPECT_NEAR(st.mean_out_degree, 8.0, 1.0);
+  EXPECT_LT(st.degree_gini, 0.2);  // near-uniform degrees
+  // Rewiring creates shortcuts: diameter far below the ring's n/(2k).
+  EXPECT_LT(st.diameter_estimate, 2000 / 8);
+  // Determinism.
+  Csr h = generate_small_world(2000, 4, 0.1, 400);
+  EXPECT_TRUE(std::equal(g.edges().begin(), g.edges().end(),
+                         h.edges().begin()));
+}
+
+TEST(Generators, GridIsSymmetricAndHighDiameter) {
+  Csr g = generate_grid(32, 16);
+  EXPECT_EQ(g.num_vertices(), 32u * 16u);
+  // Interior vertices have degree 4; corners 2.
+  EXPECT_EQ(g.degree(0), 2u);                 // corner
+  EXPECT_EQ(g.degree(33), 4u);                // interior (1,1)
+  auto st = compute_stats(g, 2);
+  EXPECT_GE(st.diameter_estimate, 32u + 16u - 2u - 2u);
+  // Symmetry: (u,v) implies (v,u).
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_t v : g.neighbors(u)) {
+      auto back = g.neighbors(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(Generators, GridHighwaysShrinkDiameter) {
+  auto plain = compute_stats(generate_grid(64, 64), 2);
+  auto wired = compute_stats(generate_grid(64, 64, 5, 64), 2);
+  EXPECT_LT(wired.diameter_estimate, plain.diameter_estimate);
+}
+
+TEST(Generators, PreferentialAttachmentIsPowerLaw) {
+  Csr g = generate_preferential(5000, 4, 500);
+  // Out-degrees are ~uniform (each newcomer adds m edges); the power law
+  // lives in the IN-degrees, so measure skew on the transpose.
+  Csr gt = transpose(g);
+  auto st = compute_stats(gt, 1);
+  EXPECT_GT(st.degree_gini, 0.3);
+  std::uint64_t early = 0, late = 0;
+  for (vertex_t v = 0; v < 100; ++v) early += gt.degree(v);
+  for (vertex_t v = 4900; v < 5000; ++v) late += gt.degree(v);
+  EXPECT_GT(early, 5 * late);
+}
+
+TEST(Generators, ParseEdgeListText) {
+  std::string text =
+      "# SNAP-style comment\n"
+      "0 1\n"
+      "1\t2\n"
+      "\n"
+      "  2 0\n";
+  Csr g = parse_edge_list_text(text);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 2u);
+}
+
+TEST(Generators, ParseEdgeListRejectsGarbage) {
+  EXPECT_THROW(parse_edge_list_text("0 1\nhello world\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_edge_list_text("1 \n"), std::runtime_error);
+}
+
+TEST(Generators, ParseEmptyTextIsEmptyGraph) {
+  Csr g = parse_edge_list_text("# nothing\n");
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Stats, DiameterOnPathGraph) {
+  // 0 -> 1 -> 2 -> ... -> 9: diameter estimate should find 9 hops.
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  for (vertex_t v = 0; v + 1 < 10; ++v) edges.emplace_back(v, v + 1);
+  Csr g = build_csr(10, edges);
+  auto st = compute_stats(g, 2);
+  EXPECT_EQ(st.diameter_estimate, 9u);
+  EXPECT_DOUBLE_EQ(st.mean_out_degree, 0.9);
+}
+
+TEST(Stats, DegreeHistogramCountsAllVertices) {
+  Csr g = generate_rmat(8, 8, 304);
+  auto h = degree_histogram(g);
+  EXPECT_EQ(h.count(), g.num_vertices());
+}
+
+}  // namespace
+}  // namespace blaze::graph

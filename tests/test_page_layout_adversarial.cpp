@@ -1,0 +1,119 @@
+// Adversarial on-disk layouts for the page scanner and the engine: degree
+// patterns constructed to hit every page-boundary case exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/edge_map.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "format/page_scan.h"
+#include "graph/csr.h"
+#include "test_helpers.h"
+
+namespace blaze::format {
+namespace {
+
+constexpr std::size_t kPerPage = kPageSize / sizeof(vertex_t);  // 1024
+
+/// Builds a graph whose vertex v has exactly degrees[v] edges; edge targets
+/// are deterministic (v * 31 + k) % n.
+graph::Csr from_degrees(const std::vector<std::uint32_t>& degrees) {
+  auto n = static_cast<vertex_t>(degrees.size());
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  for (vertex_t v = 0; v < n; ++v) {
+    for (std::uint32_t k = 0; k < degrees[v]; ++k) {
+      edges.emplace_back(v,
+                         static_cast<vertex_t>((v * 31ull + k) % n));
+    }
+  }
+  return graph::build_csr(n, edges);
+}
+
+std::uint64_t scan_all(const OnDiskGraph& odg,
+                       std::map<vertex_t, std::uint64_t>* per_src) {
+  std::vector<std::byte> page(kPageSize);
+  std::uint64_t total = 0;
+  for (std::uint64_t p = 0; p < odg.num_pages(); ++p) {
+    odg.device().read(p * kPageSize, page);
+    total += scan_page(odg.index(), odg.page_map(), p, page.data(),
+                       [](vertex_t) { return true; },
+                       [&](vertex_t s, vertex_t) { ++(*per_src)[s]; });
+  }
+  return total;
+}
+
+void expect_exact_cover(const std::vector<std::uint32_t>& degrees) {
+  graph::Csr g = from_degrees(degrees);
+  auto odg = make_mem_graph(g);
+  std::map<vertex_t, std::uint64_t> per_src;
+  std::uint64_t total = scan_all(odg, &per_src);
+  EXPECT_EQ(total, g.num_edges());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(per_src[v], degrees[v]) << "vertex " << v;
+  }
+}
+
+TEST(PageLayoutAdversarial, ListExactlyOnePage) {
+  expect_exact_cover({kPerPage, 3, kPerPage, 5});
+}
+
+TEST(PageLayoutAdversarial, ListEndsExactlyAtPageBoundary) {
+  // 1000 + 24 fills page 0 exactly; next list starts at page 1 offset 0.
+  expect_exact_cover({1000, 24, 7, kPerPage - 7, 2});
+}
+
+TEST(PageLayoutAdversarial, ListStraddlesManyPages) {
+  expect_exact_cover({5, 3 * kPerPage + 17, 9});
+}
+
+TEST(PageLayoutAdversarial, AlternatingEmptyAndHuge) {
+  std::vector<std::uint32_t> degrees;
+  for (int i = 0; i < 8; ++i) {
+    degrees.push_back(0);
+    degrees.push_back(static_cast<std::uint32_t>(kPerPage + i));
+    degrees.push_back(0);
+    degrees.push_back(1);
+  }
+  expect_exact_cover(degrees);
+}
+
+TEST(PageLayoutAdversarial, AllSingletonLists) {
+  expect_exact_cover(std::vector<std::uint32_t>(3 * kPerPage, 1));
+}
+
+TEST(PageLayoutAdversarial, TrailingZeroDegreeVertices) {
+  std::vector<std::uint32_t> degrees(100, 13);
+  degrees.resize(300, 0);  // 200 sinks after the last stored byte
+  expect_exact_cover(degrees);
+}
+
+/// The engine must count the same edges the raw scanner sees, on the same
+/// adversarial shapes.
+TEST(PageLayoutAdversarial, EngineEdgeCountsMatchScanner) {
+  for (auto degrees :
+       {std::vector<std::uint32_t>{kPerPage, 3, kPerPage, 5},
+        std::vector<std::uint32_t>{5, 3 * kPerPage + 17, 9},
+        std::vector<std::uint32_t>(2 * kPerPage, 1)}) {
+    graph::Csr g = from_degrees(degrees);
+    auto odg = make_mem_graph(g);
+    core::Runtime rt(testutil::test_config());
+    struct NopProgram {
+      using value_type = std::uint32_t;
+      value_type scatter(vertex_t, vertex_t) const { return 0; }
+      bool cond(vertex_t) const { return true; }
+      bool gather(vertex_t, value_type) { return false; }
+      bool gather_atomic(vertex_t, value_type) { return false; }
+    } prog;
+    core::QueryStats stats;
+    core::EdgeMapOptions opts;
+    opts.stats = &stats;
+    core::edge_map(rt, odg, core::VertexSubset::all(g.num_vertices()), prog,
+                   opts);
+    EXPECT_EQ(stats.edges_scattered, g.num_edges());
+    EXPECT_EQ(stats.records_binned, g.num_edges());
+  }
+}
+
+}  // namespace
+}  // namespace blaze::format

@@ -1,0 +1,113 @@
+// End-to-end CLI tests: blaze-gen writes artifact-layout files that
+// blaze-run consumes, exercising the whole stack through the public
+// binaries exactly as the paper's artifact instructions do.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+/// Tool paths are provided by CMake.
+#ifndef BLAZE_GEN_PATH
+#define BLAZE_GEN_PATH "blaze-gen"
+#endif
+#ifndef BLAZE_RUN_PATH
+#define BLAZE_RUN_PATH "blaze-run"
+#endif
+
+int run(const std::string& cmd) {
+  return std::system((cmd + " > /tmp/blaze_tool_out.txt 2>&1").c_str());
+}
+
+std::string output() {
+  std::string s;
+  if (std::FILE* f = std::fopen("/tmp/blaze_tool_out.txt", "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) s.append(buf, n);
+    std::fclose(f);
+  }
+  return s;
+}
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = "/tmp/blaze_tools_graph";
+    ASSERT_EQ(run(std::string(BLAZE_GEN_PATH) +
+                  " -type rmat -scale 12 -edgeFactor 8 -seed 5 " + prefix_),
+              0)
+        << output();
+  }
+  void TearDown() override {
+    for (const char* suffix :
+         {".gr.index", ".gr.adj.0", ".tgr.index", ".tgr.adj.0"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+  std::string prefix_;
+};
+
+TEST_F(ToolsTest, GenWritesAllFourFiles) {
+  for (const char* suffix :
+       {".gr.index", ".gr.adj.0", ".tgr.index", ".tgr.adj.0"}) {
+    std::FILE* f = std::fopen((prefix_ + suffix).c_str(), "rb");
+    ASSERT_NE(f, nullptr) << suffix;
+    std::fclose(f);
+  }
+}
+
+TEST_F(ToolsTest, BfsRunsWithArtifactFlags) {
+  ASSERT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query bfs -computeWorkers 3 -startNode 0 " + prefix_ +
+                ".gr.index " + prefix_ + ".gr.adj.0"),
+            0)
+      << output();
+  EXPECT_NE(output().find("reached"), std::string::npos);
+}
+
+TEST_F(ToolsTest, BcNeedsTransposeInputs) {
+  // Without transpose flags: usage error.
+  EXPECT_NE(run(std::string(BLAZE_RUN_PATH) + " -query bc " + prefix_ +
+                ".gr.index " + prefix_ + ".gr.adj.0"),
+            0);
+  // With them: success.
+  EXPECT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query bc -computeWorkers 3 -startNode 0 " + prefix_ +
+                ".gr.index " + prefix_ + ".gr.adj.0 -inIndexFilename " +
+                prefix_ + ".tgr.index -inAdjFilenames " + prefix_ +
+                ".tgr.adj.0"),
+            0)
+      << output();
+}
+
+TEST_F(ToolsTest, BinningFlagsAccepted) {
+  EXPECT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query spmv -computeWorkers 2 -binSpace 8 -binCount 64 "
+                "-binningRatio 0.5 " +
+                prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
+            0)
+      << output();
+  EXPECT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query pr -sync -computeWorkers 2 -maxIterations 3 " +
+                prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
+            0)
+      << output();
+}
+
+TEST_F(ToolsTest, MissingGraphFileFailsCleanly) {
+  EXPECT_NE(run(std::string(BLAZE_RUN_PATH) +
+                " -query bfs /nonexistent.idx /nonexistent.adj"),
+            0);
+  EXPECT_NE(output().find("error"), std::string::npos);
+}
+
+TEST_F(ToolsTest, UnknownQueryRejected) {
+  EXPECT_NE(run(std::string(BLAZE_RUN_PATH) + " -query nope " + prefix_ +
+                ".gr.index " + prefix_ + ".gr.adj.0"),
+            0);
+}
+
+}  // namespace

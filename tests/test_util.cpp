@@ -1,0 +1,302 @@
+// Unit tests for the util substrate: MPMC queue, bitmap, thread pool, RNG,
+// options parser, histogram, spinlock.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "util/concurrent_bitmap.h"
+#include "util/histogram.h"
+#include "util/mpmc_queue.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
+#include "util/thread_pool.h"
+
+namespace blaze {
+namespace {
+
+// ---------------------------------------------------------------- MpmcQueue
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, RejectsWhenFull) {
+  MpmcQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_FALSE(q.push(99));
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.push(99));
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersDeliverExactlyOnce) {
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 20000;
+  MpmcQueue<std::uint64_t> q(1024);
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(p) * kPerProducer + i;
+        while (!q.push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (auto v = q.pop()) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t total = static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(consumed.load(), static_cast<int>(total));
+  EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+}
+
+// ------------------------------------------------------------------- Bitmap
+
+TEST(ConcurrentBitmap, SetTestCount) {
+  ConcurrentBitmap bm(130);
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_TRUE(bm.set(0));
+  EXPECT_TRUE(bm.set(63));
+  EXPECT_TRUE(bm.set(64));
+  EXPECT_TRUE(bm.set(129));
+  EXPECT_FALSE(bm.set(129));  // second set reports no change
+  EXPECT_EQ(bm.count(), 4u);
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_FALSE(bm.test(65));
+}
+
+TEST(ConcurrentBitmap, ForEachAscending) {
+  ConcurrentBitmap bm(200);
+  std::vector<std::size_t> want = {3, 64, 65, 127, 128, 199};
+  for (auto i : want) bm.set(i);
+  std::vector<std::size_t> got;
+  bm.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(ConcurrentBitmap, ConcurrentSetsAllLand) {
+  ConcurrentBitmap bm(10000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < 10000; i += 4) {
+        bm.set(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bm.count(), 10000u);
+}
+
+TEST(ConcurrentBitmap, ClearResets) {
+  ConcurrentBitmap bm(100);
+  bm.set(5);
+  bm.set(99);
+  bm.clear();
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_FALSE(bm.test(5));
+}
+
+// --------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; }, 64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTinyRanges) {
+  ThreadPool pool(3);
+  int count = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> c2{0};
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++c2;
+  });
+  EXPECT_EQ(c2.load(), 1);
+}
+
+TEST(ThreadPool, RunOnAllVisitsEveryWorker) {
+  ThreadPool pool(5);
+  std::set<std::size_t> ids;
+  Spinlock mu;
+  pool.run_on_all([&](std::size_t id) {
+    std::lock_guard lock(mu);
+    ids.insert(id);
+  });
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), 4u);
+}
+
+TEST(ThreadPool, SequentialReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 100, [&](std::size_t) { total++; }, 8);
+  }
+  EXPECT_EQ(total.load(), 5000);
+}
+
+// ---------------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(7);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 9000);
+    EXPECT_LT(b, 11000);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ------------------------------------------------------------------ Options
+
+TEST(Options, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog",       "-computeWorkers", "16",
+                        "graph.idx",  "-startNode",      "0",
+                        "graph.adj",  "-binSpace=256",   "-verbose"};
+  Options opt(9, argv);
+  EXPECT_EQ(opt.get_int("computeWorkers", 1), 16);
+  EXPECT_EQ(opt.get_int("startNode", 7), 0);
+  EXPECT_EQ(opt.get_int("binSpace", 0), 256);
+  EXPECT_TRUE(opt.get_bool("verbose", false));
+  ASSERT_EQ(opt.positional().size(), 2u);
+  EXPECT_EQ(opt.positional()[0], "graph.idx");
+  EXPECT_EQ(opt.positional()[1], "graph.adj");
+}
+
+TEST(Options, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Options opt(1, argv);
+  EXPECT_EQ(opt.get_int("x", 42), 42);
+  EXPECT_DOUBLE_EQ(opt.get_double("y", 1.5), 1.5);
+  EXPECT_EQ(opt.get_string("z", "d"), "d");
+  EXPECT_FALSE(opt.has("x"));
+}
+
+TEST(Options, BooleanFlagsDoNotConsumePositionals) {
+  const char* argv[] = {"prog", "-weighted", "out_prefix", "-seed", "7"};
+  Options opt(5, argv, {"weighted"});
+  EXPECT_TRUE(opt.get_bool("weighted", false));
+  EXPECT_EQ(opt.get_int("seed", 0), 7);
+  ASSERT_EQ(opt.positional().size(), 1u);
+  EXPECT_EQ(opt.positional()[0], "out_prefix");
+}
+
+TEST(Options, NonBooleanFlagStillConsumesValue) {
+  const char* argv[] = {"prog", "-mode", "fast"};
+  Options opt(3, argv);
+  EXPECT_EQ(opt.get_string("mode", ""), "fast");
+  EXPECT_TRUE(opt.positional().empty());
+}
+
+TEST(Options, NegativeNumbersAreNotFlags) {
+  const char* argv[] = {"prog", "-offset", "-3"};
+  Options opt(3, argv);
+  EXPECT_EQ(opt.get_int("offset", 0), -3);
+}
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketsPowersOfTwo) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 10u);
+}
+
+TEST(Histogram, MeanMaxCount) {
+  Log2Histogram h;
+  for (std::uint64_t v : {1, 2, 3, 10}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+// ----------------------------------------------------------------- Spinlock
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace blaze
