@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_direction.cpp" "bench/CMakeFiles/bench_ablation_direction.dir/bench_ablation_direction.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_direction.dir/bench_ablation_direction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/blaze_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/blaze_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/blaze_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/blaze_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/blaze_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/blaze_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blaze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_incore.dir/bench_ablation_incore.cpp.o"
+  "CMakeFiles/bench_ablation_incore.dir/bench_ablation_incore.cpp.o.d"
+  "bench_ablation_incore"
+  "bench_ablation_incore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_incore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_idle_io.dir/bench_fig2_idle_io.cpp.o"
+  "CMakeFiles/bench_fig2_idle_io.dir/bench_fig2_idle_io.cpp.o.d"
+  "bench_fig2_idle_io"
+  "bench_fig2_idle_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_idle_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_idle_io.
+# This may be replaced when dependencies are built.

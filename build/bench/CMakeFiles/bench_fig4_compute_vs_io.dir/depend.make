@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_compute_vs_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rootcause.dir/bench_table3_rootcause.cpp.o"
+  "CMakeFiles/bench_table3_rootcause.dir/bench_table3_rootcause.cpp.o.d"
+  "bench_table3_rootcause"
+  "bench_table3_rootcause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rootcause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

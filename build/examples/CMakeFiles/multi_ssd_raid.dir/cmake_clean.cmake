@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_ssd_raid.dir/multi_ssd_raid.cpp.o"
+  "CMakeFiles/multi_ssd_raid.dir/multi_ssd_raid.cpp.o.d"
+  "multi_ssd_raid"
+  "multi_ssd_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_ssd_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

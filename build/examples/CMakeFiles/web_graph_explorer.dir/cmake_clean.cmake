@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_graph_explorer.dir/web_graph_explorer.cpp.o"
+  "CMakeFiles/web_graph_explorer.dir/web_graph_explorer.cpp.o.d"
+  "web_graph_explorer"
+  "web_graph_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_graph_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bc.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/bc.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/bc.cpp.o.d"
+  "/root/repo/src/algorithms/bfs.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/bfs.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/bfs.cpp.o.d"
+  "/root/repo/src/algorithms/kcore.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/kcore.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/kcore.cpp.o.d"
+  "/root/repo/src/algorithms/mis.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/mis.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/mis.cpp.o.d"
+  "/root/repo/src/algorithms/pagerank.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/pagerank.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/pagerank.cpp.o.d"
+  "/root/repo/src/algorithms/radii.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/radii.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/radii.cpp.o.d"
+  "/root/repo/src/algorithms/spmv.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/spmv.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/spmv.cpp.o.d"
+  "/root/repo/src/algorithms/sssp.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/sssp.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/sssp.cpp.o.d"
+  "/root/repo/src/algorithms/wcc.cpp" "src/algorithms/CMakeFiles/blaze_algorithms.dir/wcc.cpp.o" "gcc" "src/algorithms/CMakeFiles/blaze_algorithms.dir/wcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/blaze_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/blaze_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/blaze_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/blaze_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blaze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

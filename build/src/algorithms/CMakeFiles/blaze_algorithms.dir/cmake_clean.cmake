@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_algorithms.dir/bc.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/bc.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/bfs.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/bfs.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/kcore.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/kcore.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/mis.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/mis.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/pagerank.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/pagerank.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/radii.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/radii.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/spmv.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/spmv.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/sssp.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/sssp.cpp.o.d"
+  "CMakeFiles/blaze_algorithms.dir/wcc.cpp.o"
+  "CMakeFiles/blaze_algorithms.dir/wcc.cpp.o.d"
+  "libblaze_algorithms.a"
+  "libblaze_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

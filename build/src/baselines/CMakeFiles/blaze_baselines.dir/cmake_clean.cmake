@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_baselines.dir/inmem.cpp.o"
+  "CMakeFiles/blaze_baselines.dir/inmem.cpp.o.d"
+  "CMakeFiles/blaze_baselines.dir/page_cache.cpp.o"
+  "CMakeFiles/blaze_baselines.dir/page_cache.cpp.o.d"
+  "libblaze_baselines.a"
+  "libblaze_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

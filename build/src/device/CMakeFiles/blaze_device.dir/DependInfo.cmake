@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cached_device.cpp" "src/device/CMakeFiles/blaze_device.dir/cached_device.cpp.o" "gcc" "src/device/CMakeFiles/blaze_device.dir/cached_device.cpp.o.d"
+  "/root/repo/src/device/faulty_device.cpp" "src/device/CMakeFiles/blaze_device.dir/faulty_device.cpp.o" "gcc" "src/device/CMakeFiles/blaze_device.dir/faulty_device.cpp.o.d"
+  "/root/repo/src/device/file_device.cpp" "src/device/CMakeFiles/blaze_device.dir/file_device.cpp.o" "gcc" "src/device/CMakeFiles/blaze_device.dir/file_device.cpp.o.d"
+  "/root/repo/src/device/io_stats.cpp" "src/device/CMakeFiles/blaze_device.dir/io_stats.cpp.o" "gcc" "src/device/CMakeFiles/blaze_device.dir/io_stats.cpp.o.d"
+  "/root/repo/src/device/mem_device.cpp" "src/device/CMakeFiles/blaze_device.dir/mem_device.cpp.o" "gcc" "src/device/CMakeFiles/blaze_device.dir/mem_device.cpp.o.d"
+  "/root/repo/src/device/raid0_device.cpp" "src/device/CMakeFiles/blaze_device.dir/raid0_device.cpp.o" "gcc" "src/device/CMakeFiles/blaze_device.dir/raid0_device.cpp.o.d"
+  "/root/repo/src/device/simulated_ssd.cpp" "src/device/CMakeFiles/blaze_device.dir/simulated_ssd.cpp.o" "gcc" "src/device/CMakeFiles/blaze_device.dir/simulated_ssd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/blaze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

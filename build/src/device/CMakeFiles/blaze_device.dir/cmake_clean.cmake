@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_device.dir/cached_device.cpp.o"
+  "CMakeFiles/blaze_device.dir/cached_device.cpp.o.d"
+  "CMakeFiles/blaze_device.dir/faulty_device.cpp.o"
+  "CMakeFiles/blaze_device.dir/faulty_device.cpp.o.d"
+  "CMakeFiles/blaze_device.dir/file_device.cpp.o"
+  "CMakeFiles/blaze_device.dir/file_device.cpp.o.d"
+  "CMakeFiles/blaze_device.dir/io_stats.cpp.o"
+  "CMakeFiles/blaze_device.dir/io_stats.cpp.o.d"
+  "CMakeFiles/blaze_device.dir/mem_device.cpp.o"
+  "CMakeFiles/blaze_device.dir/mem_device.cpp.o.d"
+  "CMakeFiles/blaze_device.dir/raid0_device.cpp.o"
+  "CMakeFiles/blaze_device.dir/raid0_device.cpp.o.d"
+  "CMakeFiles/blaze_device.dir/simulated_ssd.cpp.o"
+  "CMakeFiles/blaze_device.dir/simulated_ssd.cpp.o.d"
+  "libblaze_device.a"
+  "libblaze_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

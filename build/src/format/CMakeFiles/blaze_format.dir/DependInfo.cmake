@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/graph_index.cpp" "src/format/CMakeFiles/blaze_format.dir/graph_index.cpp.o" "gcc" "src/format/CMakeFiles/blaze_format.dir/graph_index.cpp.o.d"
+  "/root/repo/src/format/on_disk_graph.cpp" "src/format/CMakeFiles/blaze_format.dir/on_disk_graph.cpp.o" "gcc" "src/format/CMakeFiles/blaze_format.dir/on_disk_graph.cpp.o.d"
+  "/root/repo/src/format/page_vertex_map.cpp" "src/format/CMakeFiles/blaze_format.dir/page_vertex_map.cpp.o" "gcc" "src/format/CMakeFiles/blaze_format.dir/page_vertex_map.cpp.o.d"
+  "/root/repo/src/format/partitioner.cpp" "src/format/CMakeFiles/blaze_format.dir/partitioner.cpp.o" "gcc" "src/format/CMakeFiles/blaze_format.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/blaze_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/blaze_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/blaze_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

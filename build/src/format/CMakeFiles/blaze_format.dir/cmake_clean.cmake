@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_format.dir/graph_index.cpp.o"
+  "CMakeFiles/blaze_format.dir/graph_index.cpp.o.d"
+  "CMakeFiles/blaze_format.dir/on_disk_graph.cpp.o"
+  "CMakeFiles/blaze_format.dir/on_disk_graph.cpp.o.d"
+  "CMakeFiles/blaze_format.dir/page_vertex_map.cpp.o"
+  "CMakeFiles/blaze_format.dir/page_vertex_map.cpp.o.d"
+  "CMakeFiles/blaze_format.dir/partitioner.cpp.o"
+  "CMakeFiles/blaze_format.dir/partitioner.cpp.o.d"
+  "libblaze_format.a"
+  "libblaze_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_graph.dir/csr.cpp.o"
+  "CMakeFiles/blaze_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/blaze_graph.dir/generators.cpp.o"
+  "CMakeFiles/blaze_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/blaze_graph.dir/stats.cpp.o"
+  "CMakeFiles/blaze_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/blaze_graph.dir/weighted.cpp.o"
+  "CMakeFiles/blaze_graph.dir/weighted.cpp.o.d"
+  "libblaze_graph.a"
+  "libblaze_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/buffer_pool.cpp" "src/io/CMakeFiles/blaze_io.dir/buffer_pool.cpp.o" "gcc" "src/io/CMakeFiles/blaze_io.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/io/read_engine.cpp" "src/io/CMakeFiles/blaze_io.dir/read_engine.cpp.o" "gcc" "src/io/CMakeFiles/blaze_io.dir/read_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/blaze_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/blaze_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_io.dir/buffer_pool.cpp.o"
+  "CMakeFiles/blaze_io.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/blaze_io.dir/read_engine.cpp.o"
+  "CMakeFiles/blaze_io.dir/read_engine.cpp.o.d"
+  "libblaze_io.a"
+  "libblaze_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_scaleout.dir/cluster.cpp.o"
+  "CMakeFiles/blaze_scaleout.dir/cluster.cpp.o.d"
+  "libblaze_scaleout.a"
+  "libblaze_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

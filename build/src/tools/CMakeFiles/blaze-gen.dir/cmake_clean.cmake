@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze-gen.dir/blaze_gen.cpp.o"
+  "CMakeFiles/blaze-gen.dir/blaze_gen.cpp.o.d"
+  "blaze-gen"
+  "blaze-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

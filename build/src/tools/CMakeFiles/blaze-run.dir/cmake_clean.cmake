@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze-run.dir/blaze_run.cpp.o"
+  "CMakeFiles/blaze-run.dir/blaze_run.cpp.o.d"
+  "blaze-run"
+  "blaze-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

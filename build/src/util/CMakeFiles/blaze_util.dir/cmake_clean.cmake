@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_util.dir/histogram.cpp.o"
+  "CMakeFiles/blaze_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/blaze_util.dir/options.cpp.o"
+  "CMakeFiles/blaze_util.dir/options.cpp.o.d"
+  "CMakeFiles/blaze_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/blaze_util.dir/thread_pool.cpp.o.d"
+  "libblaze_util.a"
+  "libblaze_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

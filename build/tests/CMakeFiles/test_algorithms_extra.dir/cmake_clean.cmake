@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_extra.dir/test_algorithms_extra.cpp.o"
+  "CMakeFiles/test_algorithms_extra.dir/test_algorithms_extra.cpp.o.d"
+  "test_algorithms_extra"
+  "test_algorithms_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

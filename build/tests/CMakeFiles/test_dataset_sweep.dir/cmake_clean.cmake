@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_sweep.dir/test_dataset_sweep.cpp.o"
+  "CMakeFiles/test_dataset_sweep.dir/test_dataset_sweep.cpp.o.d"
+  "test_dataset_sweep"
+  "test_dataset_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

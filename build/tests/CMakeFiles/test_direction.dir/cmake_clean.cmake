@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direction.dir/test_direction.cpp.o"
+  "CMakeFiles/test_direction.dir/test_direction.cpp.o.d"
+  "test_direction"
+  "test_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_layout_adversarial.dir/test_page_layout_adversarial.cpp.o"
+  "CMakeFiles/test_page_layout_adversarial.dir/test_page_layout_adversarial.cpp.o.d"
+  "test_page_layout_adversarial"
+  "test_page_layout_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_layout_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_page_layout_adversarial.
+# This may be replaced when dependencies are built.

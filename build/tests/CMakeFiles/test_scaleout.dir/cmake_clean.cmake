@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaleout.dir/test_scaleout.cpp.o"
+  "CMakeFiles/test_scaleout.dir/test_scaleout.cpp.o.d"
+  "test_scaleout"
+  "test_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
