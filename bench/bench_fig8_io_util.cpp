@@ -34,7 +34,11 @@ int main() {
         if (sync) cfg.sim_atomic_contention_ns = bench_cas_ns();
         core::Runtime rt(cfg);
         auto r = run_blaze_query(rt, out_g, in_g, query, pr_iters);
-        double bw = gbps(r.stats.bytes_read, r.seconds);
+        // Bandwidth comes from the unified PipelineStats record threaded
+        // device -> io -> core (bytes_read is filled by the IO pipeline's
+        // readers, not a per-bench side accounting).
+        const io::PipelineStats& io_stats = r.stats;
+        double bw = gbps(io_stats.bytes_read, r.seconds);
         std::printf("%s,%s,%s,%.3f,%.2f\n", sync ? "sync" : "blaze",
                     query.c_str(), gname.c_str(), bw, bw / device_line);
         std::fflush(stdout);

@@ -4,9 +4,11 @@
 //
 //   1. The frontier is transformed in parallel into a page frontier (the
 //      set of on-disk pages holding the frontier vertices' adjacency).
-//   2. One IO thread per device streams those pages into buffers from the
-//      free MPMC queue (merging up to 4 contiguous pages per request) and
-//      pushes filled buffers to the filled MPMC queue.
+//   2. The page frontier is submitted to the Runtime's persistent
+//      io::IoPipeline: one reader thread per device streams those pages
+//      into buffers from the free MPMC queue (merging up to 4 contiguous
+//      pages per request) and pushes filled buffers to the handle's filled
+//      queue.
 //   3. Scatter threads pop filled buffers, locate the frontier vertices
 //      inside each page via the page-to-vertex map, evaluate cond() and
 //      scatter() per edge, and stage (dst, value) records into the bins.
@@ -27,6 +29,7 @@
 
 #include <atomic>
 #include <bit>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -36,7 +39,7 @@
 #include "device/raid0_device.h"
 #include "format/on_disk_graph.h"
 #include "format/page_scan.h"
-#include "io/read_engine.h"
+#include "io/io_pipeline.h"
 #include "util/backoff.h"
 #include "util/busy_wait.h"
 #include "util/timer.h"
@@ -50,6 +53,12 @@ struct EdgeMapOptions {
   bool output = true;
   /// Optional accumulator for IO/compute statistics.
   QueryStats* stats = nullptr;
+  /// Prefetch hook (pull mode): when set, the candidates' pages of the
+  /// *next* iteration are streamed in discard mode behind this call's
+  /// demand reads, overlapping iteration i+1's IO with iteration i's
+  /// gather. Pays off when the graph sits behind a device::CachedDevice;
+  /// harmless (extra modeled reads) otherwise.
+  const VertexSubset* prefetch_candidates = nullptr;
 };
 
 namespace detail {
@@ -80,6 +89,47 @@ inline std::vector<device::BlockDevice*> leaf_devices(
   return {&dev};
 }
 
+/// Computes the page frontier of `subset` over `g` and returns per-device
+/// read batches: logical page p lives on device p % D as that device's
+/// page p / D (RAID-0 striping). `filter(v)` additionally gates
+/// membership.
+template <typename Filter>
+std::vector<io::ReadBatch> page_frontier_batches(
+    Runtime& rt, const format::OnDiskGraph& g, const VertexSubset& subset,
+    Filter&& filter) {
+  ConcurrentBitmap page_bits(g.num_pages());
+  subset.for_each_parallel(rt.pool(), [&](vertex_t v) {
+    if (g.degree(v) == 0 || !filter(v)) return;
+    auto [first, last] = g.page_range(v);
+    for (std::uint64_t p = first; p <= last; ++p) page_bits.set(p);
+  });
+  auto devices = leaf_devices(g.device());
+  std::vector<io::ReadBatch> batches(devices.size());
+  const std::size_t num_devices = devices.size();
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    batches[d].device = devices[d];
+    batches[d].device_index = static_cast<std::uint32_t>(d);
+  }
+  page_bits.for_each([&](std::size_t p) {
+    batches[p % num_devices].pages.push_back(p / num_devices);
+  });
+  return batches;
+}
+
+/// Warm-up of `candidates`' pages behind the current iteration's demand
+/// reads (EdgeMapOptions::prefetch_candidates). Returns the discard-mode
+/// handle (null when there is nothing to prefetch) so the caller can fold
+/// its accounting into the query stats once it drains.
+inline std::shared_ptr<io::ReadHandle> submit_prefetch(
+    Runtime& rt, const format::OnDiskGraph& g,
+    const VertexSubset& candidates) {
+  if (candidates.empty()) return nullptr;
+  auto batches = page_frontier_batches(rt, g, candidates,
+                                       [](vertex_t) { return true; });
+  return rt.io_pipeline().prefetch(rt.io_pool(), std::move(batches),
+                                   rt.config().max_inflight_io);
+}
+
 }  // namespace detail
 
 template <typename Program>
@@ -96,7 +146,7 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
   VertexSubset out(n);
   if (opts.stats) ++opts.stats->edge_map_calls;
   // Program/graph record-format compatibility, checked before any pipeline
-  // threads start.
+  // work starts.
   const bool weighted_records =
       g.index().record_bytes() == sizeof(format::WeightedEdgeRecord);
   if (weighted_records) {
@@ -109,59 +159,23 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
   if (frontier.empty()) return out;
 
   // ---- Step 1: vertex frontier -> page frontier --------------------------
-  ConcurrentBitmap page_bits(g.num_pages());
-  frontier.for_each_parallel(rt.pool(), [&](vertex_t v) {
-    if (g.degree(v) == 0) return;
-    auto [first, last] = g.page_range(v);
-    for (std::uint64_t p = first; p <= last; ++p) page_bits.set(p);
-  });
+  auto batches = detail::page_frontier_batches(
+      rt, g, frontier, [](vertex_t) { return true; });
+  const std::size_t num_devices = batches.size();
 
-  auto devices = detail::leaf_devices(g.device());
-  const std::size_t num_devices = devices.size();
-  std::vector<std::vector<std::uint64_t>> dev_pages(num_devices);
-  page_bits.for_each([&](std::size_t p) {
-    dev_pages[p % num_devices].push_back(p / num_devices);
-  });
-
-  // ---- Shared pipeline state ---------------------------------------------
+  // ---- Step 2: hand the page frontier to the persistent IO pipeline ------
   io::IoBufferPool& io_pool = rt.io_pool();
-  MpmcQueue<std::uint32_t> filled(io_pool.num_buffers() + 1);
-  std::atomic<std::size_t> io_remaining{num_devices};
+  auto io = rt.io_pipeline().submit(io_pool, std::move(batches),
+                                    cfg.max_inflight_io);
+
   std::atomic<std::uint64_t> edges_scattered{0};
   std::atomic<std::uint64_t> records_binned{0};
-  QueryStats io_stats_acc;  // guarded by io_stats_mu
-  Spinlock io_stats_mu;
 
   const bool sync_mode = cfg.sync_mode;
   BinSet* bins = sync_mode ? nullptr : &rt.acquire_bins();
   if (!sync_mode) rt.scatter_buffer(0);  // materialize before workers race
   const std::size_t scatter_threads =
       sync_mode ? cfg.compute_workers : cfg.scatter_threads();
-
-  // ---- IO threads: one per device (paper step 2-4) -----------------------
-  // Device failures are captured and rethrown on the calling thread after
-  // the pipeline drains — a failed read must surface as an exception, never
-  // as a silently-partial result.
-  std::exception_ptr io_error;
-  std::vector<std::jthread> io_threads;
-  io_threads.reserve(num_devices);
-  for (std::size_t d = 0; d < num_devices; ++d) {
-    io_threads.emplace_back([&, d] {
-      try {
-        io::ReadEngineStats st = io::run_reads(
-            *devices[d], static_cast<std::uint32_t>(d), dev_pages[d],
-            io_pool, filled, cfg.max_inflight_io);
-        std::lock_guard lock(io_stats_mu);
-        io_stats_acc.pages_read += st.pages;
-        io_stats_acc.io_requests += st.requests;
-        io_stats_acc.bytes_read += st.bytes;
-      } catch (...) {
-        std::lock_guard lock(io_stats_mu);
-        if (!io_error) io_error = std::current_exception();
-      }
-      io_remaining.fetch_sub(1, std::memory_order_release);
-    });
-  }
 
   // ---- Gather helpers -----------------------------------------------------
   auto process_full = [&](const FullBinRef& ref) {
@@ -247,10 +261,10 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
       ScatterBuffer* sbuf = sync_mode ? nullptr : &rt.scatter_buffer(worker);
       Backoff backoff;
       for (;;) {
-        auto buf = filled.pop();
+        auto buf = io->pop_filled();
         if (!buf) {
-          if (io_remaining.load(std::memory_order_acquire) == 0) {
-            buf = filled.pop();  // re-check after the release fence
+          if (io->io_done()) {
+            buf = io->pop_filled();  // re-check after the release fence
             if (!buf) break;
           } else {
             if (!sync_mode && bins->pop_full_hint()) help_gather_once();
@@ -259,8 +273,7 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
           }
         }
         backoff.reset();
-        scatter_buffer(static_cast<std::uint32_t>(*buf), sbuf, &local_edges,
-                       &local_records);
+        scatter_buffer(*buf, sbuf, &local_edges, &local_records);
       }
       if (!sync_mode) {
         sbuf->flush_all(*bins, help_gather_once);
@@ -274,19 +287,17 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
     records_binned.fetch_add(local_records, std::memory_order_relaxed);
   });
 
-  io_threads.clear();  // join
+  io->wait();
 
-  if (io_error) {
+  if (auto err = io->error()) {
     // A device failed mid-pipeline: buffers may be stranded, so drop the
     // arenas (they are rebuilt lazily) and surface the failure.
     rt.invalidate_arenas();
-    std::rethrow_exception(io_error);
+    std::rethrow_exception(err);
   }
 
   if (opts.stats) {
-    opts.stats->pages_read += io_stats_acc.pages_read;
-    opts.stats->io_requests += io_stats_acc.io_requests;
-    opts.stats->bytes_read += io_stats_acc.bytes_read;
+    opts.stats->merge(io->stats());  // unified device->io accounting
     opts.stats->edges_scattered +=
         edges_scattered.load(std::memory_order_relaxed);
     opts.stats->records_binned +=

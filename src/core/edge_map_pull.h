@@ -39,48 +39,25 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
   if (opts.stats) ++opts.stats->edge_map_calls;
   if (frontier.empty() || candidates.empty()) return out;
 
-  // Page frontier over the *candidates'* in-adjacency.
-  ConcurrentBitmap page_bits(in_g.num_pages());
-  candidates.for_each_parallel(rt.pool(), [&](vertex_t v) {
-    if (in_g.degree(v) == 0 || !prog.cond(v)) return;
-    auto [first, last] = in_g.page_range(v);
-    for (std::uint64_t p = first; p <= last; ++p) page_bits.set(p);
-  });
-
-  auto devices = detail::leaf_devices(in_g.device());
-  const std::size_t num_devices = devices.size();
-  std::vector<std::vector<std::uint64_t>> dev_pages(num_devices);
-  page_bits.for_each([&](std::size_t p) {
-    dev_pages[p % num_devices].push_back(p / num_devices);
-  });
+  // Page frontier over the *candidates'* in-adjacency, handed to the
+  // Runtime's persistent IO pipeline.
+  auto batches = detail::page_frontier_batches(
+      rt, in_g, candidates, [&](vertex_t v) { return prog.cond(v); });
+  const std::size_t num_devices = batches.size();
 
   io::IoBufferPool& io_pool = rt.io_pool();
-  MpmcQueue<std::uint32_t> filled(io_pool.num_buffers() + 1);
-  std::atomic<std::size_t> io_remaining{num_devices};
-  std::atomic<std::uint64_t> edges_scanned{0};
-  QueryStats io_stats_acc;
-  Spinlock io_stats_mu;
-  std::exception_ptr io_error;
+  auto io = rt.io_pipeline().submit(io_pool, std::move(batches),
+                                    cfg.max_inflight_io);
 
-  std::vector<std::jthread> io_threads;
-  io_threads.reserve(num_devices);
-  for (std::size_t d = 0; d < num_devices; ++d) {
-    io_threads.emplace_back([&, d] {
-      try {
-        io::ReadEngineStats st = io::run_reads(
-            *devices[d], static_cast<std::uint32_t>(d), dev_pages[d],
-            io_pool, filled, cfg.max_inflight_io);
-        std::lock_guard lock(io_stats_mu);
-        io_stats_acc.pages_read += st.pages;
-        io_stats_acc.io_requests += st.requests;
-        io_stats_acc.bytes_read += st.bytes;
-      } catch (...) {
-        std::lock_guard lock(io_stats_mu);
-        if (!io_error) io_error = std::current_exception();
-      }
-      io_remaining.fetch_sub(1, std::memory_order_release);
-    });
+  // Prefetch hook: queue the next iteration's candidate pages in discard
+  // mode behind this iteration's demand reads; the readers stream them
+  // while the compute workers are still gathering.
+  std::shared_ptr<io::ReadHandle> prefetch;
+  if (opts.prefetch_candidates) {
+    prefetch = detail::submit_prefetch(rt, in_g, *opts.prefetch_candidates);
   }
+
+  std::atomic<std::uint64_t> edges_scanned{0};
 
   const format::GraphIndex& index = in_g.index();
   const format::PageVertexMap& pvmap = in_g.page_map();
@@ -88,10 +65,10 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
     std::uint64_t local_edges = 0;
     Backoff backoff;
     for (;;) {
-      auto buf = filled.pop();
+      auto buf = io->pop_filled();
       if (!buf) {
-        if (io_remaining.load(std::memory_order_acquire) == 0) {
-          buf = filled.pop();
+        if (io->io_done()) {
+          buf = io->pop_filled();  // re-check after the release fence
           if (!buf) break;
         } else {
           backoff.pause();
@@ -105,6 +82,10 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
         const std::uint64_t logical_page =
             (meta.first_page + j) * num_devices + meta.device;
         const std::uint64_t page_base = logical_page * kPageSize;
+        // The final page of a tail-clamped request is partial; never scan
+        // past the bytes the device actually filled.
+        const std::uint64_t page_valid = std::min<std::uint64_t>(
+            kPageSize, meta.valid_bytes - std::uint64_t{j} * kPageSize);
         const std::byte* page =
             data + static_cast<std::size_t>(j) * kPageSize;
         const auto range = pvmap.range(logical_page);
@@ -118,7 +99,7 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
           if (len == 0 || !candidates.contains(d)) continue;
           if (!prog.cond(d)) continue;  // claimed meanwhile: early skip
           const std::uint64_t ob = std::max(vb, page_base);
-          const std::uint64_t oe = std::min(vb + len, page_base + kPageSize);
+          const std::uint64_t oe = std::min(vb + len, page_base + page_valid);
           if (ob >= oe) continue;
           const auto* srcs = reinterpret_cast<const vertex_t*>(
               page + (ob - page_base));
@@ -137,18 +118,24 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
     }
     edges_scanned.fetch_add(local_edges, std::memory_order_relaxed);
   });
-  io_threads.clear();
+  io->wait();
 
-  if (io_error) {
+  if (auto err = io->error()) {
     rt.invalidate_arenas();
-    std::rethrow_exception(io_error);
+    std::rethrow_exception(err);
   }
   if (opts.stats) {
-    opts.stats->pages_read += io_stats_acc.pages_read;
-    opts.stats->io_requests += io_stats_acc.io_requests;
-    opts.stats->bytes_read += io_stats_acc.bytes_read;
+    opts.stats->merge(io->stats());
     opts.stats->edges_scattered +=
         edges_scanned.load(std::memory_order_relaxed);
+    if (prefetch) {
+      // The warm-up overlapped the gather phase above; by now it is done
+      // or nearly so. Its stats are only stable after completion, so wait
+      // before folding them in. Prefetch IO errors are advisory (the next
+      // iteration's demand read will surface any real device fault).
+      prefetch->wait();
+      opts.stats->merge(prefetch->stats());
+    }
     opts.stats->seconds += timer.seconds();
   }
   return out;

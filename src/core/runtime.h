@@ -1,5 +1,5 @@
-// Blaze runtime: configuration, the persistent worker pool, and reusable
-// engine arenas (IO buffer pool, bin space).
+// Blaze runtime: configuration, the persistent worker pool, the persistent
+// IO pipeline, and reusable engine arenas (IO buffer pool, bin space).
 #pragma once
 
 #include <memory>
@@ -7,6 +7,7 @@
 #include "core/bins.h"
 #include "core/config.h"
 #include "io/buffer_pool.h"
+#include "io/io_pipeline.h"
 #include "util/thread_pool.h"
 
 namespace blaze::core {
@@ -24,11 +25,18 @@ class Runtime {
   const Config& config() const { return config_; }
   ThreadPool& pool() { return pool_; }
 
+  /// The persistent IO pipeline. Reader threads are created lazily on first
+  /// submit and live as long as the Runtime, so consecutive EdgeMap calls
+  /// reuse the same per-device IO threads (paper: one IO thread per SSD;
+  /// FlashGraph's persistent-IO-thread design).
+  io::IoPipeline& io_pipeline() { return pipeline_; }
+
   /// Mutable access for experiment sweeps. Changing bin_count /
   /// bin_space_bytes / io_buffer_bytes takes effect on the next EdgeMap;
   /// changing compute_workers requires a new Runtime.
   Config& mutable_config() {
-    bins_.reset();     // force re-creation with new parameters
+    pipeline_.quiesce();  // no in-flight reads into pools being replaced
+    bins_.reset();        // force re-creation with new parameters
     io_pool_.reset();
     return config_;
   }
@@ -71,7 +79,10 @@ class Runtime {
 
   /// Drops the engine arenas; they are rebuilt lazily on next use. Called
   /// on the EdgeMap error path, where in-flight buffers may be stranded.
+  /// Waits out any queued pipeline work (e.g. prefetches) first so no
+  /// reader touches a pool being destroyed.
   void invalidate_arenas() {
+    pipeline_.quiesce();
     bins_.reset();
     io_pool_.reset();
     sbufs_.clear();
@@ -92,6 +103,9 @@ class Runtime {
   std::unique_ptr<io::IoBufferPool> io_pool_;
   std::vector<std::unique_ptr<ScatterBuffer>> sbufs_;
   std::size_t sbuf_bin_count_ = 0;
+  // Declared last: destroyed first, so readers quiesce and join while the
+  // buffer pool they read into is still alive.
+  io::IoPipeline pipeline_;
 };
 
 }  // namespace blaze::core

@@ -3,19 +3,23 @@
 // QueryStats accumulates over the EdgeMap/VertexMap calls of one query and
 // feeds the evaluation harness: average read bandwidth (Figs 1, 8, 10),
 // iteration counts, and the DRAM footprint breakdown behind Figure 12.
+// The IO-side counters are the unified io::PipelineStats record, filled by
+// the persistent IO pipeline and merged up here — device, io, and core
+// layers all report through this one struct.
 #pragma once
 
 #include <cstdint>
 
+#include "io/pipeline_stats.h"
+
 namespace blaze::core {
 
-/// Cumulative statistics for one graph query.
-struct QueryStats {
+/// Cumulative statistics for one graph query. Extends the cross-layer IO
+/// record (pages_read, io_requests, bytes_read, backpressure stalls,
+/// device busy time, prefetch volume) with the compute-side counters.
+struct QueryStats : io::PipelineStats {
   std::uint64_t edge_map_calls = 0;
   std::uint64_t vertex_map_calls = 0;
-  std::uint64_t pages_read = 0;
-  std::uint64_t io_requests = 0;
-  std::uint64_t bytes_read = 0;
   std::uint64_t edges_scattered = 0;  ///< scatter-function invocations
   std::uint64_t records_binned = 0;   ///< records through online binning
   double seconds = 0.0;               ///< accumulated EdgeMap wall time
@@ -27,12 +31,19 @@ struct QueryStats {
                        : 0.0;
   }
 
+  /// Fraction of EdgeMap wall time the devices spent servicing reads
+  /// (device_busy_ns is summed across devices, so >1.0 means parallel IO).
+  double device_utilization() const {
+    return seconds > 0 ? static_cast<double>(device_busy_ns) / 1e9 / seconds
+                       : 0.0;
+  }
+
+  using io::PipelineStats::merge;  // merge(PipelineStats): IO side only
+
   void merge(const QueryStats& o) {
+    io::PipelineStats::merge(o);
     edge_map_calls += o.edge_map_calls;
     vertex_map_calls += o.vertex_map_calls;
-    pages_read += o.pages_read;
-    io_requests += o.io_requests;
-    bytes_read += o.bytes_read;
     edges_scattered += o.edges_scattered;
     records_binned += o.records_binned;
     seconds += o.seconds;

@@ -7,11 +7,13 @@
 // computation falls behind.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "io/pipeline_stats.h"
 #include "util/common.h"
 #include "util/mpmc_queue.h"
 
@@ -29,6 +31,10 @@ struct BufferMeta {
   std::uint32_t device = 0;
   std::uint64_t first_page = 0;  ///< in the owning device's page space
   std::uint32_t num_pages = 0;
+  /// Bytes the device actually filled. Equal to num_pages * kPageSize except
+  /// for a request clamped at the device end, whose final page is partial
+  /// (the reader zero-fills the remainder so scans never see stale bytes).
+  std::uint32_t valid_bytes = 0;
 };
 
 /// Pool of aligned 16 kB buffers (4 pages) with a lock-free free list.
@@ -48,10 +54,23 @@ class IoBufferPool {
   BufferMeta& meta(std::uint32_t id) { return metas_[id]; }
 
   /// Pops a free buffer, yielding while the pool is exhausted (this is the
-  /// backpressure path that blocks IO threads when compute is slow).
-  std::uint32_t acquire_blocking() {
+  /// backpressure path that blocks IO threads when compute is slow). When
+  /// `stats` is given, pool starvation is recorded: one stall per exhausted
+  /// acquire plus the nanoseconds spent waiting.
+  std::uint32_t acquire_blocking(PipelineStats* stats = nullptr) {
+    if (auto id = free_.pop()) return static_cast<std::uint32_t>(*id);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (stats) ++stats->buffer_stalls;
     for (;;) {
-      if (auto id = free_.pop()) return static_cast<std::uint32_t>(*id);
+      if (auto id = free_.pop()) {
+        if (stats) {
+          stats->buffer_stall_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        }
+        return static_cast<std::uint32_t>(*id);
+      }
       std::this_thread::yield();
     }
   }

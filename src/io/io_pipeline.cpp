@@ -1,0 +1,174 @@
+#include "io/io_pipeline.h"
+
+#include "io/read_engine.h"
+#include "util/backoff.h"
+
+namespace blaze::io {
+
+void ReadHandle::wait() const {
+  Backoff backoff;
+  while (!io_done()) backoff.pause();
+}
+
+IoPipeline::~IoPipeline() {
+  // Let in-flight prefetches finish (they recycle their own buffers, so
+  // they always can) before asking the readers to exit.
+  quiesce();
+  stop_.store(true, std::memory_order_release);
+  std::lock_guard lock(readers_mu_);
+  for (auto& reader : readers_) {
+    std::lock_guard wake(reader->mu);
+    reader->cv.notify_one();
+  }
+  // ~Reader joins each jthread.
+}
+
+std::shared_ptr<ReadHandle> IoPipeline::submit(IoBufferPool& pool,
+                                               std::vector<ReadBatch> batches,
+                                               std::size_t max_inflight) {
+  return post(pool, std::move(batches), max_inflight, /*discard=*/false);
+}
+
+std::shared_ptr<ReadHandle> IoPipeline::prefetch(
+    IoBufferPool& pool, std::vector<ReadBatch> batches,
+    std::size_t max_inflight) {
+  return post(pool, std::move(batches), max_inflight, /*discard=*/true);
+}
+
+std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
+                                             std::vector<ReadBatch> batches,
+                                             std::size_t max_inflight,
+                                             bool discard) {
+  std::size_t active = 0;
+  std::size_t max_slot = 0;
+  for (const ReadBatch& b : batches) {
+    if (b.pages.empty()) continue;
+    ++active;
+    max_slot = std::max<std::size_t>(max_slot, b.device_index);
+  }
+  // The filled queue can hold every pool buffer, so reader pushes never
+  // block on queue capacity (only on pool backpressure, by design).
+  auto handle = std::shared_ptr<ReadHandle>(
+      new ReadHandle(pool.num_buffers() + 1, active, discard));
+  if (active == 0) return handle;
+
+  ensure_readers(max_slot + 1);
+  std::lock_guard lock(readers_mu_);
+  for (ReadBatch& b : batches) {
+    if (b.pages.empty()) continue;
+    auto job = std::make_shared<Job>();
+    job->handle = handle;
+    job->pool = &pool;
+    job->device = b.device;
+    job->device_index = b.device_index;
+    job->pages = std::move(b.pages);
+    job->max_inflight = max_inflight;
+    Reader& reader = *readers_[b.device_index];
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    while (!reader.jobs.push(job)) std::this_thread::yield();
+    {
+      // Lock pairs with the reader's cv predicate re-check: a push that
+      // lands between the reader's empty pop and its wait() is never lost.
+      std::lock_guard wake(reader.mu);
+    }
+    reader.cv.notify_one();
+  }
+  return handle;
+}
+
+void IoPipeline::ensure_readers(std::size_t count) {
+  std::lock_guard lock(readers_mu_);
+  while (readers_.size() < count) {
+    auto reader = std::make_unique<Reader>();
+    Reader& r = *reader;
+    r.thread = std::jthread([this, &r] { reader_main(r); });
+    r.tid = r.thread.get_id();
+    readers_.push_back(std::move(reader));
+  }
+}
+
+void IoPipeline::reader_main(Reader& reader) {
+  Backoff backoff;
+  std::uint32_t idle_polls = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (auto job = reader.jobs.pop()) {
+      backoff.reset();
+      idle_polls = 0;
+      execute(**job);
+      reader.executed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Brief backoff keeps latency low across back-to-back EdgeMap calls;
+    // prolonged idleness parks on the condition variable so a dormant
+    // Runtime consumes no CPU.
+    if (++idle_polls < 64) {
+      backoff.pause();
+      continue;
+    }
+    std::unique_lock lock(reader.mu);
+    reader.cv.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             reader.jobs.approx_size() > 0;
+    });
+    idle_polls = 0;
+    backoff.reset();
+  }
+}
+
+void IoPipeline::execute(Job& job) {
+  ReadHandle& handle = *job.handle;
+  PipelineStats local;
+  const std::uint64_t busy0 = job.device->stats().busy_ns();
+  try {
+    run_reads(*job.device, job.device_index, job.pages, *job.pool,
+              handle.discard_ ? nullptr : &handle.filled_, job.max_inflight,
+              local);
+  } catch (...) {
+    std::lock_guard lock(handle.mu_);
+    if (!handle.error_) handle.error_ = std::current_exception();
+  }
+  // Thread the device layer's accounting through: the batch's share of
+  // modeled/measured service time (approximate if another job touches the
+  // same device concurrently, which the engine never does).
+  local.device_busy_ns = job.device->stats().busy_ns() - busy0;
+  if (handle.discard_) {
+    local.prefetch_pages = local.pages_read;
+    local.prefetch_bytes = local.bytes_read;
+    local.pages_read = 0;
+    local.io_requests = 0;
+    local.bytes_read = 0;
+    local.merged_requests = 0;
+  }
+  {
+    std::lock_guard lock(handle.mu_);
+    handle.stats_.merge(local);
+  }
+  handle.remaining_.fetch_sub(1, std::memory_order_release);
+  outstanding_.fetch_sub(1, std::memory_order_release);
+}
+
+void IoPipeline::quiesce() const {
+  Backoff backoff;
+  while (outstanding_.load(std::memory_order_acquire) > 0) backoff.pause();
+}
+
+std::size_t IoPipeline::num_readers() const {
+  std::lock_guard lock(readers_mu_);
+  return readers_.size();
+}
+
+std::vector<std::thread::id> IoPipeline::reader_ids() const {
+  std::lock_guard lock(readers_mu_);
+  std::vector<std::thread::id> ids;
+  ids.reserve(readers_.size());
+  for (const auto& reader : readers_) ids.push_back(reader->tid);
+  return ids;
+}
+
+std::uint64_t IoPipeline::jobs_executed(std::size_t slot) const {
+  std::lock_guard lock(readers_mu_);
+  BLAZE_CHECK(slot < readers_.size(), "reader slot out of range");
+  return readers_[slot]->executed.load(std::memory_order_relaxed);
+}
+
+}  // namespace blaze::io

@@ -1,0 +1,160 @@
+// Persistent asynchronous IO pipeline (one reader thread per device slot).
+//
+// The paper keeps FNDs busy by fully overlapping IO with computation
+// (Figs 2, 4, 8); FlashGraph gets the same effect from persistent per-SSD
+// IO threads. Before this subsystem existed, every EdgeMap call spawned
+// fresh std::threads around io::run_reads and hand-rolled its own filled
+// queue — twice, once per traversal direction. IoPipeline centralizes that:
+//
+//   * Reader threads are created lazily (slot d serves the device at stripe
+//     index d of whatever graph is being read) and live as long as the
+//     owning core::Runtime. Each is fed read batches through its own MPMC
+//     work queue and parks with exponential backoff, then a condition
+//     variable, when idle — so an idle Runtime costs nothing.
+//   * submit() posts one batch per device and returns a ReadHandle the
+//     consumer drains: a filled-buffer queue plus completion/error state
+//     and the batch's unified PipelineStats.
+//   * prefetch() posts discard-mode batches behind any queued demand work
+//     (FIFO per reader): the pages are read and the buffers immediately
+//     recycled, warming device-level caches for the *next* iteration while
+//     this iteration's gather finishes (the pull-mode prefetch hook).
+//
+// Backpressure is explicit and observable: the buffer pool bounds memory,
+// max_inflight bounds per-device queue depth, and PipelineStats counts
+// pool-starvation stalls.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "device/block_device.h"
+#include "io/buffer_pool.h"
+#include "io/pipeline_stats.h"
+#include "util/mpmc_queue.h"
+#include "util/spinlock.h"
+
+namespace blaze::io {
+
+/// One device's share of a page frontier: sorted device-local page IDs.
+struct ReadBatch {
+  device::BlockDevice* device = nullptr;
+  std::uint32_t device_index = 0;  ///< reader slot and BufferMeta.device tag
+  std::vector<std::uint64_t> pages;
+};
+
+/// Shared state between the reader threads executing one submit() and the
+/// consumer draining it. Obtained from IoPipeline::submit()/prefetch().
+class ReadHandle {
+ public:
+  /// Pops one filled buffer ID, or nullopt if none is ready right now.
+  std::optional<std::uint32_t> pop_filled() { return filled_.pop(); }
+
+  /// True once every batch of this submit has been fully read and pushed.
+  /// Filled buffers may still be waiting in the queue; consumers must
+  /// re-check pop_filled() after observing io_done().
+  bool io_done() const {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Blocks (yielding) until io_done().
+  void wait() const;
+
+  /// Unified accounting of this submit. Stable only after io_done().
+  const PipelineStats& stats() const { return stats_; }
+
+  /// First device failure, if any. Stable only after io_done().
+  std::exception_ptr error() const { return error_; }
+
+ private:
+  friend class IoPipeline;
+  ReadHandle(std::size_t queue_capacity, std::size_t num_batches,
+             bool discard)
+      : filled_(queue_capacity), remaining_(num_batches), discard_(discard) {}
+
+  MpmcQueue<std::uint32_t> filled_;
+  std::atomic<std::size_t> remaining_;
+  const bool discard_;  ///< prefetch mode: recycle buffers, keep no data
+  Spinlock mu_;         ///< guards stats_/error_ while batches complete
+  PipelineStats stats_;
+  std::exception_ptr error_;
+};
+
+/// Persistent per-device-slot reader threads plus the submit/prefetch API.
+/// One instance lives inside core::Runtime; readers are shared by every
+/// EdgeMap variant (push, pull, hybrid) run on that Runtime. Thread-safe
+/// for submissions; each ReadHandle expects a single logical consumer side.
+class IoPipeline {
+ public:
+  IoPipeline() = default;
+  ~IoPipeline();
+
+  IoPipeline(const IoPipeline&) = delete;
+  IoPipeline& operator=(const IoPipeline&) = delete;
+
+  /// Posts one read job per non-empty batch; batch.device_index selects the
+  /// persistent reader slot. Filled buffers appear in the handle's queue.
+  std::shared_ptr<ReadHandle> submit(IoBufferPool& pool,
+                                     std::vector<ReadBatch> batches,
+                                     std::size_t max_inflight);
+
+  /// Like submit(), but in discard mode: pages are read and buffers
+  /// recycled immediately. Queued FIFO behind demand batches on each
+  /// reader, so prefetch never delays the current iteration's IO.
+  std::shared_ptr<ReadHandle> prefetch(IoBufferPool& pool,
+                                       std::vector<ReadBatch> batches,
+                                       std::size_t max_inflight);
+
+  /// Blocks until every posted job (including prefetches) has finished.
+  /// Required before tearing down buffer pools the jobs read into.
+  void quiesce() const;
+
+  /// Number of persistent reader threads created so far.
+  std::size_t num_readers() const;
+
+  /// OS thread identity of each reader slot — stable for the lifetime of
+  /// the pipeline (the acceptance check for thread persistence).
+  std::vector<std::thread::id> reader_ids() const;
+
+  /// Jobs executed by reader slot `slot` since construction.
+  std::uint64_t jobs_executed(std::size_t slot) const;
+
+ private:
+  struct Job {
+    std::shared_ptr<ReadHandle> handle;
+    IoBufferPool* pool = nullptr;
+    device::BlockDevice* device = nullptr;
+    std::uint32_t device_index = 0;
+    std::vector<std::uint64_t> pages;
+    std::size_t max_inflight = 0;
+  };
+
+  struct Reader {
+    MpmcQueue<std::shared_ptr<Job>> jobs{16};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<std::uint64_t> executed{0};
+    std::thread::id tid;
+    std::jthread thread;  // last member: joins before the queue dies
+  };
+
+  std::shared_ptr<ReadHandle> post(IoBufferPool& pool,
+                                   std::vector<ReadBatch> batches,
+                                   std::size_t max_inflight, bool discard);
+  void ensure_readers(std::size_t count);
+  void reader_main(Reader& reader);
+  void execute(Job& job);
+
+  mutable std::mutex readers_mu_;  ///< guards growth of readers_
+  std::vector<std::unique_ptr<Reader>> readers_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace blaze::io

@@ -1,26 +1,32 @@
 #include "io/read_engine.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace blaze::io {
 
-ReadEngineStats run_reads(device::BlockDevice& dev,
-                          std::uint32_t device_index,
-                          std::span<const std::uint64_t> pages,
-                          IoBufferPool& pool,
-                          MpmcQueue<std::uint32_t>& filled,
-                          std::size_t max_inflight) {
-  ReadEngineStats stats;
+void run_reads(device::BlockDevice& dev, std::uint32_t device_index,
+               std::span<const std::uint64_t> pages, IoBufferPool& pool,
+               MpmcQueue<std::uint32_t>* filled, std::size_t max_inflight,
+               PipelineStats& stats) {
+  if (pages.empty()) return;
   auto channel = dev.open_channel();
   std::vector<std::uint64_t> completed;
-  const std::uint64_t device_pages = dev.size() / kPageSize;
+  const std::uint64_t device_bytes = dev.size();
+  // Ceiling, not floor: a device whose size is not a page multiple still
+  // exposes its final partial page (the tail request is clamped below).
+  const std::uint64_t device_pages = ceil_div(device_bytes, std::uint64_t{kPageSize});
 
   auto reap = [&](std::size_t min_done) {
     completed.clear();
     channel->wait(min_done, completed);
     for (std::uint64_t user : completed) {
       auto id = static_cast<std::uint32_t>(user);
-      while (!filled.push(id)) std::this_thread::yield();
+      if (filled) {
+        while (!filled->push(id)) std::this_thread::yield();
+      } else {
+        pool.release(id);  // prefetch: the device cache is the payload
+      }
     }
   };
 
@@ -37,33 +43,49 @@ ReadEngineStats run_reads(device::BlockDevice& dev,
     }
     i += run;
 
-    std::uint32_t buf = pool.acquire_blocking();
-    BufferMeta& meta = pool.meta(buf);
-    meta.device = device_index;
-    meta.first_page = first;
-    meta.num_pages = run;
+    std::uint32_t buf = pool.acquire_blocking(&stats);
 
     device::AsyncRead req;
     req.offset = first * kPageSize;
-    req.length = run * static_cast<std::uint32_t>(kPageSize);
-    // Clamp the tail request to the device size (the last logical page may
-    // be the device's last page).
-    if (req.offset + req.length > dev.size()) {
-      req.length = static_cast<std::uint32_t>(dev.size() - req.offset);
+    std::uint64_t length = std::uint64_t{run} * kPageSize;
+    // Clamp the tail request to the device size (the last device page may be
+    // partial). meta.num_pages / meta.valid_bytes must describe the clamped
+    // request, never the unclamped run, or scatter walks stale bytes.
+    if (req.offset + length > device_bytes) {
+      length = device_bytes - req.offset;
+      ++stats.tail_clamps;
+    }
+    req.length = static_cast<std::uint32_t>(length);
+
+    const auto covered =
+        static_cast<std::uint32_t>(ceil_div(length, std::uint64_t{kPageSize}));
+    BufferMeta& meta = pool.meta(buf);
+    meta.device = device_index;
+    meta.first_page = first;
+    meta.num_pages = covered;
+    meta.valid_bytes = req.length;
+    if (req.length < std::uint64_t{covered} * kPageSize) {
+      // Zero the partial final page's remainder so page scans bounded by
+      // whole pages never observe the buffer's previous contents.
+      std::fill(pool.data(buf) + req.length,
+                pool.data(buf) + std::uint64_t{covered} * kPageSize,
+                std::byte{0});
     }
     req.buffer = pool.data(buf);
     req.user = buf;
     channel->submit(req);
 
-    ++stats.requests;
-    stats.pages += run;
-    stats.bytes += req.length;
+    ++stats.io_requests;
+    if (run > 1) ++stats.merged_requests;
+    stats.pages_read += covered;
+    stats.bytes_read += req.length;
+    stats.inflight_peak =
+        std::max<std::uint64_t>(stats.inflight_peak, channel->pending());
 
     if (channel->pending() >= max_inflight) reap(1);
     else reap(0);  // opportunistically drain ready completions
   }
   while (channel->pending() > 0) reap(1);
-  return stats;
 }
 
 }  // namespace blaze::io

@@ -1,12 +1,12 @@
-// Per-device asynchronous page reader.
+// Per-device asynchronous page reader — the IoPipeline worker body.
 //
-// One ReadEngine instance runs inside each IO thread (paper: one IO thread
-// per SSD). It walks a sorted list of page IDs in the device's own address
-// space, merges runs of up to kMaxMergePages contiguous pages into single
-// requests (and never merges across gaps — on FNDs random 4 kB IO is cheap
-// enough that over-reading never pays, Section IV-C), keeps a bounded
-// number of requests in flight, and pushes each completed buffer to the
-// shared filled queue.
+// One run_reads() call executes one read batch inside a persistent pipeline
+// reader thread (paper: one IO thread per SSD). It walks a sorted list of
+// page IDs in the device's own address space, merges runs of up to
+// kMaxMergePages contiguous pages into single requests (and never merges
+// across gaps — on FNDs random 4 kB IO is cheap enough that over-reading
+// never pays, Section IV-C), keeps a bounded number of requests in flight,
+// and pushes each completed buffer to the batch's filled queue.
 #pragma once
 
 #include <cstdint>
@@ -14,26 +14,22 @@
 
 #include "device/block_device.h"
 #include "io/buffer_pool.h"
+#include "io/pipeline_stats.h"
 #include "util/mpmc_queue.h"
 
 namespace blaze::io {
 
-/// Statistics of one read pass.
-struct ReadEngineStats {
-  std::uint64_t pages = 0;
-  std::uint64_t requests = 0;
-  std::uint64_t bytes = 0;
-};
-
 /// Reads every page in `pages` (sorted, device-local page IDs) from `dev`.
 /// Buffers come from `pool` and completed buffers are pushed to `filled`
-/// with meta().device = `device_index`. Blocks until all pages are read.
-/// `max_inflight` bounds submitted-but-unreaped requests.
-ReadEngineStats run_reads(device::BlockDevice& dev,
-                          std::uint32_t device_index,
-                          std::span<const std::uint64_t> pages,
-                          IoBufferPool& pool,
-                          MpmcQueue<std::uint32_t>& filled,
-                          std::size_t max_inflight = 64);
+/// with meta().device = `device_index`. When `filled` is null the batch is
+/// a prefetch: buffers are released back to the pool as soon as the read
+/// completes (the value is the warming of device-level caches, not the
+/// data). Blocks until all pages are read. `max_inflight` bounds
+/// submitted-but-unreaped requests per device. Accounting (merging,
+/// clamping, backpressure stalls) accumulates into `stats`.
+void run_reads(device::BlockDevice& dev, std::uint32_t device_index,
+               std::span<const std::uint64_t> pages, IoBufferPool& pool,
+               MpmcQueue<std::uint32_t>* filled, std::size_t max_inflight,
+               PipelineStats& stats);
 
 }  // namespace blaze::io

@@ -36,6 +36,25 @@ void print_stats(const char* query, double seconds,
               static_cast<double>(stats.bytes_read) / (1 << 20),
               static_cast<unsigned long long>(stats.io_requests),
               stats.avg_read_gbps());
+  // The unified pipeline record (device -> io -> core): merging efficiency,
+  // backpressure, device busy time, and prefetch volume in one place.
+  std::printf("  io: %llu pages, %llu merged requests, %llu tail clamps, "
+              "peak inflight %llu\n",
+              static_cast<unsigned long long>(stats.pages_read),
+              static_cast<unsigned long long>(stats.merged_requests),
+              static_cast<unsigned long long>(stats.tail_clamps),
+              static_cast<unsigned long long>(stats.inflight_peak));
+  std::printf("  backpressure: %llu buffer stalls (%.3f ms); device busy "
+              "%.3f ms (%.1f%% of EdgeMap time)",
+              static_cast<unsigned long long>(stats.buffer_stalls),
+              static_cast<double>(stats.buffer_stall_ns) / 1e6,
+              static_cast<double>(stats.device_busy_ns) / 1e6,
+              100.0 * stats.device_utilization());
+  if (stats.prefetch_pages > 0) {
+    std::printf("; prefetched %llu pages",
+                static_cast<unsigned long long>(stats.prefetch_pages));
+  }
+  std::printf("\n");
 }
 
 }  // namespace
