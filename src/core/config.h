@@ -35,6 +35,14 @@ struct Config {
   /// Maximum in-flight IO requests per IO thread.
   std::size_t max_inflight_io = 64;
 
+  /// Bounded retry of transient device failures (io::ErrorKind::kTransient):
+  /// resubmissions per request after the first attempt. Permanent and
+  /// corruption failures are never retried.
+  std::uint32_t io_retry_limit = 3;
+
+  /// Backoff before the first retry, in microseconds; doubles per retry.
+  std::uint32_t io_retry_backoff_us = 32;
+
   /// When true, runs the synchronization-based variant used as the
   /// Figure 8 baseline: scatter threads apply gather_atomic() directly
   /// (compare-and-swap style) and online binning is bypassed.

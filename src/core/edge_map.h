@@ -290,9 +290,10 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
   io->wait();
 
   if (auto err = io->error()) {
-    // A device failed mid-pipeline: buffers may be stranded, so drop the
-    // arenas (they are rebuilt lazily) and surface the failure.
-    rt.invalidate_arenas();
+    // A device failed mid-pipeline. The reader has already reclaimed every
+    // buffer it acquired and the workers above drained the filled queue, so
+    // the pool is back at full occupancy and the arenas stay valid — the
+    // Runtime remains usable for the next query. Just surface the failure.
     std::rethrow_exception(err);
   }
 

@@ -121,7 +121,8 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
   io->wait();
 
   if (auto err = io->error()) {
-    rt.invalidate_arenas();
+    // The reader reclaimed its buffers and the workers drained the filled
+    // queue: the pool is whole, the Runtime stays reusable. Surface it.
     std::rethrow_exception(err);
   }
   if (opts.stats) {

@@ -20,7 +20,10 @@ namespace blaze::core {
 class Runtime {
  public:
   explicit Runtime(Config config)
-      : config_(config), pool_(config.compute_workers) {}
+      : config_(config), pool_(config.compute_workers) {
+    pipeline_.set_retry_policy(
+        {config_.io_retry_limit, config_.io_retry_backoff_us});
+  }
 
   const Config& config() const { return config_; }
   ThreadPool& pool() { return pool_; }
@@ -29,7 +32,13 @@ class Runtime {
   /// submit and live as long as the Runtime, so consecutive EdgeMap calls
   /// reuse the same per-device IO threads (paper: one IO thread per SSD;
   /// FlashGraph's persistent-IO-thread design).
-  io::IoPipeline& io_pipeline() { return pipeline_; }
+  io::IoPipeline& io_pipeline() {
+    // Re-sync the retry policy so mutable_config() sweeps over the retry
+    // knobs take effect on the next submission.
+    pipeline_.set_retry_policy(
+        {config_.io_retry_limit, config_.io_retry_backoff_us});
+    return pipeline_;
+  }
 
   /// Mutable access for experiment sweeps. Changing bin_count /
   /// bin_space_bytes / io_buffer_bytes takes effect on the next EdgeMap;
@@ -77,10 +86,12 @@ class Runtime {
     return *sbufs_[worker];
   }
 
-  /// Drops the engine arenas; they are rebuilt lazily on next use. Called
-  /// on the EdgeMap error path, where in-flight buffers may be stranded.
-  /// Waits out any queued pipeline work (e.g. prefetches) first so no
-  /// reader touches a pool being destroyed.
+  /// Drops the engine arenas; they are rebuilt lazily on next use. The
+  /// EdgeMap error path no longer needs this — the read engine reclaims
+  /// every in-flight buffer before a failure propagates, so the pool stays
+  /// whole — but experiment harnesses use it to return to a pristine
+  /// footprint. Waits out any queued pipeline work (e.g. prefetches) first
+  /// so no reader touches a pool being destroyed.
   void invalidate_arenas() {
     pipeline_.quiesce();
     bins_.reset();

@@ -16,7 +16,8 @@ namespace blaze::core {
 
 /// Cumulative statistics for one graph query. Extends the cross-layer IO
 /// record (pages_read, io_requests, bytes_read, backpressure stalls,
-/// device busy time, prefetch volume) with the compute-side counters.
+/// device busy time, prefetch volume, and the fault counters — retries,
+/// failed_requests, gave_up) with the compute-side counters.
 struct QueryStats : io::PipelineStats {
   std::uint64_t edge_map_calls = 0;
   std::uint64_t vertex_map_calls = 0;
@@ -29,6 +30,13 @@ struct QueryStats : io::PipelineStats {
   double avg_read_gbps() const {
     return seconds > 0 ? static_cast<double>(bytes_read) / 1e9 / seconds
                        : 0.0;
+  }
+
+  /// True when the query survived (or propagated) at least one device
+  /// fault: retried transient failures leave retries > 0 with
+  /// failed_requests == 0; a propagated failure leaves failed_requests > 0.
+  bool experienced_faults() const {
+    return retries > 0 || failed_requests > 0;
   }
 
   /// Fraction of EdgeMap wall time the devices spent servicing reads

@@ -33,6 +33,10 @@ class AsyncChannel {
   virtual ~AsyncChannel() = default;
 
   /// Queues a read. The buffer must stay valid until completion.
+  /// Runtime failures are raised as io::IoError (see io/io_error.h): the
+  /// read engine retries kTransient errors with bounded backoff and
+  /// propagates kPermanent ones after reclaiming its buffers. A submit that
+  /// throws has NOT taken ownership of the request's buffer.
   virtual void submit(const AsyncRead& read) = 0;
 
   /// Number of submitted-but-not-yet-reaped reads.
@@ -55,7 +59,9 @@ class BlockDevice {
   virtual std::uint64_t size() const = 0;
 
   /// Synchronous read; blocks for the full modeled/actual duration.
-  /// Aborts on out-of-range access (programming error, not runtime input).
+  /// Aborts on out-of-range access (programming error, not runtime input);
+  /// raises io::IoError for runtime device failures so callers can tell
+  /// transient faults from permanent ones.
   virtual void read(std::uint64_t offset, std::span<std::byte> out) = 0;
 
   /// Opens an asynchronous channel for one submitter thread.

@@ -65,6 +65,36 @@ bool CachedDevice::lookup(std::uint64_t page, std::byte* out) {
   return true;
 }
 
+bool CachedDevice::lookup_run(std::uint64_t first_page,
+                              std::uint32_t num_pages, std::byte* out) {
+  std::lock_guard lock(mu_);
+  for (std::uint32_t j = 0; j < num_pages; ++j) {
+    if (!map_.contains(first_page + j)) {
+      misses_ += num_pages;
+      return false;
+    }
+  }
+  for (std::uint32_t j = 0; j < num_pages; ++j) {
+    std::size_t slot = map_.find(first_page + j)->second;
+    if (policy_ == EvictionPolicy::kLru) {
+      lru_unlink(slot);
+      lru_push_front(slot);
+    }
+    std::memcpy(out + std::size_t{j} * kPageSize,
+                storage_.data() + slot * kPageSize, kPageSize);
+  }
+  hits_ += num_pages;
+  return true;
+}
+
+void CachedDevice::record_unaligned_miss(std::uint64_t offset,
+                                         std::uint64_t length) {
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + length + kPageSize - 1) / kPageSize;
+  std::lock_guard lock(mu_);
+  misses_ += last - first;
+}
+
 void CachedDevice::fill(std::uint64_t page, const std::byte* data) {
   std::lock_guard lock(mu_);
   std::size_t slot;
@@ -93,6 +123,9 @@ void CachedDevice::read(std::uint64_t offset, std::span<std::byte> out) {
       offset % kPageSize == 0 && out.size() % kPageSize == 0;
   if (!aligned) {
     inner_->read(offset, out);
+    // Uncacheable traffic still shows up in the hit-rate statistics: every
+    // overlapped page is a miss (it went to the inner device).
+    record_unaligned_miss(offset, out.size());
     stats_.record_read(out.size(), 0);
     return;
   }
@@ -123,17 +156,17 @@ class CachedChannel : public AsyncChannel {
     if (aligned) {
       // Serve entirely from the cache when every page of the (possibly
       // merged) request hits; on any miss the whole request goes to the
-      // inner device and repopulates the cache at completion.
-      bool all_hit = true;
-      for (std::uint32_t off = 0; off < read.length && all_hit;
-           off += kPageSize) {
-        all_hit = dev_.lookup((read.offset + off) / kPageSize,
-                              static_cast<std::byte*>(read.buffer) + off);
-      }
-      if (all_hit) {
+      // inner device and repopulates the cache at completion. lookup_run is
+      // all-or-nothing on the accounting too: a partial hit counts every
+      // page as a miss, since every page is re-read from the inner device
+      // (per-page hit counting here inflated the ablation's hit rate).
+      if (dev_.lookup_run(read.offset / kPageSize, read.length / kPageSize,
+                          static_cast<std::byte*>(read.buffer))) {
         ready_.push_back(read.user);
         return;
       }
+    } else {
+      dev_.record_unaligned_miss(read.offset, read.length);
     }
     inflight_.push_back(read);
     inner_->submit(read);
@@ -152,14 +185,18 @@ class CachedChannel : public AsyncChannel {
     else min_completions -= got;
     std::size_t before = completed.size();
     inner_->wait(min_completions, completed);
-    // Insert completed miss pages into the cache.
+    // Insert completed miss pages into the cache. Only page-aligned
+    // requests may repopulate it: caching an unaligned payload under the
+    // enclosing page number would poison that page with shifted bytes.
     for (std::size_t i = before; i < completed.size(); ++i) {
       for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
         if (it->user == completed[i]) {
-          for (std::uint32_t off = 0; off + kPageSize <= it->length;
-               off += kPageSize) {
-            dev_.fill((it->offset + off) / kPageSize,
-                      static_cast<const std::byte*>(it->buffer) + off);
+          if (it->offset % kPageSize == 0) {
+            for (std::uint32_t off = 0; off + kPageSize <= it->length;
+                 off += kPageSize) {
+              dev_.fill((it->offset + off) / kPageSize,
+                        static_cast<const std::byte*>(it->buffer) + off);
+            }
           }
           inflight_.erase(it);
           break;

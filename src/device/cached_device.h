@@ -50,6 +50,20 @@ class CachedDevice : public BlockDevice {
   /// then call fill().
   bool lookup(std::uint64_t page, std::byte* out);
 
+  /// All-or-nothing lookup of `num_pages` consecutive pages starting at
+  /// `first_page`, under one lock acquisition. Copies into `out` and counts
+  /// num_pages hits only when EVERY page is cached; otherwise copies
+  /// nothing and counts num_pages misses (the whole request will be
+  /// re-read from the inner device, so pages that happened to be cached
+  /// must not inflate the hit rate).
+  bool lookup_run(std::uint64_t first_page, std::uint32_t num_pages,
+                  std::byte* out);
+
+  /// Accounts an uncacheable (unaligned) read as misses for every page it
+  /// overlaps — such traffic bypasses the cache but must not silently
+  /// vanish from the hit-rate statistics.
+  void record_unaligned_miss(std::uint64_t offset, std::uint64_t length);
+
   /// Inserts a page, evicting per policy when full.
   void fill(std::uint64_t page, const std::byte* data);
 

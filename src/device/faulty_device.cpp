@@ -1,19 +1,50 @@
 #include "device/faulty_device.h"
 
-#include <stdexcept>
+#include <algorithm>
+#include <vector>
+
+#include "io/io_error.h"
 
 namespace blaze::device {
 
 void FaultyDevice::check(std::uint64_t offset, std::uint64_t length) {
-  if (should_fail_(offset, length)) {
-    failures_.fetch_add(1, std::memory_order_relaxed);
-    throw std::runtime_error("injected device read failure");
+  if (mode_ == FaultMode::kCorruption) return;  // corrupts payloads instead
+  if (!should_fail_(offset, length)) return;
+  if (mode_ == FaultMode::kTransient) {
+    // Spend one unit of the budget per failing attempt; once exhausted the
+    // device has "recovered" and retries of the same request succeed.
+    std::uint64_t left = transient_left_.load(std::memory_order_relaxed);
+    while (left > 0) {
+      if (transient_left_.compare_exchange_weak(left, left - 1,
+                                                std::memory_order_relaxed)) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        throw io::IoError(io::ErrorKind::kTransient, name_,
+                          "injected transient read failure");
+      }
+    }
+    return;
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  throw io::IoError(io::ErrorKind::kPermanent, name_,
+                    "injected permanent read failure");
+}
+
+void FaultyDevice::maybe_corrupt(std::uint64_t offset,
+                                 std::span<std::byte> buf) {
+  if (mode_ != FaultMode::kCorruption) return;
+  if (!should_fail_(offset, buf.size())) return;
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+  // One flipped byte per covered page: invisible to the device's own
+  // accounting, detectable only by per-page checksum verification.
+  for (std::size_t off = 0; off < buf.size(); off += kPageSize) {
+    buf[off] ^= std::byte{0x5A};
   }
 }
 
 void FaultyDevice::read(std::uint64_t offset, std::span<std::byte> out) {
   check(offset, out.size());
   inner_->read(offset, out);
+  maybe_corrupt(offset, out);
 }
 
 namespace {
@@ -25,6 +56,9 @@ class FaultyChannel : public AsyncChannel {
 
   void submit(const AsyncRead& read) override {
     dev_.check(read.offset, read.length);
+    // Corruption strikes at completion, so the request must be remembered
+    // until wait() reaps it (channels are single-submitter: no locking).
+    if (dev_.mode() == FaultMode::kCorruption) inflight_.push_back(read);
     inner_->submit(read);
   }
 
@@ -32,12 +66,26 @@ class FaultyChannel : public AsyncChannel {
 
   void wait(std::size_t min_completions,
             std::vector<std::uint64_t>& completed) override {
+    const std::size_t before = completed.size();
     inner_->wait(min_completions, completed);
+    if (inflight_.empty()) return;
+    for (std::size_t i = before; i < completed.size(); ++i) {
+      auto it = std::find_if(
+          inflight_.begin(), inflight_.end(),
+          [&](const AsyncRead& r) { return r.user == completed[i]; });
+      if (it == inflight_.end()) continue;
+      dev_.maybe_corrupt(
+          it->offset,
+          std::span<std::byte>(static_cast<std::byte*>(it->buffer),
+                               it->length));
+      inflight_.erase(it);
+    }
   }
 
  private:
   FaultyDevice& dev_;
   std::unique_ptr<AsyncChannel> inner_;
+  std::vector<AsyncRead> inflight_;  ///< corruption mode only
 };
 
 }  // namespace

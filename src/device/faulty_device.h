@@ -4,23 +4,52 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <span>
+#include <string>
 
 #include "device/block_device.h"
 
 namespace blaze::device {
 
-/// Wraps another device and corrupts or rejects selected reads. Tests use it
-/// to verify that the IO engine surfaces device failures instead of
-/// silently producing wrong results.
+/// How a FaultyDevice misbehaves on reads its policy selects.
+enum class FaultMode {
+  /// Every matching access throws io::IoError{kPermanent}: retry cannot
+  /// help, the pipeline must reclaim its buffers and surface the failure.
+  kPermanent,
+  /// The first `transient_budget` matching accesses throw
+  /// io::IoError{kTransient}; after the budget is spent the same request
+  /// succeeds — the pipeline's bounded retry should absorb the fault.
+  kTransient,
+  /// Matching reads complete "successfully" but one byte per page of the
+  /// payload is flipped. Only per-page checksum verification
+  /// (io::PageVerifier) can tell this apart from a good read.
+  kCorruption,
+};
+
+/// Wraps another device and rejects or corrupts selected reads. Tests use
+/// it to verify that the IO engine retries transient faults, surfaces
+/// permanent ones instead of silently producing wrong results, and reclaims
+/// every in-flight buffer on the way out.
 class FaultyDevice : public BlockDevice {
  public:
-  /// `should_fail(offset, length)` decides per read. Failures throw
-  /// std::runtime_error from read()/submit().
+  /// `should_fail(offset, length)` selects the accesses that misbehave;
+  /// `mode` decides how (see FaultMode). Permanent/transient failures throw
+  /// io::IoError from read()/submit(). `transient_budget` only applies to
+  /// FaultMode::kTransient.
   FaultyDevice(std::shared_ptr<BlockDevice> inner,
-               std::function<bool(std::uint64_t, std::uint64_t)> should_fail)
-      : inner_(std::move(inner)), should_fail_(std::move(should_fail)) {}
+               std::function<bool(std::uint64_t, std::uint64_t)> should_fail,
+               FaultMode mode = FaultMode::kPermanent,
+               std::uint64_t transient_budget = 1)
+      : name_(inner->name() + "+faulty"),
+        inner_(std::move(inner)),
+        should_fail_(std::move(should_fail)),
+        mode_(mode),
+        transient_left_(transient_budget) {}
 
-  const std::string& name() const override { return inner_->name(); }
+  /// "+faulty" suffix (the CachedDevice "+cache" convention), so error
+  /// messages and per-device stats identify which wrapper in a stack
+  /// injected the failure.
+  const std::string& name() const override { return name_; }
   std::uint64_t size() const override { return inner_->size(); }
 
   void read(std::uint64_t offset, std::span<std::byte> out) override;
@@ -29,19 +58,40 @@ class FaultyDevice : public BlockDevice {
 
   IoStats& stats() override { return inner_->stats(); }
 
+  FaultMode mode() const { return mode_; }
+
+  /// Failures thrown so far (permanent + transient modes).
   std::uint64_t injected_failures() const {
     return failures_.load(std::memory_order_relaxed);
   }
 
-  /// Throws if the fault policy rejects this (offset, length) pair. Used by
-  /// the async channel before delegating to the wrapped device.
+  /// Requests silently corrupted so far (corruption mode).
+  std::uint64_t injected_corruptions() const {
+    return corruptions_.load(std::memory_order_relaxed);
+  }
+
+  /// Unspent transient-failure budget (0 once the device has "recovered").
+  std::uint64_t transient_budget_left() const {
+    return transient_left_.load(std::memory_order_relaxed);
+  }
+
+  /// Throws per the fault mode if the policy rejects this (offset, length)
+  /// pair. Used by the async channel before delegating to the wrapped
+  /// device. Never throws in corruption mode.
   void check(std::uint64_t offset, std::uint64_t length);
 
+  /// Corruption mode: flips one byte per page of `buf` when the policy
+  /// matches the completed read at `offset`. No-op in the other modes.
+  void maybe_corrupt(std::uint64_t offset, std::span<std::byte> buf);
+
  private:
-  friend class FaultyChannel;
+  std::string name_;
   std::shared_ptr<BlockDevice> inner_;
   std::function<bool(std::uint64_t, std::uint64_t)> should_fail_;
+  FaultMode mode_;
+  std::atomic<std::uint64_t> transient_left_;
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
 };
 
 }  // namespace blaze::device

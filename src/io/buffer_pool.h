@@ -48,6 +48,12 @@ class IoBufferPool {
   std::size_t buffer_bytes() const { return kMaxMergePages * kPageSize; }
   std::size_t memory_bytes() const { return storage_.size(); }
 
+  /// Buffers currently in the free list. Racy while readers/consumers run;
+  /// exact once the pipeline is quiesced and consumers have drained. The
+  /// fault tests assert this returns to num_buffers() after a failed query
+  /// (the reclamation invariant).
+  std::size_t available() const { return free_.approx_size(); }
+
   std::byte* data(std::uint32_t id) {
     return storage_.data() + static_cast<std::size_t>(id) * buffer_bytes();
   }

@@ -1,0 +1,67 @@
+// IO failure taxonomy shared by the device and io layers.
+//
+// Devices raise IoError instead of bare std::runtime_error so the pipeline
+// can act on the *kind* of failure: transient faults (timeouts, EAGAIN-style
+// rejections) are retried with bounded exponential backoff inside the
+// reader; permanent faults are propagated after every in-flight buffer has
+// been reclaimed; corruption (a read that "completed" but failed checksum
+// verification) is propagated immediately — retrying would mask a device
+// returning wrong data, the one failure mode worse than no data.
+//
+// Header-only and dependency-free on purpose: the device library throws
+// these without linking against blaze_io.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace blaze::io {
+
+/// Classification of an IO failure, deciding the pipeline's reaction.
+enum class ErrorKind {
+  kTransient,   ///< momentary fault: resubmitting the same request may succeed
+  kPermanent,   ///< device gone or request rejected for good: retry cannot help
+  kCorruption,  ///< read completed but the payload failed verification
+};
+
+inline const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTransient: return "transient";
+    case ErrorKind::kPermanent: return "permanent";
+    case ErrorKind::kCorruption: return "corruption";
+  }
+  return "unknown";
+}
+
+/// Device/IO failure carrying its retry classification and the name of the
+/// failing device. Wrapper stacks keep their suffixes (e.g. "nvme0+faulty"),
+/// so the message identifies which layer injected or detected the fault.
+class IoError : public std::runtime_error {
+ public:
+  IoError(ErrorKind kind, std::string device, const std::string& what)
+      : std::runtime_error("[" + device + "] " + to_string(kind) +
+                           " IO error: " + what),
+        kind_(kind),
+        device_(std::move(device)) {}
+
+  ErrorKind kind() const { return kind_; }
+  const std::string& device() const { return device_; }
+
+  /// Only transient failures are worth resubmitting.
+  bool retryable() const { return kind_ == ErrorKind::kTransient; }
+
+ private:
+  ErrorKind kind_;
+  std::string device_;
+};
+
+/// Bounded-retry parameters applied by the read engine to transient
+/// failures. A request is attempted 1 + max_retries times; the wait before
+/// retry r is backoff_us * 2^(r-1) microseconds.
+struct RetryPolicy {
+  std::uint32_t max_retries = 3;
+  std::uint32_t backoff_us = 32;
+};
+
+}  // namespace blaze::io

@@ -63,6 +63,8 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
     job->device_index = b.device_index;
     job->pages = std::move(b.pages);
     job->max_inflight = max_inflight;
+    job->retry = retry_;
+    job->verifier = std::move(b.verifier);
     Reader& reader = *readers_[b.device_index];
     outstanding_.fetch_add(1, std::memory_order_relaxed);
     while (!reader.jobs.push(job)) std::this_thread::yield();
@@ -122,8 +124,10 @@ void IoPipeline::execute(Job& job) {
   try {
     run_reads(*job.device, job.device_index, job.pages, *job.pool,
               handle.discard_ ? nullptr : &handle.filled_, job.max_inflight,
-              local);
+              local, job.retry, job.verifier ? &job.verifier : nullptr);
   } catch (...) {
+    // run_reads has already reclaimed every buffer it acquired (the pool is
+    // whole again); all that is left is surfacing the failure.
     std::lock_guard lock(handle.mu_);
     if (!handle.error_) handle.error_ = std::current_exception();
   }

@@ -36,6 +36,8 @@
 
 #include "device/block_device.h"
 #include "io/buffer_pool.h"
+#include "io/io_error.h"
+#include "io/page_verify.h"
 #include "io/pipeline_stats.h"
 #include "util/mpmc_queue.h"
 #include "util/spinlock.h"
@@ -47,6 +49,9 @@ struct ReadBatch {
   device::BlockDevice* device = nullptr;
   std::uint32_t device_index = 0;  ///< reader slot and BufferMeta.device tag
   std::vector<std::uint64_t> pages;
+  /// Optional integrity gate: every completed page of this batch must pass
+  /// it or the reader raises IoError{kCorruption}. Empty = no verification.
+  PageVerifier verifier;
 };
 
 /// Shared state between the reader threads executing one submit() and the
@@ -111,6 +116,12 @@ class IoPipeline {
                                        std::vector<ReadBatch> batches,
                                        std::size_t max_inflight);
 
+  /// Retry policy every reader applies to transient device failures.
+  /// Set before submitting; jobs already queued keep the policy they were
+  /// posted under.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  RetryPolicy retry_policy() const { return retry_; }
+
   /// Blocks until every posted job (including prefetches) has finished.
   /// Required before tearing down buffer pools the jobs read into.
   void quiesce() const;
@@ -133,6 +144,8 @@ class IoPipeline {
     std::uint32_t device_index = 0;
     std::vector<std::uint64_t> pages;
     std::size_t max_inflight = 0;
+    RetryPolicy retry;      ///< snapshot of the pipeline policy at post time
+    PageVerifier verifier;  ///< moved from the batch; empty = none
   };
 
   struct Reader {
@@ -155,6 +168,7 @@ class IoPipeline {
   std::vector<std::unique_ptr<Reader>> readers_;
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<bool> stop_{false};
+  RetryPolicy retry_;  ///< applied to transient faults; snapshot per job
 };
 
 }  // namespace blaze::io

@@ -1,0 +1,73 @@
+// End-to-end page integrity verification for the read pipeline.
+//
+// A PageVerifier is an optional per-batch hook the read engine calls on
+// every completed page before handing the buffer to the consumer. It exists
+// to catch the failure mode the error taxonomy calls corruption: the device
+// reports success but the payload is wrong (bit rot, a misdirected read, a
+// fault-injection test). On a mismatch the engine raises
+// IoError{ErrorKind::kCorruption} and reclaims its buffers like any other
+// propagated failure.
+//
+// The checksum helpers below let tests (and offline tools) snapshot a
+// device's per-page checksums while it is known-good and verify reads
+// against that snapshot later.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "device/block_device.h"
+#include "util/common.h"
+
+namespace blaze::io {
+
+/// Integrity predicate for one completed page: `(device_page, data)` where
+/// `data` covers the bytes the device actually filled (a clamped tail page
+/// is shorter than kPageSize). Returns false on a mismatch. Must be
+/// thread-safe: readers of different devices may verify concurrently.
+using PageVerifier =
+    std::function<bool(std::uint64_t, std::span<const std::byte>)>;
+
+/// FNV-1a over a page's bytes — cheap, order-sensitive, and plenty to catch
+/// single-byte corruption in tests and tools.
+inline std::uint64_t page_checksum(std::span<const std::byte> data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(b));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Reads the whole device synchronously and returns one checksum per page
+/// (the final entry covers only the bytes the device holds). Snapshot a
+/// device while it is known-good; verify against the snapshot afterwards.
+inline std::vector<std::uint64_t> snapshot_page_checksums(
+    device::BlockDevice& dev) {
+  const std::uint64_t bytes = dev.size();
+  const std::uint64_t pages = ceil_div(bytes, std::uint64_t{kPageSize});
+  std::vector<std::uint64_t> sums(pages);
+  std::vector<std::byte> page(kPageSize);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    const std::uint64_t valid =
+        std::min<std::uint64_t>(kPageSize, bytes - p * kPageSize);
+    dev.read(p * kPageSize, std::span<std::byte>(page.data(), valid));
+    sums[p] = page_checksum(std::span<const std::byte>(page.data(), valid));
+  }
+  return sums;
+}
+
+/// Builds a PageVerifier that compares each page against `sums` (as
+/// returned by snapshot_page_checksums of the same device).
+inline PageVerifier make_checksum_verifier(std::vector<std::uint64_t> sums) {
+  return [sums = std::move(sums)](std::uint64_t page,
+                                  std::span<const std::byte> data) {
+    return page < sums.size() && page_checksum(data) == sums[page];
+  };
+}
+
+}  // namespace blaze::io

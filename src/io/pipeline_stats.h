@@ -31,6 +31,11 @@ struct PipelineStats {
   std::uint64_t buffer_stalls = 0;     ///< acquire() found the pool exhausted
   std::uint64_t buffer_stall_ns = 0;   ///< time spent waiting for a free buffer
 
+  // ---- io layer: fault handling (io::IoError taxonomy) -------------------
+  std::uint64_t retries = 0;           ///< resubmissions after transient failures
+  std::uint64_t failed_requests = 0;   ///< requests whose failure propagated
+  std::uint64_t gave_up = 0;           ///< transient requests that exhausted the retry budget
+
   // ---- device layer ------------------------------------------------------
   std::uint64_t device_busy_ns = 0;    ///< modeled/measured device service time
 
@@ -48,6 +53,9 @@ struct PipelineStats {
     inflight_peak = std::max(inflight_peak, o.inflight_peak);
     buffer_stalls += o.buffer_stalls;
     buffer_stall_ns += o.buffer_stall_ns;
+    retries += o.retries;
+    failed_requests += o.failed_requests;
+    gave_up += o.gave_up;
     device_busy_ns += o.device_busy_ns;
     prefetch_pages += o.prefetch_pages;
     prefetch_bytes += o.prefetch_bytes;

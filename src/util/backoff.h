@@ -14,6 +14,12 @@ namespace blaze {
 /// the CPU.
 class Backoff {
  public:
+  Backoff() = default;
+
+  /// Starts the sleep schedule at `first_sleep_us` instead of the default.
+  /// Used by bounded-retry loops whose policy sets the first wait.
+  explicit Backoff(std::uint32_t first_sleep_us) : sleep_us_(first_sleep_us) {}
+
   void pause() {
     if (spins_ < 16) {
       ++spins_;
@@ -22,6 +28,15 @@ class Backoff {
     }
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
     if (sleep_us_ < 64) sleep_us_ *= 2;
+  }
+
+  /// Sleeps the current step and doubles it up to `max_us`, skipping the
+  /// yield phase entirely. Retry loops (e.g. IO resubmission after a
+  /// transient device failure) use this: every attempt already failed once,
+  /// so the wait should be a real sleep that grows per attempt.
+  void sleep_step(std::uint32_t max_us = 1 << 12) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    if (sleep_us_ < max_us) sleep_us_ *= 2;
   }
 
   /// Call after making progress to re-arm fast spinning.

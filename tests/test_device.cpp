@@ -12,6 +12,7 @@
 #include "device/mem_device.h"
 #include "device/raid0_device.h"
 #include "device/simulated_ssd.h"
+#include "io/io_error.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -257,6 +258,80 @@ TEST(FaultyDevice, InjectsFailures) {
   EXPECT_EQ(dev.injected_failures(), 1u);
 }
 
+TEST(FaultyDevice, NameIdentifiesWrapperInStack) {
+  auto inner = std::make_shared<MemDevice>("m", 8 * kPageSize);
+  auto faulty = std::make_shared<FaultyDevice>(
+      inner, [](std::uint64_t, std::uint64_t) { return false; });
+  EXPECT_EQ(faulty->name(), "m+faulty");
+  // Stacked wrappers keep every suffix, so stats/errors name the layer.
+  CachedDevice cached(faulty, 4 * kPageSize, EvictionPolicy::kLru);
+  EXPECT_EQ(cached.name(), "m+faulty+cache");
+}
+
+TEST(FaultyDevice, PermanentModeRaisesTypedError) {
+  auto inner = std::make_shared<MemDevice>("m", 8 * kPageSize);
+  FaultyDevice dev(inner, [](std::uint64_t, std::uint64_t) { return true; },
+                   FaultMode::kPermanent);
+  std::vector<std::byte> out(kPageSize);
+  try {
+    dev.read(0, out);
+    FAIL() << "expected io::IoError";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.kind(), io::ErrorKind::kPermanent);
+    EXPECT_FALSE(e.retryable());
+    EXPECT_EQ(e.device(), "m+faulty");
+  }
+  // Permanent means permanent: the next attempt fails too.
+  EXPECT_THROW(dev.read(0, out), io::IoError);
+  EXPECT_EQ(dev.injected_failures(), 2u);
+}
+
+TEST(FaultyDevice, TransientModeRecoversAfterBudget) {
+  auto inner = std::make_shared<MemDevice>("m", 8 * kPageSize);
+  for (std::size_t i = 0; i < inner->raw().size(); ++i) {
+    inner->raw()[i] = static_cast<std::byte>(i & 0xff);
+  }
+  FaultyDevice dev(inner, [](std::uint64_t, std::uint64_t) { return true; },
+                   FaultMode::kTransient, /*transient_budget=*/2);
+  std::vector<std::byte> out(kPageSize);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      dev.read(0, out);
+      FAIL() << "expected transient failure on attempt " << attempt;
+    } catch (const io::IoError& e) {
+      EXPECT_EQ(e.kind(), io::ErrorKind::kTransient);
+      EXPECT_TRUE(e.retryable());
+    }
+  }
+  // Budget spent: the retry succeeds and the data is intact.
+  EXPECT_NO_THROW(dev.read(0, out));
+  EXPECT_EQ(out[5], std::byte{5});
+  EXPECT_EQ(dev.injected_failures(), 2u);
+  EXPECT_EQ(dev.transient_budget_left(), 0u);
+}
+
+TEST(FaultyDevice, CorruptionModeFlipsBytesSilently) {
+  auto inner = std::make_shared<MemDevice>("m", 4 * kPageSize);
+  FaultyDevice dev(inner, [](std::uint64_t off, std::uint64_t) {
+    return off == kPageSize;
+  }, FaultMode::kCorruption);
+  std::vector<std::byte> out(kPageSize);
+  EXPECT_NO_THROW(dev.read(kPageSize, out));  // "succeeds"
+  EXPECT_EQ(out[0], std::byte{0x5A});         // ...with a flipped byte
+  EXPECT_EQ(dev.injected_corruptions(), 1u);
+  EXPECT_EQ(dev.injected_failures(), 0u);
+  // Async path corrupts at completion, too.
+  auto ch = dev.open_channel();
+  std::vector<std::byte> buf(kPageSize);
+  ch->submit(AsyncRead{kPageSize, static_cast<std::uint32_t>(kPageSize),
+                       buf.data(), 9});
+  std::vector<std::uint64_t> done;
+  ch->wait(1, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(buf[0], std::byte{0x5A});
+  EXPECT_EQ(dev.injected_corruptions(), 2u);
+}
+
 // ------------------------------------------------------------- CachedDevice
 
 TEST(CachedDevice, ServesHitsWithoutInnerReads) {
@@ -340,7 +415,62 @@ TEST(CachedDevice, UnalignedReadsPassThrough) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i], static_cast<std::byte>((12345 + i) & 0xff));
   }
-  EXPECT_EQ(dev.hits() + dev.misses(), 0u);  // cache untouched
+  // The cache stores nothing, but the hit-rate statistics must still see
+  // the traffic: one overlapped page, served by the inner device = 1 miss.
+  EXPECT_EQ(dev.hits(), 0u);
+  EXPECT_EQ(dev.misses(), 1u);
+}
+
+TEST(CachedDevice, UnalignedReadSpanningPagesCountsEachPageMissed) {
+  auto inner = std::make_shared<MemDevice>("m", 8 * kPageSize);
+  CachedDevice dev(inner, 4 * kPageSize, EvictionPolicy::kLru);
+  std::vector<std::byte> out(kPageSize);  // page-sized but offset-unaligned
+  dev.read(kPageSize / 2, out);           // overlaps pages 0 and 1
+  EXPECT_EQ(dev.misses(), 2u);
+  EXPECT_EQ(dev.hits(), 0u);
+}
+
+TEST(CachedDevice, AsyncPartialHitCountsWholeRequestAsMisses) {
+  auto inner = std::make_shared<MemDevice>("m", 8 * kPageSize);
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    auto span = inner->raw().subspan(p * kPageSize, kPageSize);
+    std::fill(span.begin(), span.end(), static_cast<std::byte>(p + 1));
+  }
+  auto dev = std::make_shared<CachedDevice>(inner, 8 * kPageSize,
+                                            EvictionPolicy::kLru);
+  // Prime page 0 only.
+  std::vector<std::byte> one(kPageSize);
+  dev->read(0, one);
+  ASSERT_EQ(dev->misses(), 1u);
+
+  // Merged request for pages 0-1: page 0 is cached, page 1 is not. The
+  // whole request is re-read from the inner device, so BOTH pages must
+  // count as misses — the cached prefix must not inflate the hit rate.
+  auto ch = dev->open_channel();
+  std::vector<std::byte> buf(2 * kPageSize);
+  const auto inner_bytes_before = inner->stats().total_bytes();
+  ch->submit(AsyncRead{0, static_cast<std::uint32_t>(buf.size()),
+                       buf.data(), 1});
+  std::vector<std::uint64_t> done;
+  ch->wait(1, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(dev->hits(), 0u);
+  EXPECT_EQ(dev->misses(), 3u);  // 1 (prime) + 2 (partial-hit request)
+  EXPECT_EQ(buf[0], std::byte{1});
+  EXPECT_EQ(buf[kPageSize], std::byte{2});
+  EXPECT_GT(inner->stats().total_bytes(), inner_bytes_before);
+
+  // Now both pages are cached: the same request is a full hit, served with
+  // no inner IO, and counts one hit per page.
+  const auto inner_bytes_after = inner->stats().total_bytes();
+  ch->submit(AsyncRead{0, static_cast<std::uint32_t>(buf.size()),
+                       buf.data(), 2});
+  done.clear();
+  ch->wait(1, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(dev->hits(), 2u);
+  EXPECT_EQ(dev->misses(), 3u);
+  EXPECT_EQ(inner->stats().total_bytes(), inner_bytes_after);
 }
 
 // ------------------------------------------------------------------ IoStats
