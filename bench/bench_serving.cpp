@@ -1,0 +1,211 @@
+// Serving workload: closed-loop multi-client queries over one engine.
+//
+// The ROADMAP's serving north star, measured: C client threads each submit
+// Q queries (mixed BFS / PageRank-delta / k-core over the same on-disk
+// graph) to one serve::QueryEngine — one shared Runtime, one IO pipeline,
+// one shared CachedDevice — waiting for each ticket before submitting the
+// next (closed loop). Every query's result is checked against a
+// sequential single-Runtime reference, and the shared cache's hit rate is
+// compared against the FlashGraph-motivating baseline of one isolated
+// Runtime + private cache per query. Output is one JSON row per
+// configuration for the CI artifact.
+//
+// Environment overrides (in addition to bench_common.h's):
+//   BLAZE_BENCH_CLIENTS   client threads (default 4)
+//   BLAZE_BENCH_QUERIES   queries per client (default 3)
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/kcore.h"
+#include "bench/bench_common.h"
+#include "device/cached_device.h"
+#include "serve/query_engine.h"
+
+namespace {
+
+using namespace blaze;
+using namespace blaze::bench;
+
+struct Reference {
+  std::size_t bfs_reached = 0;
+  std::vector<float> pr_rank;
+  std::vector<std::uint32_t> coreness;
+};
+
+std::size_t reached_count(const std::vector<vertex_t>& parent) {
+  std::size_t n = 0;
+  for (vertex_t p : parent) n += (p != kInvalidVertex);
+  return n;
+}
+
+bool ranks_close(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > 1e-3f) return false;
+  }
+  return true;
+}
+
+/// The three query kinds in the mix; client c's q-th query runs kind
+/// (c + q) % 3 so every client interleaves all kinds.
+constexpr const char* kKinds[3] = {"bfs", "pagerank", "kcore"};
+
+/// Builds the QueryFn for one kind, verifying the result against the
+/// sequential reference (any mismatch trips `mismatch`).
+serve::QueryFn make_query(int kind, const format::OnDiskGraph& out_g,
+                          const format::OnDiskGraph& in_g,
+                          const Reference& ref,
+                          std::atomic<bool>& mismatch) {
+  switch (kind) {
+    case 0:
+      return [&](core::QueryContext& qc) {
+        auto r = algorithms::bfs(qc, out_g, 0);
+        if (reached_count(r.parent) != ref.bfs_reached) mismatch = true;
+        return r.stats;
+      };
+    case 1:
+      return [&](core::QueryContext& qc) {
+        auto r = algorithms::pagerank(qc, out_g);
+        if (!ranks_close(r.rank, ref.pr_rank)) mismatch = true;
+        return r.stats;
+      };
+    default:
+      return [&](core::QueryContext& qc) {
+        auto r = algorithms::kcore(qc, out_g, in_g);
+        if (r.coreness != ref.coreness) mismatch = true;
+        return r.stats;
+      };
+  }
+}
+
+double rate(std::uint64_t hits, std::uint64_t misses) {
+  return hits + misses > 0
+             ? static_cast<double>(hits) /
+                   static_cast<double>(hits + misses)
+             : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const auto clients =
+      static_cast<std::size_t>(env_long("BLAZE_BENCH_CLIENTS", 4));
+  const auto per_client =
+      static_cast<std::size_t>(env_long("BLAZE_BENCH_QUERIES", 3));
+  const auto profile = bench_optane();
+  const auto& ds = dataset("r2");
+
+  auto out_base = format::make_simulated_graph(ds.csr, profile);
+  auto in_base = format::make_simulated_graph(ds.transpose, profile);
+  // Cache sized to hold the graph: the bench measures cross-query
+  // sharing (N queries fault each page once vs N times), not eviction
+  // pressure — an undersized cache would make the comparison hostage to
+  // scheduling-dependent LRU thrash between concurrent working sets.
+  const std::size_t cache_bytes = out_base.input_bytes() * 2;
+
+  // Reference pass: sequential, single Runtime, uncached device — the
+  // ground truth every served query must reproduce.
+  Reference ref;
+  {
+    format::OnDiskGraph out_g(format::GraphIndex(out_base.index()),
+                              out_base.device_ptr());
+    format::OnDiskGraph in_g(format::GraphIndex(in_base.index()),
+                             in_base.device_ptr());
+    core::Runtime rt(bench_config(out_g));
+    ref.bfs_reached = reached_count(algorithms::bfs(rt, out_g, 0).parent);
+    ref.pr_rank = algorithms::pagerank(rt, out_g).rank;
+    ref.coreness = algorithms::kcore(rt, out_g, in_g).coreness;
+  }
+
+  // Isolated baseline: one private Runtime + private cold cache per query
+  // kind — what serving the mix WITHOUT a shared engine costs per query.
+  std::uint64_t iso_hits = 0, iso_misses = 0;
+  std::atomic<bool> mismatch{false};
+  for (int kind = 0; kind < 3; ++kind) {
+    auto cache = std::make_shared<device::CachedDevice>(
+        out_base.device_ptr(), cache_bytes, device::EvictionPolicy::kLru);
+    format::OnDiskGraph out_g(format::GraphIndex(out_base.index()), cache);
+    format::OnDiskGraph in_g(format::GraphIndex(in_base.index()),
+                             in_base.device_ptr());
+    core::Runtime rt(bench_config(out_g));
+    make_query(kind, out_g, in_g, ref, mismatch)(rt.default_context());
+    iso_hits += cache->hits();
+    iso_misses += cache->misses();
+  }
+
+  // Serving pass: one engine, one shared cache, closed-loop clients.
+  auto cache = std::make_shared<device::CachedDevice>(
+      out_base.device_ptr(), cache_bytes, device::EvictionPolicy::kLru);
+  format::OnDiskGraph out_g(format::GraphIndex(out_base.index()), cache);
+  format::OnDiskGraph in_g(format::GraphIndex(in_base.index()),
+                           in_base.device_ptr());
+
+  serve::EngineOptions opts;
+  opts.max_inflight_queries = clients;
+  opts.max_queue_depth = clients * per_client;
+  serve::QueryEngine engine(bench_config(out_g), opts);
+  engine.observe_cache(cache.get());
+
+  std::atomic<std::uint64_t> overload_retries{0};
+  Timer wall;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (std::size_t q = 0; q < per_client; ++q) {
+          const int kind = static_cast<int>((c + q) % 3);
+          serve::QuerySpec spec;
+          spec.run = make_query(kind, out_g, in_g, ref, mismatch);
+          spec.label = std::string(kKinds[kind]) + "/c" +
+                       std::to_string(c) + "q" + std::to_string(q);
+          for (;;) {
+            try {
+              engine.submit(spec)->wait();
+              break;
+            } catch (const serve::ServeError& e) {
+              if (!e.retryable()) throw;
+              overload_retries.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::yield();
+            }
+          }
+        }
+      });
+    }
+  }
+  engine.drain();
+  const double wall_s = wall.seconds();
+
+  const auto stats = engine.stats();
+  const double iso_rate = rate(iso_hits, iso_misses);
+  const bool results_match = !mismatch.load();
+  const bool cache_wins = stats.cache_hit_rate > iso_rate;
+
+  std::printf(
+      "{\"bench\":\"serving\",\"graph\":\"%s\",\"clients\":%zu,"
+      "\"sessions\":%zu,\"queries_per_client\":%zu,\"admitted\":%llu,"
+      "\"completed\":%llu,\"failed\":%llu,\"expired\":%llu,"
+      "\"overload_retries\":%llu,\"wall_s\":%.3f,\"qps\":%.2f,"
+      "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"cache_hit_rate\":%.4f,"
+      "\"cache_dedup_hits\":%llu,\"isolated_hit_rate\":%.4f,"
+      "\"io_retries\":%llu,\"io_gave_up\":%llu,"
+      "\"results_match\":%s,\"shared_cache_wins\":%s}\n",
+      ds.name.c_str(), clients, opts.max_inflight_queries, per_client,
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(overload_retries.load()), wall_s,
+      wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0.0,
+      stats.p50_ms(), stats.p95_ms(), stats.cache_hit_rate,
+      static_cast<unsigned long long>(stats.cache_dedup_hits), iso_rate,
+      static_cast<unsigned long long>(stats.aggregate.retries),
+      static_cast<unsigned long long>(stats.aggregate.gave_up),
+      results_match ? "true" : "false", cache_wins ? "true" : "false");
+  return results_match && cache_wins ? 0 : 1;
+}

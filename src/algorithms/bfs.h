@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/runtime.h"
 #include "core/stats.h"
 #include "format/on_disk_graph.h"
@@ -22,7 +23,13 @@ struct BfsResult {
   }
 };
 
-/// Runs BFS from `source` over the on-disk graph `g`.
+/// Runs BFS from `source` over the on-disk graph `g` using the query's own
+/// execution context (bins, buffers, compute pool). Concurrent sessions
+/// each pass their own context over one shared Runtime.
+BfsResult bfs(core::QueryContext& qc, const format::OnDiskGraph& g,
+              vertex_t source);
+
+/// Single-query convenience: runs on the Runtime's default context.
 BfsResult bfs(core::Runtime& rt, const format::OnDiskGraph& g,
               vertex_t source);
 
@@ -34,6 +41,12 @@ struct HybridBfsResult : BfsResult {
 /// pulls over the transpose `gt` on dense ones (Ligra's optimization,
 /// which the paper's push-only engine forgoes). `threshold_div` is the
 /// |E|/x density switch point.
+HybridBfsResult bfs_hybrid(core::QueryContext& qc,
+                           const format::OnDiskGraph& g,
+                           const format::OnDiskGraph& gt, vertex_t source,
+                           std::uint64_t threshold_div = 20);
+
+/// Single-query convenience: runs on the Runtime's default context.
 HybridBfsResult bfs_hybrid(core::Runtime& rt, const format::OnDiskGraph& g,
                            const format::OnDiskGraph& gt, vertex_t source,
                            std::uint64_t threshold_div = 20);

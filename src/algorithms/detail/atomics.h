@@ -12,6 +12,26 @@
 
 namespace blaze::algorithms::detail {
 
+/// Relaxed load/store for values read optimistically across threads: a
+/// scatter-side `cond`/`scatter` may observe a destination value while a
+/// gather thread updates it. The engines tolerate stale reads (filters
+/// are re-checked under gather exclusivity; label/distance propagation is
+/// monotone), but the accesses must still be atomic — a plain load
+/// concurrent with a store is a data race. Relaxed atomics compile to the
+/// same instructions as the plain accesses they replace.
+template <typename T>
+T relaxed_load(const T& loc) {
+  // atomic_ref<const T> arrives in C++26; the cast is sound because the
+  // underlying object is never actually const.
+  return std::atomic_ref<T>(const_cast<T&>(loc))
+      .load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void relaxed_store(T& loc, T value) {
+  std::atomic_ref<T>(loc).store(value, std::memory_order_relaxed);
+}
+
 /// CAS: writes `desired` iff the location still holds `expected`.
 template <typename T>
 bool cas(T& loc, T expected, T desired) {

@@ -9,7 +9,7 @@ namespace {
 constexpr std::uint32_t kAlive = PeelProgram::kAlive;
 }  // namespace
 
-KcoreResult kcore(core::Runtime& rt, const format::OnDiskGraph& out_g,
+KcoreResult kcore(core::QueryContext& qc, const format::OnDiskGraph& out_g,
                   const format::OnDiskGraph& in_g, std::uint32_t max_k) {
   BLAZE_CHECK(out_g.num_vertices() == in_g.num_vertices(),
               "kcore: graph/transpose vertex count mismatch");
@@ -33,7 +33,7 @@ KcoreResult kcore(core::Runtime& rt, const format::OnDiskGraph& out_g,
     // then move to k+1.
     for (;;) {
       core::VertexSubset peeled = core::vertex_map(
-          rt, core::VertexSubset::all(n),
+          qc, core::VertexSubset::all(n),
           [&](vertex_t v) {
             if (result.coreness[v] == kAlive && residual[v] <= k) {
               result.coreness[v] = k;
@@ -44,8 +44,8 @@ KcoreResult kcore(core::Runtime& rt, const format::OnDiskGraph& out_g,
           &result.stats);
       if (peeled.empty()) break;
       alive -= peeled.count();
-      core::edge_map(rt, out_g, peeled, prog, opts);
-      core::edge_map(rt, in_g, peeled, prog, opts);
+      core::edge_map(qc, out_g, peeled, prog, opts);
+      core::edge_map(qc, in_g, peeled, prog, opts);
     }
     ++k;
   }
@@ -57,6 +57,11 @@ KcoreResult kcore(core::Runtime& rt, const format::OnDiskGraph& out_g,
   }
   result.max_core = k > 0 ? k - 1 : 0;
   return result;
+}
+
+KcoreResult kcore(core::Runtime& rt, const format::OnDiskGraph& out_g,
+                  const format::OnDiskGraph& in_g, std::uint32_t max_k) {
+  return kcore(rt.default_context(), out_g, in_g, max_k);
 }
 
 }  // namespace blaze::algorithms

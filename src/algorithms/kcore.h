@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/runtime.h"
 #include "core/stats.h"
 #include "format/on_disk_graph.h"
@@ -25,7 +26,12 @@ struct KcoreResult {
   }
 };
 
-/// Peels the graph level by level. `max_k` bounds the sweep (0 = no bound).
+/// Peels the graph level by level on the query's own execution context.
+/// `max_k` bounds the sweep (0 = no bound).
+KcoreResult kcore(core::QueryContext& qc, const format::OnDiskGraph& out_g,
+                  const format::OnDiskGraph& in_g, std::uint32_t max_k = 0);
+
+/// Single-query convenience: runs on the Runtime's default context.
 KcoreResult kcore(core::Runtime& rt, const format::OnDiskGraph& out_g,
                   const format::OnDiskGraph& in_g, std::uint32_t max_k = 0);
 

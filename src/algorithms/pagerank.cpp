@@ -8,7 +8,8 @@
 namespace blaze::algorithms {
 
 
-PageRankResult pagerank(core::Runtime& rt, const format::OnDiskGraph& g,
+PageRankResult pagerank(core::QueryContext& qc,
+                        const format::OnDiskGraph& g,
                         const PageRankOptions& options) {
   const vertex_t n = g.num_vertices();
   PageRankResult result;
@@ -27,12 +28,12 @@ PageRankResult pagerank(core::Runtime& rt, const format::OnDiskGraph& g,
   opts.stats = &result.stats;
 
   while (!frontier.empty() && result.iterations < options.max_iterations) {
-    core::edge_map(rt, g, frontier, prog, opts);
+    core::edge_map(qc, g, frontier, prog, opts);
     bool first = result.iterations == 0;
     const float base =
         first ? (1.0f - damping) / static_cast<float>(n) : 0.0f;
     frontier = core::vertex_map(
-        rt, core::VertexSubset::all(n),
+        qc, core::VertexSubset::all(n),
         [&](vertex_t i) {
           // APPLYFILTER from paper Algorithm 2 (plus the first-iteration
           // base term).
@@ -48,6 +49,11 @@ PageRankResult pagerank(core::Runtime& rt, const format::OnDiskGraph& g,
     ++result.iterations;
   }
   return result;
+}
+
+PageRankResult pagerank(core::Runtime& rt, const format::OnDiskGraph& g,
+                        const PageRankOptions& options) {
+  return pagerank(rt.default_context(), g, options);
 }
 
 }  // namespace blaze::algorithms

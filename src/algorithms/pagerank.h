@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/runtime.h"
 #include "core/stats.h"
 #include "format/on_disk_graph.h"
@@ -31,7 +32,13 @@ struct PageRankResult {
   }
 };
 
-/// Runs PageRank-delta until no vertex is active or max_iterations.
+/// Runs PageRank-delta until no vertex is active or max_iterations, on the
+/// query's own execution context.
+PageRankResult pagerank(core::QueryContext& qc,
+                        const format::OnDiskGraph& g,
+                        const PageRankOptions& options = {});
+
+/// Single-query convenience: runs on the Runtime's default context.
 PageRankResult pagerank(core::Runtime& rt, const format::OnDiskGraph& g,
                         const PageRankOptions& options = {});
 

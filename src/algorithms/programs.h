@@ -29,11 +29,17 @@ struct BfsProgram {
   using value_type = vertex_t;
   std::vector<vertex_t>& parent;
 
+  // cond() is an optimistic scatter-side filter racing with gather's
+  // claim on another thread, so both sides go through relaxed atomics
+  // (same codegen, defined behaviour; a stale read only lets a redundant
+  // record through, which gather's exclusive re-check drops).
   value_type scatter(vertex_t s, vertex_t) const { return s; }
-  bool cond(vertex_t d) const { return parent[d] == kInvalidVertex; }
+  bool cond(vertex_t d) const {
+    return detail::relaxed_load(parent[d]) == kInvalidVertex;
+  }
   bool gather(vertex_t d, value_type v) {
-    if (parent[d] == kInvalidVertex) {
-      parent[d] = v;
+    if (detail::relaxed_load(parent[d]) == kInvalidVertex) {
+      detail::relaxed_store(parent[d], v);
       return true;
     }
     return false;
@@ -71,10 +77,15 @@ struct WccProgram {
   using value_type = vertex_t;
   std::vector<vertex_t>& ids;
 
-  value_type scatter(vertex_t s, vertex_t) const { return ids[s]; }
+  // scatter reads a label gather may be lowering on another thread;
+  // relaxed atomics keep it defined — label propagation is monotone, so a
+  // stale (higher) label only costs an extra round.
+  value_type scatter(vertex_t s, vertex_t) const {
+    return detail::relaxed_load(ids[s]);
+  }
   bool cond(vertex_t) const { return true; }
   bool gather(vertex_t d, value_type v) {
-    if (v < ids[d]) ids[d] = v;
+    if (v < detail::relaxed_load(ids[d])) detail::relaxed_store(ids[d], v);
     return true;
   }
   bool gather_atomic(vertex_t d, value_type v) {
@@ -151,13 +162,15 @@ struct SsspProgram {
   using value_type = std::uint32_t;
   std::vector<std::uint32_t>& dist;
 
+  // Same shape as WCC: relaxation is monotone, scatter's read of dist[s]
+  // races gather's lowering of it, so both sides are relaxed atomics.
   value_type scatter(vertex_t s, vertex_t d) const {
-    return dist[s] + sssp_weight(s, d);
+    return detail::relaxed_load(dist[s]) + sssp_weight(s, d);
   }
   bool cond(vertex_t) const { return true; }
   bool gather(vertex_t d, value_type v) {
-    if (v < dist[d]) {
-      dist[d] = v;
+    if (v < detail::relaxed_load(dist[d])) {
+      detail::relaxed_store(dist[d], v);
       return true;
     }
     return false;

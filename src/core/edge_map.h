@@ -31,8 +31,10 @@
 #include <bit>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/runtime.h"
 #include "core/stats.h"
 #include "core/vertex_subset.h"
@@ -95,10 +97,10 @@ inline std::vector<device::BlockDevice*> leaf_devices(
 /// membership.
 template <typename Filter>
 std::vector<io::ReadBatch> page_frontier_batches(
-    Runtime& rt, const format::OnDiskGraph& g, const VertexSubset& subset,
-    Filter&& filter) {
+    QueryContext& qc, const format::OnDiskGraph& g,
+    const VertexSubset& subset, Filter&& filter) {
   ConcurrentBitmap page_bits(g.num_pages());
-  subset.for_each_parallel(rt.pool(), [&](vertex_t v) {
+  subset.for_each_parallel(qc.pool(), [&](vertex_t v) {
     if (g.degree(v) == 0 || !filter(v)) return;
     auto [first, last] = g.page_range(v);
     for (std::uint64_t p = first; p <= last; ++p) page_bits.set(p);
@@ -121,19 +123,19 @@ std::vector<io::ReadBatch> page_frontier_batches(
 /// handle (null when there is nothing to prefetch) so the caller can fold
 /// its accounting into the query stats once it drains.
 inline std::shared_ptr<io::ReadHandle> submit_prefetch(
-    Runtime& rt, const format::OnDiskGraph& g,
+    QueryContext& qc, const format::OnDiskGraph& g,
     const VertexSubset& candidates) {
   if (candidates.empty()) return nullptr;
-  auto batches = page_frontier_batches(rt, g, candidates,
+  auto batches = page_frontier_batches(qc, g, candidates,
                                        [](vertex_t) { return true; });
-  return rt.io_pipeline().prefetch(rt.io_pool(), std::move(batches),
-                                   rt.config().max_inflight_io);
+  return qc.io_pipeline().prefetch(qc.io_pool(), std::move(batches),
+                                   qc.config().max_inflight_io);
 }
 
 }  // namespace detail
 
 template <typename Program>
-VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
+VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
                       const VertexSubset& frontier, Program& prog,
                       const EdgeMapOptions& opts = {}) {
   static_assert(sizeof(typename Program::value_type) == sizeof(bin_value_t),
@@ -141,7 +143,7 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
   using value_type = typename Program::value_type;
 
   Timer timer;
-  const Config& cfg = rt.config();
+  const Config& cfg = qc.config();
   const vertex_t n = g.num_vertices();
   VertexSubset out(n);
   if (opts.stats) ++opts.stats->edge_map_calls;
@@ -160,20 +162,20 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
 
   // ---- Step 1: vertex frontier -> page frontier --------------------------
   auto batches = detail::page_frontier_batches(
-      rt, g, frontier, [](vertex_t) { return true; });
+      qc, g, frontier, [](vertex_t) { return true; });
   const std::size_t num_devices = batches.size();
 
   // ---- Step 2: hand the page frontier to the persistent IO pipeline ------
-  io::IoBufferPool& io_pool = rt.io_pool();
-  auto io = rt.io_pipeline().submit(io_pool, std::move(batches),
+  io::IoBufferPool& io_pool = qc.io_pool();
+  auto io = qc.io_pipeline().submit(io_pool, std::move(batches),
                                     cfg.max_inflight_io);
 
   std::atomic<std::uint64_t> edges_scattered{0};
   std::atomic<std::uint64_t> records_binned{0};
 
   const bool sync_mode = cfg.sync_mode;
-  BinSet* bins = sync_mode ? nullptr : &rt.acquire_bins();
-  if (!sync_mode) rt.scatter_buffer(0);  // materialize before workers race
+  BinSet* bins = sync_mode ? nullptr : &qc.acquire_bins();
+  if (!sync_mode) qc.scatter_buffer(0);  // materialize before workers race
   const std::size_t scatter_threads =
       sync_mode ? cfg.compute_workers : cfg.scatter_threads();
 
@@ -254,11 +256,11 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
   };
 
   // ---- Compute workers (paper steps 5-9) ----------------------------------
-  rt.pool().run_on_all([&](std::size_t worker) {
+  qc.pool().run_on_all([&](std::size_t worker) {
     const bool is_scatter = worker < scatter_threads;
     std::uint64_t local_edges = 0, local_records = 0;
     if (is_scatter) {
-      ScatterBuffer* sbuf = sync_mode ? nullptr : &rt.scatter_buffer(worker);
+      ScatterBuffer* sbuf = sync_mode ? nullptr : &qc.scatter_buffer(worker);
       Backoff backoff;
       for (;;) {
         auto buf = io->pop_filled();
@@ -308,17 +310,33 @@ VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
   return out;
 }
 
+/// Single-query convenience: runs on the Runtime's default context.
+template <typename Program>
+VertexSubset edge_map(Runtime& rt, const format::OnDiskGraph& g,
+                      const VertexSubset& frontier, Program& prog,
+                      const EdgeMapOptions& opts = {}) {
+  return edge_map(rt.default_context(), g, frontier, prog, opts);
+}
+
 /// VERTEXMAP (paper Section IV-B): applies `f` to every frontier member
 /// fully in memory; the members where `f` returns true form the result.
 template <typename Fn>
-VertexSubset vertex_map(Runtime& rt, const VertexSubset& frontier, Fn&& f,
-                        QueryStats* stats = nullptr) {
+VertexSubset vertex_map(QueryContext& qc, const VertexSubset& frontier,
+                        Fn&& f, QueryStats* stats = nullptr) {
   VertexSubset out(frontier.universe());
-  frontier.for_each_parallel(rt.pool(), [&](vertex_t v) {
+  frontier.for_each_parallel(qc.pool(), [&](vertex_t v) {
     if (f(v)) out.add(v);
   });
   if (stats) ++stats->vertex_map_calls;
   return out;
+}
+
+/// Single-query convenience: runs on the Runtime's default context.
+template <typename Fn>
+VertexSubset vertex_map(Runtime& rt, const VertexSubset& frontier, Fn&& f,
+                        QueryStats* stats = nullptr) {
+  return vertex_map(rt.default_context(), frontier, std::forward<Fn>(f),
+                    stats);
 }
 
 }  // namespace blaze::core

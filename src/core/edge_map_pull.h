@@ -25,13 +25,13 @@ namespace blaze::core {
 /// in-neighbor s of d that is in `frontier`, until cond(d) turns false
 /// (early exit). Returns the activated destinations.
 template <typename Program>
-VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
+VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
                            const VertexSubset& frontier,
                            const VertexSubset& candidates, Program& prog,
                            const EdgeMapOptions& opts = {}) {
   using value_type = typename Program::value_type;
   Timer timer;
-  const Config& cfg = rt.config();
+  const Config& cfg = qc.config();
   BLAZE_CHECK(in_g.index().record_bytes() == sizeof(vertex_t),
               "pull mode currently supports unweighted graphs");
   const vertex_t n = in_g.num_vertices();
@@ -42,11 +42,11 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
   // Page frontier over the *candidates'* in-adjacency, handed to the
   // Runtime's persistent IO pipeline.
   auto batches = detail::page_frontier_batches(
-      rt, in_g, candidates, [&](vertex_t v) { return prog.cond(v); });
+      qc, in_g, candidates, [&](vertex_t v) { return prog.cond(v); });
   const std::size_t num_devices = batches.size();
 
-  io::IoBufferPool& io_pool = rt.io_pool();
-  auto io = rt.io_pipeline().submit(io_pool, std::move(batches),
+  io::IoBufferPool& io_pool = qc.io_pool();
+  auto io = qc.io_pipeline().submit(io_pool, std::move(batches),
                                     cfg.max_inflight_io);
 
   // Prefetch hook: queue the next iteration's candidate pages in discard
@@ -54,14 +54,14 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
   // while the compute workers are still gathering.
   std::shared_ptr<io::ReadHandle> prefetch;
   if (opts.prefetch_candidates) {
-    prefetch = detail::submit_prefetch(rt, in_g, *opts.prefetch_candidates);
+    prefetch = detail::submit_prefetch(qc, in_g, *opts.prefetch_candidates);
   }
 
   std::atomic<std::uint64_t> edges_scanned{0};
 
   const format::GraphIndex& index = in_g.index();
   const format::PageVertexMap& pvmap = in_g.page_map();
-  rt.pool().run_on_all([&](std::size_t) {
+  qc.pool().run_on_all([&](std::size_t) {
     std::uint64_t local_edges = 0;
     Backoff backoff;
     for (;;) {
@@ -142,22 +142,58 @@ VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
   return out;
 }
 
+/// Single-query convenience: runs on the Runtime's default context.
+template <typename Program>
+VertexSubset edge_map_pull(Runtime& rt, const format::OnDiskGraph& in_g,
+                           const VertexSubset& frontier,
+                           const VertexSubset& candidates, Program& prog,
+                           const EdgeMapOptions& opts = {}) {
+  return edge_map_pull(rt.default_context(), in_g, frontier, candidates,
+                       prog, opts);
+}
+
 /// Sum of out-degrees of the frontier (the Ligra density measure),
 /// computed in parallel from the index.
-inline std::uint64_t frontier_out_edges(Runtime& rt,
+inline std::uint64_t frontier_out_edges(QueryContext& qc,
                                         const format::OnDiskGraph& g,
                                         const VertexSubset& frontier) {
   std::atomic<std::uint64_t> sum{0};
-  frontier.for_each_parallel(rt.pool(), [&](vertex_t v) {
+  frontier.for_each_parallel(qc.pool(), [&](vertex_t v) {
     sum.fetch_add(g.degree(v), std::memory_order_relaxed);
   });
   return sum.load(std::memory_order_relaxed);
+}
+
+/// Single-query convenience: runs on the Runtime's default context.
+inline std::uint64_t frontier_out_edges(Runtime& rt,
+                                        const format::OnDiskGraph& g,
+                                        const VertexSubset& frontier) {
+  return frontier_out_edges(rt.default_context(), g, frontier);
 }
 
 /// Direction-optimized EdgeMap: pushes through the bins when the frontier
 /// is sparse, pulls over the transpose when the frontier's out-edge volume
 /// crosses |E| / threshold_div (Ligra's default 20). `candidates` is the
 /// pull-side filter (e.g. the unvisited set for BFS).
+template <typename Program>
+VertexSubset edge_map_hybrid(QueryContext& qc,
+                             const format::OnDiskGraph& out_g,
+                             const format::OnDiskGraph& in_g,
+                             const VertexSubset& frontier,
+                             const VertexSubset& candidates, Program& prog,
+                             const EdgeMapOptions& opts = {},
+                             std::uint64_t threshold_div = 20,
+                             bool* used_pull = nullptr) {
+  const std::uint64_t push_volume = frontier_out_edges(qc, out_g, frontier);
+  const bool pull = push_volume > out_g.num_edges() / threshold_div;
+  if (used_pull) *used_pull = pull;
+  if (pull) {
+    return edge_map_pull(qc, in_g, frontier, candidates, prog, opts);
+  }
+  return edge_map(qc, out_g, frontier, prog, opts);
+}
+
+/// Single-query convenience: runs on the Runtime's default context.
 template <typename Program>
 VertexSubset edge_map_hybrid(Runtime& rt, const format::OnDiskGraph& out_g,
                              const format::OnDiskGraph& in_g,
@@ -166,13 +202,8 @@ VertexSubset edge_map_hybrid(Runtime& rt, const format::OnDiskGraph& out_g,
                              const EdgeMapOptions& opts = {},
                              std::uint64_t threshold_div = 20,
                              bool* used_pull = nullptr) {
-  const std::uint64_t push_volume = frontier_out_edges(rt, out_g, frontier);
-  const bool pull = push_volume > out_g.num_edges() / threshold_div;
-  if (used_pull) *used_pull = pull;
-  if (pull) {
-    return edge_map_pull(rt, in_g, frontier, candidates, prog, opts);
-  }
-  return edge_map(rt, out_g, frontier, prog, opts);
+  return edge_map_hybrid(rt.default_context(), out_g, in_g, frontier,
+                         candidates, prog, opts, threshold_div, used_pull);
 }
 
 }  // namespace blaze::core

@@ -1,22 +1,23 @@
-// Blaze runtime: configuration, the persistent worker pool, the persistent
-// IO pipeline, and reusable engine arenas (IO buffer pool, bin space).
+// Blaze runtime: configuration, the persistent worker pool, and the
+// persistent IO pipeline shared by every query executed against it.
 #pragma once
 
 #include <memory>
 
-#include "core/bins.h"
 #include "core/config.h"
-#include "io/buffer_pool.h"
+#include "core/query_context.h"
 #include "io/io_pipeline.h"
 #include "util/thread_pool.h"
 
 namespace blaze::core {
 
-/// Owns the compute worker pool and the large engine allocations for a
-/// sequence of queries. Construct one per process (or per experiment
-/// configuration) and pass it to the algorithms; EdgeMap/VertexMap reuse
-/// its threads and arenas, so per-iteration setup cost is zero
-/// (Core Guidelines CP.41). Not safe for concurrent EdgeMap calls.
+/// Owns the machinery *shared* across queries: the persistent IO pipeline
+/// (one reader thread per device) and a default compute pool. Per-query
+/// mutable state — bins, IO buffer pool, scatter staging — lives in
+/// QueryContext; the Runtime lazily materializes one default context so
+/// the classic single-query call style (`edge_map(rt, ...)`) keeps
+/// working unchanged, while serve::QueryEngine creates one context per
+/// concurrent session over the same Runtime.
 class Runtime {
  public:
   explicit Runtime(Config config)
@@ -31,92 +32,74 @@ class Runtime {
   /// The persistent IO pipeline. Reader threads are created lazily on first
   /// submit and live as long as the Runtime, so consecutive EdgeMap calls
   /// reuse the same per-device IO threads (paper: one IO thread per SSD;
-  /// FlashGraph's persistent-IO-thread design).
-  io::IoPipeline& io_pipeline() {
-    // Re-sync the retry policy so mutable_config() sweeps over the retry
-    // knobs take effect on the next submission.
-    pipeline_.set_retry_policy(
-        {config_.io_retry_limit, config_.io_retry_backoff_us});
-    return pipeline_;
+  /// FlashGraph's persistent-IO-thread design). Pure accessor — safe to
+  /// call from concurrent query sessions.
+  io::IoPipeline& io_pipeline() { return pipeline_; }
+
+  /// The default per-query context backing the single-query call style.
+  /// Lazily built from the current config; invalidated by mutable_config().
+  /// NOT for concurrent use — concurrent sessions each construct their own
+  /// QueryContext (see serve::QueryEngine).
+  QueryContext& default_context() {
+    if (!default_ctx_) {
+      default_ctx_ =
+          std::make_unique<QueryContext>(config_, pipeline_, pool_);
+    }
+    return *default_ctx_;
   }
 
   /// Mutable access for experiment sweeps. Changing bin_count /
   /// bin_space_bytes / io_buffer_bytes takes effect on the next EdgeMap;
-  /// changing compute_workers requires a new Runtime.
+  /// changing the retry knobs additionally needs commit_config();
+  /// changing compute_workers requires a new Runtime. Must not be called
+  /// while queries are executing.
   Config& mutable_config() {
-    pipeline_.quiesce();  // no in-flight reads into pools being replaced
-    bins_.reset();        // force re-creation with new parameters
-    io_pool_.reset();
+    pipeline_.quiesce();   // no in-flight reads into pools being replaced
+    default_ctx_.reset();  // rebuilt lazily from the new parameters
     return config_;
   }
 
-  /// Bin space, (re)created lazily from the current config and reset
-  /// between EdgeMap executions.
-  BinSet& acquire_bins() {
-    if (!bins_ || bins_->bin_count() != config_.bin_count) {
-      bins_ = std::make_unique<BinSet>(config_.bin_count,
-                                       config_.bin_space_bytes);
-    }
-    bins_->reset();
-    return *bins_;
+  /// Applies config changes that live outside the lazily rebuilt arenas —
+  /// today the retry policy (io_retry_limit / io_retry_backoff_us). Called
+  /// once per reconfiguration instead of re-syncing on every pipeline
+  /// access, which was both wasted work and a data race under concurrent
+  /// queries.
+  void commit_config() {
+    pipeline_.set_retry_policy(
+        {config_.io_retry_limit, config_.io_retry_backoff_us});
   }
 
-  /// The static IO buffer pool (paper: 64 MB regardless of workload).
-  io::IoBufferPool& io_pool() {
-    if (!io_pool_) {
-      io_pool_ = std::make_unique<io::IoBufferPool>(config_.io_buffer_bytes);
-    }
-    return *io_pool_;
-  }
-
-  /// Per-worker scatter staging buffers, cached across EdgeMap calls
-  /// (fresh allocation per call costs mmap + page-fault churn that dwarfs
-  /// small iterations). Buffers are empty between calls by construction:
-  /// every EdgeMap flushes them before finishing.
+  // Legacy arena accessors, delegating to the default context (kept so the
+  // single-query path and existing harnesses read naturally).
+  BinSet& acquire_bins() { return default_context().acquire_bins(); }
+  io::IoBufferPool& io_pool() { return default_context().io_pool(); }
   ScatterBuffer& scatter_buffer(std::size_t worker) {
-    if (sbufs_.size() != config_.compute_workers ||
-        sbuf_bin_count_ != config_.bin_count) {
-      sbufs_.clear();
-      sbufs_.reserve(config_.compute_workers);
-      for (std::size_t i = 0; i < config_.compute_workers; ++i) {
-        sbufs_.push_back(std::make_unique<ScatterBuffer>(config_.bin_count));
-      }
-      sbuf_bin_count_ = config_.bin_count;
-    }
-    return *sbufs_[worker];
+    return default_context().scatter_buffer(worker);
   }
 
-  /// Drops the engine arenas; they are rebuilt lazily on next use. The
-  /// EdgeMap error path no longer needs this — the read engine reclaims
-  /// every in-flight buffer before a failure propagates, so the pool stays
-  /// whole — but experiment harnesses use it to return to a pristine
-  /// footprint. Waits out any queued pipeline work (e.g. prefetches) first
-  /// so no reader touches a pool being destroyed.
+  /// Drops the default context's arenas; they are rebuilt lazily on next
+  /// use. Experiment harnesses use this to return to a pristine footprint.
+  /// Waits out any queued pipeline work (e.g. prefetches) first so no
+  /// reader touches a pool being destroyed.
   void invalidate_arenas() {
     pipeline_.quiesce();
-    bins_.reset();
-    io_pool_.reset();
-    sbufs_.clear();
+    if (default_ctx_) default_ctx_->invalidate_arenas();
   }
 
-  /// Bytes currently held by the engine arenas (memory-footprint figure).
+  /// Bytes currently held by the default context's arenas
+  /// (memory-footprint figure).
   std::uint64_t arena_bytes() const {
-    std::uint64_t b = 0;
-    if (bins_) b += bins_->memory_bytes();
-    if (io_pool_) b += io_pool_->memory_bytes();
-    return b;
+    return default_ctx_ ? default_ctx_->arena_bytes() : 0;
   }
 
  private:
   Config config_;
   ThreadPool pool_;
-  std::unique_ptr<BinSet> bins_;
-  std::unique_ptr<io::IoBufferPool> io_pool_;
-  std::vector<std::unique_ptr<ScatterBuffer>> sbufs_;
-  std::size_t sbuf_bin_count_ = 0;
-  // Declared last: destroyed first, so readers quiesce and join while the
-  // buffer pool they read into is still alive.
   io::IoPipeline pipeline_;
+  // Declared after the pipeline: destroyed first, and its destructor
+  // quiesces the (still-alive) pipeline, so no reader touches the arenas
+  // while they die; the pipeline's own destructor then joins the readers.
+  std::unique_ptr<QueryContext> default_ctx_;
 };
 
 }  // namespace blaze::core

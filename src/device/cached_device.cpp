@@ -1,7 +1,10 @@
 #include "device/cached_device.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+
+#include "util/backoff.h"
 
 namespace blaze::device {
 
@@ -48,31 +51,10 @@ std::size_t CachedDevice::pick_victim_locked() {
   return static_cast<std::size_t>(rng_.next_below(capacity_pages_));
 }
 
-bool CachedDevice::lookup(std::uint64_t page, std::byte* out) {
-  std::lock_guard lock(mu_);
-  auto it = map_.find(page);
-  if (it == map_.end()) {
-    ++misses_;
-    return false;
-  }
-  ++hits_;
-  std::size_t slot = it->second;
-  if (policy_ == EvictionPolicy::kLru) {
-    lru_unlink(slot);
-    lru_push_front(slot);
-  }
-  std::memcpy(out, storage_.data() + slot * kPageSize, kPageSize);
-  return true;
-}
-
-bool CachedDevice::lookup_run(std::uint64_t first_page,
-                              std::uint32_t num_pages, std::byte* out) {
-  std::lock_guard lock(mu_);
+bool CachedDevice::copy_run_locked(std::uint64_t first_page,
+                                   std::uint32_t num_pages, std::byte* out) {
   for (std::uint32_t j = 0; j < num_pages; ++j) {
-    if (!map_.contains(first_page + j)) {
-      misses_ += num_pages;
-      return false;
-    }
+    if (!map_.contains(first_page + j)) return false;
   }
   for (std::uint32_t j = 0; j < num_pages; ++j) {
     std::size_t slot = map_.find(first_page + j)->second;
@@ -83,7 +65,27 @@ bool CachedDevice::lookup_run(std::uint64_t first_page,
     std::memcpy(out + std::size_t{j} * kPageSize,
                 storage_.data() + slot * kPageSize, kPageSize);
   }
-  hits_ += num_pages;
+  return true;
+}
+
+bool CachedDevice::lookup(std::uint64_t page, std::byte* out) {
+  std::lock_guard lock(mu_);
+  if (!copy_run_locked(page, 1, out)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool CachedDevice::lookup_run(std::uint64_t first_page,
+                              std::uint32_t num_pages, std::byte* out) {
+  std::lock_guard lock(mu_);
+  if (!copy_run_locked(first_page, num_pages, out)) {
+    misses_.fetch_add(num_pages, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(num_pages, std::memory_order_relaxed);
   return true;
 }
 
@@ -91,8 +93,65 @@ void CachedDevice::record_unaligned_miss(std::uint64_t offset,
                                          std::uint64_t length) {
   const std::uint64_t first = offset / kPageSize;
   const std::uint64_t last = (offset + length + kPageSize - 1) / kPageSize;
+  misses_.fetch_add(last - first, std::memory_order_relaxed);
+}
+
+RunState CachedDevice::start_run_locked(std::uint64_t first_page,
+                                        std::uint32_t num_pages,
+                                        std::byte* out, bool deferred_retry) {
+  if (copy_run_locked(first_page, num_pages, out)) {
+    hits_.fetch_add(num_pages, std::memory_order_relaxed);
+    if (deferred_retry) {
+      dedup_hits_.fetch_add(num_pages, std::memory_order_relaxed);
+    }
+    return RunState::kHit;
+  }
+  // Defer only when every MISSING page is already being read elsewhere —
+  // then this request costs zero inner reads once the owners finish. A
+  // partially covered run is claimed outright: re-reading an in-flight
+  // page alongside the truly missing ones is at worst one redundant page
+  // inside an already-merged request.
+  bool all_inflight = true;
+  for (std::uint32_t j = 0; j < num_pages; ++j) {
+    const std::uint64_t p = first_page + j;
+    if (!map_.contains(p) && !inflight_.contains(p)) {
+      all_inflight = false;
+      break;
+    }
+  }
+  if (all_inflight) return RunState::kDeferred;
+  misses_.fetch_add(num_pages, std::memory_order_relaxed);
+  for (std::uint32_t j = 0; j < num_pages; ++j) ++inflight_[first_page + j];
+  return RunState::kOwned;
+}
+
+RunState CachedDevice::try_start_run(std::uint64_t first_page,
+                                     std::uint32_t num_pages,
+                                     std::byte* out) {
   std::lock_guard lock(mu_);
-  misses_ += last - first;
+  return start_run_locked(first_page, num_pages, out,
+                          /*deferred_retry=*/false);
+}
+
+RunState CachedDevice::retry_deferred_run(std::uint64_t first_page,
+                                          std::uint32_t num_pages,
+                                          std::byte* out) {
+  std::lock_guard lock(mu_);
+  return start_run_locked(first_page, num_pages, out,
+                          /*deferred_retry=*/true);
+}
+
+void CachedDevice::end_run(std::uint64_t first_page,
+                           std::uint32_t num_pages) {
+  {
+    std::lock_guard lock(mu_);
+    for (std::uint32_t j = 0; j < num_pages; ++j) {
+      auto it = inflight_.find(first_page + j);
+      if (it == inflight_.end()) continue;
+      if (--it->second == 0) inflight_.erase(it);
+    }
+  }
+  inflight_cv_.notify_all();
 }
 
 void CachedDevice::fill(std::uint64_t page, const std::byte* data) {
@@ -118,6 +177,38 @@ void CachedDevice::fill(std::uint64_t page, const std::byte* data) {
   }
 }
 
+void CachedDevice::read_page_sync(std::uint64_t page, std::byte* dst) {
+  {
+    std::unique_lock lock(mu_);
+    while (true) {
+      if (copy_run_locked(page, 1, dst)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (!inflight_.contains(page)) break;  // claim the read ourselves
+      // Another caller is reading this page right now: wait for its fill
+      // instead of issuing a duplicate inner read. The timeout bounds the
+      // wait if the owner aborts between its end_run() and our wakeup race.
+      inflight_cv_.wait_for(lock, std::chrono::microseconds(200));
+      if (copy_run_locked(page, 1, dst)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++inflight_[page];
+  }
+  try {
+    inner_->read(page * kPageSize, std::span<std::byte>(dst, kPageSize));
+  } catch (...) {
+    end_run(page, 1);  // waiters reclaim ownership instead of spinning
+    throw;
+  }
+  fill(page, dst);
+  end_run(page, 1);
+}
+
 void CachedDevice::read(std::uint64_t offset, std::span<std::byte> out) {
   const bool aligned =
       offset % kPageSize == 0 && out.size() % kPageSize == 0;
@@ -130,13 +221,7 @@ void CachedDevice::read(std::uint64_t offset, std::span<std::byte> out) {
     return;
   }
   for (std::size_t done = 0; done < out.size(); done += kPageSize) {
-    std::uint64_t page = (offset + done) / kPageSize;
-    std::byte* dst = out.data() + done;
-    if (!lookup(page, dst)) {
-      inner_->read(offset + done,
-                   std::span<std::byte>(dst, kPageSize));
-      fill(page, dst);
-    }
+    read_page_sync((offset + done) / kPageSize, out.data() + done);
   }
   stats_.record_read(out.size(), 0);
 }
@@ -144,72 +229,170 @@ void CachedDevice::read(std::uint64_t offset, std::span<std::byte> out) {
 namespace {
 
 /// Async facade: hits complete immediately; misses are forwarded to the
-/// inner channel and inserted into the cache at completion.
+/// inner channel and inserted into the cache at completion. Misses whose
+/// pages another session is already reading are *deferred* — parked here
+/// instead of duplicated on the inner device — and completed from the cache
+/// once the owner fills it (cross-query read dedup). The channel itself
+/// stays single-submitter (the AsyncChannel contract); only the device's
+/// page table synchronizes across channels.
 class CachedChannel : public AsyncChannel {
  public:
   explicit CachedChannel(CachedDevice& dev)
       : dev_(dev), inner_(dev.inner().open_channel()) {}
 
+  ~CachedChannel() override {
+    // If the submitter abandons the channel mid-request (error unwind),
+    // release our in-flight claims so deferred peers on other channels can
+    // take over the reads instead of waiting forever.
+    for (const AsyncRead& r : owned_) {
+      dev_.end_run(r.offset / kPageSize, r.length / kPageSize);
+    }
+  }
+
   void submit(const AsyncRead& read) override {
     const bool aligned =
         read.offset % kPageSize == 0 && read.length % kPageSize == 0;
     if (aligned) {
-      // Serve entirely from the cache when every page of the (possibly
-      // merged) request hits; on any miss the whole request goes to the
-      // inner device and repopulates the cache at completion. lookup_run is
-      // all-or-nothing on the accounting too: a partial hit counts every
-      // page as a miss, since every page is re-read from the inner device
-      // (per-page hit counting here inflated the ablation's hit rate).
-      if (dev_.lookup_run(read.offset / kPageSize, read.length / kPageSize,
-                          static_cast<std::byte*>(read.buffer))) {
-        ready_.push_back(read.user);
-        return;
+      // All-or-nothing on both data and accounting: a partial hit re-reads
+      // the whole merged request from the inner device, so pages that
+      // happened to be cached must not inflate the hit rate (per-page hit
+      // counting here once inflated the ablation's numbers).
+      switch (dev_.try_start_run(read.offset / kPageSize,
+                                 read.length / kPageSize,
+                                 static_cast<std::byte*>(read.buffer))) {
+        case RunState::kHit:
+          ready_.push_back(read.user);
+          return;
+        case RunState::kDeferred:
+          deferred_.push_back(read);
+          return;
+        case RunState::kOwned:
+          submit_owned(read);
+          return;
       }
-    } else {
-      dev_.record_unaligned_miss(read.offset, read.length);
     }
-    inflight_.push_back(read);
+    dev_.record_unaligned_miss(read.offset, read.length);
     inner_->submit(read);
+    unaligned_.push_back(read);
   }
 
   std::size_t pending() const override {
-    return ready_.size() + inner_->pending();
+    return ready_.size() + deferred_.size() + inner_->pending();
   }
 
   void wait(std::size_t min_completions,
             std::vector<std::uint64_t>& completed) override {
-    completed.insert(completed.end(), ready_.begin(), ready_.end());
-    std::size_t got = ready_.size();
-    ready_.clear();
-    if (got >= min_completions) min_completions = 0;
-    else min_completions -= got;
-    std::size_t before = completed.size();
-    inner_->wait(min_completions, completed);
-    // Insert completed miss pages into the cache. Only page-aligned
-    // requests may repopulate it: caching an unaligned payload under the
-    // enclosing page number would poison that page with shifted bytes.
-    for (std::size_t i = before; i < completed.size(); ++i) {
-      for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
-        if (it->user == completed[i]) {
-          if (it->offset % kPageSize == 0) {
-            for (std::uint32_t off = 0; off + kPageSize <= it->length;
-                 off += kPageSize) {
-              dev_.fill((it->offset + off) / kPageSize,
-                        static_cast<const std::byte*>(it->buffer) + off);
-            }
-          }
-          inflight_.erase(it);
-          break;
-        }
+    min_completions = std::min(min_completions, pending());
+    std::size_t got = drain_ready(completed) + retry_deferred(completed);
+    Backoff backoff;
+    while (true) {
+      if (inner_->pending() > 0) {
+        // Reap at most what the inner channel can still deliver; deferred
+        // runs complete via the cache, not the inner channel.
+        const std::size_t want =
+            std::min(got < min_completions ? min_completions - got : 0,
+                     inner_->pending());
+        const std::size_t before = completed.size();
+        inner_->wait(want, completed);
+        got += completed.size() - before;
+        finish_inner(completed, before);
+        backoff.reset();
       }
+      got += retry_deferred(completed);
+      if (got >= min_completions) return;
+      // Only deferred runs remain: their owners live on other channels'
+      // threads, so there is nothing to block on — poll the cache.
+      backoff.pause();
     }
   }
 
  private:
+  /// Forwards an owned (marks held) run to the inner channel. A submit that
+  /// throws must release the marks first: the read engine retries transient
+  /// failures by resubmitting the same request, and stale marks from the
+  /// failed attempt would make that retry defer on itself forever.
+  void submit_owned(const AsyncRead& read) {
+    try {
+      inner_->submit(read);
+    } catch (...) {
+      dev_.end_run(read.offset / kPageSize, read.length / kPageSize);
+      throw;
+    }
+    owned_.push_back(read);
+  }
+
+  std::size_t drain_ready(std::vector<std::uint64_t>& completed) {
+    completed.insert(completed.end(), ready_.begin(), ready_.end());
+    const std::size_t n = ready_.size();
+    ready_.clear();
+    return n;
+  }
+
+  /// Re-polls every deferred run: completes the ones the owners have filled,
+  /// claims (and submits) the ones whose owners aborted without filling.
+  std::size_t retry_deferred(std::vector<std::uint64_t>& completed) {
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < deferred_.size();) {
+      const AsyncRead& r = deferred_[i];
+      switch (dev_.retry_deferred_run(r.offset / kPageSize,
+                                      r.length / kPageSize,
+                                      static_cast<std::byte*>(r.buffer))) {
+        case RunState::kHit:
+          completed.push_back(r.user);
+          ++done;
+          deferred_.erase(deferred_.begin() + i);
+          continue;
+        case RunState::kOwned:
+          // The prior owner aborted; this caller inherits the read. Erase
+          // from deferred_ only after a successful submit — on a throw the
+          // run stays parked (marks released by submit_owned) and the
+          // engine's reclaim path re-polls or abandons the channel.
+          submit_owned(r);
+          deferred_.erase(deferred_.begin() + i);
+          continue;
+        case RunState::kDeferred:
+          ++i;
+          continue;
+      }
+    }
+    return done;
+  }
+
+  /// Post-processes inner completions appended at `first`: repopulates the
+  /// cache from owned (page-aligned) requests and releases their in-flight
+  /// claims. Unaligned payloads never enter the cache — caching one under
+  /// the enclosing page number would poison that page with shifted bytes.
+  void finish_inner(const std::vector<std::uint64_t>& completed,
+                    std::size_t first) {
+    for (std::size_t i = first; i < completed.size(); ++i) {
+      bool matched = false;
+      for (auto it = owned_.begin(); it != owned_.end(); ++it) {
+        if (it->user != completed[i]) continue;
+        for (std::uint32_t off = 0; off + kPageSize <= it->length;
+             off += kPageSize) {
+          dev_.fill((it->offset + off) / kPageSize,
+                    static_cast<const std::byte*>(it->buffer) + off);
+        }
+        dev_.end_run(it->offset / kPageSize, it->length / kPageSize);
+        owned_.erase(it);
+        matched = true;
+        break;
+      }
+      if (matched) continue;
+      for (auto it = unaligned_.begin(); it != unaligned_.end(); ++it) {
+        if (it->user != completed[i]) continue;
+        unaligned_.erase(it);
+        break;
+      }
+    }
+  }
+
   CachedDevice& dev_;
   std::unique_ptr<AsyncChannel> inner_;
-  std::vector<std::uint64_t> ready_;
-  std::vector<AsyncRead> inflight_;
+  std::vector<std::uint64_t> ready_;  ///< hits completed at submit time
+  std::vector<AsyncRead> deferred_;   ///< waiting on another session's read
+  std::vector<AsyncRead> owned_;      ///< in-flight on inner, marks held
+  std::vector<AsyncRead> unaligned_;  ///< in-flight on inner, uncacheable
 };
 
 }  // namespace

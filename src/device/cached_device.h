@@ -9,6 +9,8 @@
 // (bench_ablation_cache) measures what each policy buys on each topology.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -24,8 +26,19 @@ enum class EvictionPolicy {
   kRandom,  ///< uniform random victim (original Blaze's behaviour)
 };
 
+/// Outcome of the miss-dedup protocol for one page run (see try_start_run).
+enum class RunState {
+  kHit,       ///< served from the cache; the buffer is filled
+  kDeferred,  ///< every missing page is already being read by another caller
+  kOwned,     ///< caller claimed the read; it must fill() then end_run()
+};
+
 /// Read-through page cache over another device. Only whole-page-aligned
-/// reads are cached; unaligned reads pass through. Thread-safe.
+/// reads are cached; unaligned reads pass through. Thread-safe: many query
+/// sessions may read through one CachedDevice concurrently, and misses for
+/// the same page are deduplicated so two queries faulting the same CSR page
+/// issue one inner-device read (the second waits — or defers, on the async
+/// path — and is served from the cache when the first one fills it).
 class CachedDevice : public BlockDevice {
  public:
   CachedDevice(std::shared_ptr<BlockDevice> inner,
@@ -42,8 +55,23 @@ class CachedDevice : public BlockDevice {
   IoStats& stats() override { return stats_; }
   BlockDevice& inner() { return *inner_; }
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Subset of hits() served by waiting out another caller's in-flight read
+  /// of the same page instead of issuing a duplicate inner-device read.
+  std::uint64_t dedup_hits() const {
+    return dedup_hits_.load(std::memory_order_relaxed);
+  }
+  /// Hit fraction in [0,1]; 0 when no traffic has been recorded.
+  double hit_rate() const {
+    const double h = static_cast<double>(hits());
+    const double m = static_cast<double>(misses());
+    return h + m == 0 ? 0.0 : h / (h + m);
+  }
 
   /// Fills `out` (kPageSize bytes) for page `page`; returns true on a
   /// cache hit. On miss the caller must read from the inner device and
@@ -67,8 +95,34 @@ class CachedDevice : public BlockDevice {
   /// Inserts a page, evicting per policy when full.
   void fill(std::uint64_t page, const std::byte* data);
 
+  // --- Miss-dedup protocol (async channels; the sync read() path uses the
+  // --- same in-flight registry internally).
+  //
+  // One "run" is a page-aligned request of `num_pages` consecutive pages
+  // (the read engine merges up to 4). All-or-nothing like lookup_run.
+  //
+  //   kHit      → `out` is filled, num_pages hits counted; done.
+  //   kDeferred → every missing page is in flight under another caller.
+  //               Nothing counted. Re-poll with retry_deferred_run().
+  //   kOwned    → num_pages misses counted and the pages marked in flight.
+  //               Caller reads the inner device, fill()s each page, then
+  //               end_run()s — on failure it still MUST end_run() so
+  //               deferred peers can reclaim ownership instead of spinning.
+  RunState try_start_run(std::uint64_t first_page, std::uint32_t num_pages,
+                         std::byte* out);
+
+  /// Re-polls a previously deferred run. kHit additionally counts the pages
+  /// as dedup hits (the wait saved an inner read); kOwned means the prior
+  /// owner gave up without filling and this caller now owns the read.
+  RunState retry_deferred_run(std::uint64_t first_page,
+                              std::uint32_t num_pages, std::byte* out);
+
+  /// Releases the in-flight marks of an owned run and wakes sync waiters.
+  /// Call after the last fill() (or after a failed inner read).
+  void end_run(std::uint64_t first_page, std::uint32_t num_pages);
+
  private:
- std::string name_;
+  std::string name_;
   std::shared_ptr<BlockDevice> inner_;
   EvictionPolicy policy_;
   std::size_t capacity_pages_;
@@ -76,21 +130,36 @@ class CachedDevice : public BlockDevice {
   IoStats stats_;
 
   std::mutex mu_;
+  std::condition_variable inflight_cv_;  ///< signaled by end_run()
   // Guarded by mu_:
   std::unordered_map<std::uint64_t, std::size_t> map_;   // page -> slot
+  std::unordered_map<std::uint64_t, std::uint32_t> inflight_;  // page -> refs
   std::vector<std::uint64_t> slot_page_;                 // slot -> page
   std::vector<std::size_t> free_slots_;
   // LRU bookkeeping (intrusive doubly linked list over slots).
   std::vector<std::size_t> lru_prev_, lru_next_;
   std::size_t lru_head_ = kNil, lru_tail_ = kNil;
   Xoshiro256 rng_{0xCACE};
-  std::uint64_t hits_ = 0, misses_ = 0;
+  // Counters are atomic (relaxed): hot accessors like hits() are read by
+  // monitoring threads while sessions update them under mu_ or lock-free
+  // (record_unaligned_miss), and TSan must stay clean.
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, dedup_hits_{0};
 
   static constexpr std::size_t kNil = ~std::size_t{0};
 
   void lru_unlink(std::size_t slot);
   void lru_push_front(std::size_t slot);
   std::size_t pick_victim_locked();
+  /// Copies a fully cached run into `out` with LRU touch; false if any page
+  /// is absent. No counting. Caller holds mu_.
+  bool copy_run_locked(std::uint64_t first_page, std::uint32_t num_pages,
+                       std::byte* out);
+  /// Shared body of try_start_run / retry_deferred_run. Caller holds mu_.
+  RunState start_run_locked(std::uint64_t first_page, std::uint32_t num_pages,
+                            std::byte* out, bool deferred_retry);
+  /// Blocking per-page miss path for the sync read() API: waits out a
+  /// foreign in-flight read or claims ownership and reads the inner device.
+  void read_page_sync(std::uint64_t page, std::byte* dst);
 };
 
 }  // namespace blaze::device

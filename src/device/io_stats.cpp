@@ -14,7 +14,8 @@ void IoStats::record_read(std::uint64_t bytes, std::uint64_t busy_ns) {
   current_epoch_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (bucket_ns_ != 0) {
     std::uint64_t now = Timer::now_ns();
-    std::uint64_t bucket = (now - t0_ns_) / bucket_ns_;
+    std::uint64_t bucket =
+        (now - t0_ns_.load(std::memory_order_relaxed)) / bucket_ns_;
     if (bucket < timeline_.size()) {
       timeline_[bucket].fetch_add(bytes, std::memory_order_relaxed);
     }
@@ -30,7 +31,7 @@ void IoStats::reset() {
     std::lock_guard lock(epoch_mu_);
     closed_epochs_.clear();
   }
-  t0_ns_ = Timer::now_ns();
+  t0_ns_.store(Timer::now_ns(), std::memory_order_relaxed);
   for (auto& b : timeline_) b.store(0, std::memory_order_relaxed);
 }
 

@@ -59,7 +59,10 @@ class IoStats {
   std::atomic<std::uint64_t> busy_ns_{0};
 
   std::uint64_t bucket_ns_;
-  std::uint64_t t0_ns_;
+  /// Timeline epoch origin. Atomic (relaxed) because reset() may race with
+  /// record_read() from another session's reader thread; the timeline is
+  /// best-effort accounting, not synchronization.
+  std::atomic<std::uint64_t> t0_ns_;
   static constexpr std::size_t kMaxBuckets = 1 << 16;
   std::vector<std::atomic<std::uint64_t>> timeline_;
 

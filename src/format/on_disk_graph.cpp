@@ -93,7 +93,9 @@ std::vector<std::byte> serialize_adjacency(const graph::Csr& g) {
   std::uint64_t bytes = g.num_edges() * sizeof(vertex_t);
   std::vector<std::byte> out(round_up<std::uint64_t>(
       std::max<std::uint64_t>(bytes, 1), kPageSize));
-  std::memcpy(out.data(), g.edges().data(), bytes);
+  // Edgeless graphs have a null edges().data(); memcpy's arguments must
+  // be non-null even for size 0.
+  if (bytes != 0) std::memcpy(out.data(), g.edges().data(), bytes);
   return out;
 }
 

@@ -40,11 +40,9 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
                                              std::size_t max_inflight,
                                              bool discard) {
   std::size_t active = 0;
-  std::size_t max_slot = 0;
   for (const ReadBatch& b : batches) {
     if (b.pages.empty()) continue;
     ++active;
-    max_slot = std::max<std::size_t>(max_slot, b.device_index);
   }
   // The filled queue can hold every pool buffer, so reader pushes never
   // block on queue capacity (only on pool backpressure, by design).
@@ -52,7 +50,6 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
       new ReadHandle(pool.num_buffers() + 1, active, discard));
   if (active == 0) return handle;
 
-  ensure_readers(max_slot + 1);
   std::lock_guard lock(readers_mu_);
   for (ReadBatch& b : batches) {
     if (b.pages.empty()) continue;
@@ -65,7 +62,10 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
     job->max_inflight = max_inflight;
     job->retry = retry_;
     job->verifier = std::move(b.verifier);
-    Reader& reader = *readers_[b.device_index];
+    // One persistent reader per distinct device, keyed by the device
+    // itself: concurrent queries on the same SSD share its thread (and its
+    // cache locality), queries on different SSDs run fully in parallel.
+    Reader& reader = *readers_[slot_for_locked(b.device)];
     outstanding_.fetch_add(1, std::memory_order_relaxed);
     while (!reader.jobs.push(job)) std::this_thread::yield();
     {
@@ -78,15 +78,17 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
   return handle;
 }
 
-void IoPipeline::ensure_readers(std::size_t count) {
-  std::lock_guard lock(readers_mu_);
-  while (readers_.size() < count) {
-    auto reader = std::make_unique<Reader>();
-    Reader& r = *reader;
-    r.thread = std::jthread([this, &r] { reader_main(r); });
-    r.tid = r.thread.get_id();
-    readers_.push_back(std::move(reader));
-  }
+std::size_t IoPipeline::slot_for_locked(device::BlockDevice* device) {
+  auto it = device_slots_.find(device);
+  if (it != device_slots_.end()) return it->second;
+  auto reader = std::make_unique<Reader>();
+  Reader& r = *reader;
+  r.thread = std::jthread([this, &r] { reader_main(r); });
+  r.tid = r.thread.get_id();
+  readers_.push_back(std::move(reader));
+  const std::size_t slot = readers_.size() - 1;
+  device_slots_.emplace(device, slot);
+  return slot;
 }
 
 void IoPipeline::reader_main(Reader& reader) {

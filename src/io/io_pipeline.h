@@ -32,6 +32,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "device/block_device.h"
@@ -103,8 +104,13 @@ class IoPipeline {
   IoPipeline(const IoPipeline&) = delete;
   IoPipeline& operator=(const IoPipeline&) = delete;
 
-  /// Posts one read job per non-empty batch; batch.device_index selects the
-  /// persistent reader slot. Filled buffers appear in the handle's queue.
+  /// Posts one read job per non-empty batch. Each distinct device gets its
+  /// own persistent reader slot (paper: one IO thread per SSD) — keyed by
+  /// the device itself, not the batch's stripe index, so concurrent queries
+  /// over *different* graphs never serialize behind one reader while
+  /// queries touching the *same* device share its single thread FIFO.
+  /// batch.device_index remains the stripe tag stamped into BufferMeta.
+  /// Filled buffers appear in the handle's queue.
   std::shared_ptr<ReadHandle> submit(IoBufferPool& pool,
                                      std::vector<ReadBatch> batches,
                                      std::size_t max_inflight);
@@ -118,15 +124,23 @@ class IoPipeline {
 
   /// Retry policy every reader applies to transient device failures.
   /// Set before submitting; jobs already queued keep the policy they were
-  /// posted under.
-  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
-  RetryPolicy retry_policy() const { return retry_; }
+  /// posted under. Thread-safe with respect to concurrent submissions
+  /// (each job snapshots the policy at post time under the pipeline lock).
+  void set_retry_policy(RetryPolicy policy) {
+    std::lock_guard lock(readers_mu_);
+    retry_ = policy;
+  }
+  RetryPolicy retry_policy() const {
+    std::lock_guard lock(readers_mu_);
+    return retry_;
+  }
 
   /// Blocks until every posted job (including prefetches) has finished.
   /// Required before tearing down buffer pools the jobs read into.
   void quiesce() const;
 
-  /// Number of persistent reader threads created so far.
+  /// Number of persistent reader threads created so far (one per distinct
+  /// device the pipeline has read from).
   std::size_t num_readers() const;
 
   /// OS thread identity of each reader slot — stable for the lifetime of
@@ -160,12 +174,15 @@ class IoPipeline {
   std::shared_ptr<ReadHandle> post(IoBufferPool& pool,
                                    std::vector<ReadBatch> batches,
                                    std::size_t max_inflight, bool discard);
-  void ensure_readers(std::size_t count);
+  /// Reader slot serving `device`, created on first use. Caller must hold
+  /// readers_mu_.
+  std::size_t slot_for_locked(device::BlockDevice* device);
   void reader_main(Reader& reader);
   void execute(Job& job);
 
-  mutable std::mutex readers_mu_;  ///< guards growth of readers_
+  mutable std::mutex readers_mu_;  ///< guards readers_/device_slots_/retry_
   std::vector<std::unique_ptr<Reader>> readers_;
+  std::unordered_map<device::BlockDevice*, std::size_t> device_slots_;
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<bool> stop_{false};
   RetryPolicy retry_;  ///< applied to transient faults; snapshot per job

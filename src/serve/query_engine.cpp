@@ -1,0 +1,196 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace blaze::serve {
+
+namespace {
+
+core::Config session_config(const core::Config& base,
+                            const EngineOptions& opts) {
+  core::Config cfg = base;
+  if (opts.workers_per_query != 0) {
+    cfg.compute_workers = opts.workers_per_query;
+  }
+  // Partition the paper's static IO buffer budget across the admission
+  // slots: each session's backpressure is then private to it, so one
+  // pool-starved query can never stall another query's reads.
+  if (opts.io_buffer_bytes_per_query != 0) {
+    cfg.io_buffer_bytes = opts.io_buffer_bytes_per_query;
+  } else {
+    cfg.io_buffer_bytes =
+        base.io_buffer_bytes / std::max<std::size_t>(1, opts.max_inflight_queries);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(core::Config config, EngineOptions opts)
+    : opts_(opts),
+      session_cfg_(session_config(config, opts_)),
+      runtime_(config) {
+  sessions_.reserve(opts_.max_inflight_queries);
+  for (std::size_t i = 0; i < opts_.max_inflight_queries; ++i) {
+    sessions_.emplace_back([this] { session_main(); });
+  }
+}
+
+QueryEngine::~QueryEngine() { drain(); }
+
+std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
+  auto ticket = std::shared_ptr<QueryTicket>(new QueryTicket(spec.label));
+  {
+    std::lock_guard lock(mu_);
+    if (draining_) {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.rejected;
+      throw ServeError(RejectKind::kShuttingDown,
+                       "engine is draining; query '" + spec.label +
+                           "' not admitted");
+    }
+    if (queue_.size() >= opts_.max_queue_depth) {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.rejected;
+      throw ServeError(RejectKind::kOverloaded,
+                       "submission queue full (" +
+                           std::to_string(opts_.max_queue_depth) +
+                           " queued); query '" + spec.label +
+                           "' not admitted");
+    }
+    Entry entry;
+    entry.submit_ns = Timer::now_ns();
+    entry.deadline_ns =
+        spec.deadline_s > 0
+            ? entry.submit_ns +
+                  static_cast<std::uint64_t>(spec.deadline_s * 1e9)
+            : 0;
+    entry.spec = std::move(spec);
+    entry.ticket = ticket;
+    queue_.push_back(std::move(entry));
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.admitted;
+    }
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void QueryEngine::session_main() {
+  // One context per session, reused across the queries this session runs:
+  // private bins, scatter staging, and IO buffer slice over the shared
+  // pipeline. Building it once amortizes the arena allocations across the
+  // session's whole lifetime (the point of serving vs. one-shot runs).
+  core::QueryContext ctx(session_cfg_, runtime_.io_pipeline());
+  while (true) {
+    Entry entry;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      // Highest priority first; FIFO among equals (stable: the scan keeps
+      // the earliest of the best priority).
+      auto best = queue_.begin();
+      for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+        if (it->spec.priority > best->spec.priority) best = it;
+      }
+      entry = std::move(*best);
+      queue_.erase(best);
+      ++running_;
+    }
+    execute(entry, ctx);
+    {
+      std::lock_guard lock(mu_);
+      --running_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
+  const std::uint64_t start_ns = Timer::now_ns();
+  auto elapsed_s = [&] {
+    return static_cast<double>(Timer::now_ns() - entry.submit_ns) / 1e9;
+  };
+  auto record_latency = [&](double seconds) {
+    stats_.latency_us.add(static_cast<std::uint64_t>(seconds * 1e6));
+  };
+  // In every path below the engine counters are updated BEFORE the ticket
+  // turns terminal, so a client that returns from ticket->wait() and reads
+  // stats() is guaranteed to see its own query counted.
+  if (entry.deadline_ns != 0 && start_ns > entry.deadline_ns) {
+    // Expired while queued: never run it — the client's budget is gone and
+    // the cycles belong to queries that can still meet theirs.
+    const double lat = elapsed_s();
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.expired;
+      record_latency(lat);
+    }
+    entry.ticket->finish(
+        QueryState::kExpired, {},
+        std::make_exception_ptr(ServeError(
+            RejectKind::kDeadlineExpired,
+            "query '" + entry.spec.label + "' spent " +
+                std::to_string(lat) + "s queued, past its deadline")),
+        lat);
+    return;
+  }
+  entry.ticket->set_running();
+  try {
+    core::QueryStats qs = entry.spec.run(ctx);
+    const double lat = elapsed_s();
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.completed;
+      stats_.aggregate.merge(qs);
+      record_latency(lat);
+    }
+    entry.ticket->finish(QueryState::kDone, qs, nullptr, lat);
+  } catch (...) {
+    const double lat = elapsed_s();
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.failed;
+      record_latency(lat);
+    }
+    entry.ticket->finish(QueryState::kFailed, {}, std::current_exception(),
+                         lat);
+  }
+}
+
+void QueryEngine::drain() {
+  {
+    std::unique_lock lock(mu_);
+    draining_ = true;
+    drain_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  sessions_.clear();  // joins the jthreads; idempotent once empty
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats out;
+  {
+    std::lock_guard lock(stats_mu_);
+    out = stats_;
+  }
+  if (cache_ != nullptr) {
+    out.cache_hits = cache_->hits();
+    out.cache_misses = cache_->misses();
+    out.cache_dedup_hits = cache_->dedup_hits();
+    out.cache_hit_rate = cache_->hit_rate();
+  }
+  return out;
+}
+
+std::size_t QueryEngine::in_flight() const {
+  std::lock_guard lock(mu_);
+  return queue_.size() + running_;
+}
+
+}  // namespace blaze::serve

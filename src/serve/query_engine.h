@@ -1,0 +1,274 @@
+// blaze::serve — concurrent multi-query serving over one shared Runtime.
+//
+// The ROADMAP's north star is a server, not a harness: many clients, one
+// machine, one copy of the IO machinery. FlashGraph demonstrates the
+// winning shape for semi-external graph engines — persistent per-SSD IO
+// threads and one shared page cache serving many concurrent queries — and
+// this subsystem brings it to Blaze:
+//
+//   QueryEngine
+//     ├── core::Runtime            (shared: config template, IO pipeline —
+//     │                             one reader thread per device)
+//     ├── session threads (N = max_inflight_queries), each owning ONE
+//     │     core::QueryContext     (per-query: bins, scatter staging, and a
+//     │                             1/N slice of the IO buffer budget)
+//     └── bounded submission queue (admission control)
+//
+// Admission is explicit and typed, in the style of the io::IoError
+// taxonomy: a full queue raises ServeError{kOverloaded} (back off and
+// resubmit), a draining engine raises kShuttingDown, and a query whose
+// deadline lapses while queued completes as kExpired with
+// ServeError{kDeadlineExpired} recorded on its ticket. Among queued
+// queries, higher priority runs first (FIFO within a priority level).
+//
+// Statistics aggregate bottom-up exactly like the fault counters of the IO
+// pipeline: each query's core::QueryStats (which embeds io::PipelineStats,
+// including retries / failed_requests / gave_up) merges into the engine's
+// aggregate, and per-query wall latency feeds a log-bucketed histogram for
+// p50/p95 reporting.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "device/cached_device.h"
+#include "serve/serve_error.h"
+#include "util/histogram.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace blaze::serve {
+
+/// Engine sizing knobs.
+struct EngineOptions {
+  /// Concurrent query sessions (executor threads, each with its own
+  /// QueryContext). The paper's static IO buffer budget is divided across
+  /// them so one stalled query can never starve another's reads.
+  std::size_t max_inflight_queries = 4;
+
+  /// Bounded submission queue depth; a submit beyond it is rejected with
+  /// ServeError{kOverloaded} instead of queueing unboundedly.
+  std::size_t max_queue_depth = 64;
+
+  /// Compute workers per session's QueryContext; 0 = the Runtime config's
+  /// compute_workers.
+  std::size_t workers_per_query = 0;
+
+  /// Per-session IO buffer slice; 0 = Config::io_buffer_bytes divided
+  /// evenly across max_inflight_queries.
+  std::size_t io_buffer_bytes_per_query = 0;
+};
+
+/// The work of one query: runs against a session-owned QueryContext and
+/// returns the query's stats (algorithms' serve-style entry points match
+/// this shape directly).
+using QueryFn = std::function<core::QueryStats(core::QueryContext&)>;
+
+/// One query submission.
+struct QuerySpec {
+  QueryFn run;
+  std::string label;      ///< for logs and per-query reporting
+  int priority = 0;       ///< higher runs earlier; FIFO within a level
+  double deadline_s = 0;  ///< from submission; 0 = none. A query still
+                          ///< queued past its deadline never runs.
+};
+
+enum class QueryState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,   ///< run() threw; see error()
+  kExpired,  ///< deadline lapsed in the queue; error() holds the ServeError
+};
+
+inline const char* to_string(QueryState s) {
+  switch (s) {
+    case QueryState::kQueued: return "queued";
+    case QueryState::kRunning: return "running";
+    case QueryState::kDone: return "done";
+    case QueryState::kFailed: return "failed";
+    case QueryState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+/// Completion handle for one submitted query. Thread-safe.
+class QueryTicket {
+ public:
+  /// Blocks until the query reaches a terminal state.
+  void wait() const {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return terminal_locked(); });
+  }
+
+  QueryState state() const {
+    std::lock_guard lock(mu_);
+    return state_;
+  }
+
+  /// The query's stats; meaningful once state() == kDone.
+  core::QueryStats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+  /// The failure, when state() is kFailed or kExpired.
+  std::exception_ptr error() const {
+    std::lock_guard lock(mu_);
+    return error_;
+  }
+
+  /// Submission-to-completion wall latency in seconds (includes queue
+  /// wait); meaningful once terminal.
+  double latency_s() const {
+    std::lock_guard lock(mu_);
+    return latency_s_;
+  }
+
+  const std::string& label() const { return label_; }
+
+ private:
+  friend class QueryEngine;
+  explicit QueryTicket(std::string label) : label_(std::move(label)) {}
+
+  bool terminal_locked() const {
+    return state_ == QueryState::kDone || state_ == QueryState::kFailed ||
+           state_ == QueryState::kExpired;
+  }
+
+  void finish(QueryState s, core::QueryStats stats, std::exception_ptr err,
+              double latency_s) {
+    {
+      std::lock_guard lock(mu_);
+      state_ = s;
+      stats_ = stats;
+      error_ = err;
+      latency_s_ = latency_s;
+    }
+    cv_.notify_all();
+  }
+
+  void set_running() {
+    std::lock_guard lock(mu_);
+    state_ = QueryState::kRunning;
+  }
+
+  const std::string label_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  QueryState state_ = QueryState::kQueued;
+  core::QueryStats stats_;
+  std::exception_ptr error_;
+  double latency_s_ = 0;
+};
+
+/// Engine-level aggregate statistics (one snapshot; see QueryEngine::stats).
+struct EngineStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  ///< kOverloaded + kShuttingDown submissions
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+
+  /// Sum over completed queries' QueryStats — the PR-2 fault counters
+  /// (retries, failed_requests, gave_up) aggregate across sessions here.
+  core::QueryStats aggregate;
+
+  /// Submission-to-completion latency, microseconds, over terminal queries.
+  Log2Histogram latency_us;
+
+  double p50_ms() const {
+    return static_cast<double>(latency_us.percentile(0.50)) / 1000.0;
+  }
+  double p95_ms() const {
+    return static_cast<double>(latency_us.percentile(0.95)) / 1000.0;
+  }
+
+  /// Shared page-cache counters at snapshot time (zero unless the engine
+  /// was given a cache to observe; see QueryEngine::observe_cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_dedup_hits = 0;
+  double cache_hit_rate = 0;
+};
+
+/// A serving engine: owns one core::Runtime (one IO pipeline, one set of
+/// per-device reader threads) and max_inflight_queries session threads
+/// executing admitted queries concurrently, each through its own
+/// QueryContext. Thread-safe: any thread may submit; drain() completes all
+/// admitted work and stops the sessions.
+class QueryEngine {
+ public:
+  explicit QueryEngine(core::Config config, EngineOptions opts = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Admits a query or throws ServeError (kOverloaded when the submission
+  /// queue is full, kShuttingDown after drain() began). The returned
+  /// ticket tracks the query to a terminal state.
+  std::shared_ptr<QueryTicket> submit(QuerySpec spec);
+
+  /// Stops admitting, runs every already-admitted query to a terminal
+  /// state, and joins the session threads. Idempotent; called by the
+  /// destructor if the owner did not.
+  void drain();
+
+  /// Points the engine at the shared page cache its graphs read through so
+  /// stats() can report hit rates. Optional; the engine never creates the
+  /// cache (the graph/device stack is the caller's).
+  void observe_cache(const device::CachedDevice* cache) { cache_ = cache; }
+
+  /// Snapshot of the aggregate statistics.
+  EngineStats stats() const;
+
+  /// The shared runtime (e.g. to open graphs against its config).
+  core::Runtime& runtime() { return runtime_; }
+  const EngineOptions& options() const { return opts_; }
+
+  /// Queries admitted but not yet terminal (queued + running).
+  std::size_t in_flight() const;
+
+ private:
+  struct Entry {
+    QuerySpec spec;
+    std::shared_ptr<QueryTicket> ticket;
+    std::uint64_t submit_ns = 0;
+    std::uint64_t deadline_ns = 0;  ///< absolute; 0 = none
+  };
+
+  void session_main();
+  void execute(Entry& entry, core::QueryContext& ctx);
+
+  const EngineOptions opts_;
+  core::Config session_cfg_;  ///< per-session view: partitioned IO budget
+  core::Runtime runtime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< sessions: work available / stop
+  std::condition_variable drain_cv_;  ///< drain(): queue empty, none running
+  std::deque<Entry> queue_;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+
+  const device::CachedDevice* cache_ = nullptr;
+
+  std::vector<std::jthread> sessions_;  ///< last: join before state dies
+};
+
+}  // namespace blaze::serve

@@ -1,0 +1,54 @@
+// Admission failure taxonomy for the serving layer.
+//
+// Mirrors io::IoError's shape: a typed exception whose *kind* tells the
+// client how to react. Overload is the serving-layer analogue of a
+// transient device fault — the query was never admitted, so resubmitting
+// after backoff is safe and expected. Shutdown and an already-expired
+// deadline are permanent for the submitted query: resubmission cannot
+// help (the engine is going away, or the client's budget already ran out).
+//
+// Header-only and dependency-free so callers can catch ServeError without
+// linking blaze_serve.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace blaze::serve {
+
+/// Classification of an admission failure, deciding the client's reaction.
+enum class RejectKind {
+  kOverloaded,      ///< submission queue full: back off and resubmit
+  kShuttingDown,    ///< engine draining: no new queries will ever be admitted
+  kDeadlineExpired, ///< the query's deadline passed before it could run
+};
+
+inline const char* to_string(RejectKind kind) {
+  switch (kind) {
+    case RejectKind::kOverloaded: return "overloaded";
+    case RejectKind::kShuttingDown: return "shutting-down";
+    case RejectKind::kDeadlineExpired: return "deadline-expired";
+  }
+  return "unknown";
+}
+
+/// Typed rejection raised by QueryEngine::submit (kOverloaded,
+/// kShuttingDown) or recorded on a ticket whose deadline lapsed in the
+/// queue (kDeadlineExpired).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(RejectKind kind, const std::string& what)
+      : std::runtime_error(std::string("[serve] ") + to_string(kind) +
+                           ": " + what),
+        kind_(kind) {}
+
+  RejectKind kind() const { return kind_; }
+
+  /// Only overload is worth resubmitting after backoff.
+  bool retryable() const { return kind_ == RejectKind::kOverloaded; }
+
+ private:
+  RejectKind kind_;
+};
+
+}  // namespace blaze::serve

@@ -10,8 +10,15 @@
 //
 // Binning flags as in the artifact: -binSpace (MiB), -binCount,
 // -binningRatio. -sync runs the synchronization-based variant.
+//
+// Serving mode: --clients N --queries Q runs N closed-loop clients each
+// submitting Q copies of the query to a shared serve::QueryEngine (one
+// Runtime, one IO pipeline) and prints the engine's aggregate stats table.
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "algorithms/bc.h"
 #include "algorithms/bfs.h"
@@ -22,6 +29,7 @@
 #include "algorithms/wcc.h"
 #include "core/runtime.h"
 #include "format/on_disk_graph.h"
+#include "serve/query_engine.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -57,6 +65,122 @@ void print_stats(const char* query, double seconds,
   std::printf("\n");
 }
 
+/// Builds the serving-mode body for one query kind; returns an empty
+/// function for kinds without a QueryContext entry point.
+blaze::serve::QueryFn make_serve_query(const std::string& query,
+                                       const blaze::format::OnDiskGraph& g,
+                                       const blaze::format::OnDiskGraph& gt,
+                                       blaze::vertex_t source,
+                                       std::uint32_t pr_iters) {
+  using namespace blaze;
+  if (query == "bfs") {
+    return [&g, source](core::QueryContext& qc) {
+      return algorithms::bfs(qc, g, source).stats;
+    };
+  }
+  if (query == "pr") {
+    algorithms::PageRankOptions o;
+    o.max_iterations = pr_iters;
+    return [&g, o](core::QueryContext& qc) {
+      return algorithms::pagerank(qc, g, o).stats;
+    };
+  }
+  if (query == "kcore") {
+    return [&g, &gt](core::QueryContext& qc) {
+      return algorithms::kcore(qc, g, gt).stats;
+    };
+  }
+  return {};
+}
+
+/// Runs the closed-loop serving workload and prints the aggregate table.
+int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
+                const std::string& query,
+                const blaze::format::OnDiskGraph& g,
+                const blaze::format::OnDiskGraph& gt,
+                blaze::vertex_t source) {
+  using namespace blaze;
+  const auto clients = static_cast<std::size_t>(opt.get_int("clients", 4));
+  const auto per_client =
+      static_cast<std::size_t>(opt.get_int("queries", 4));
+  const auto pr_iters =
+      static_cast<std::uint32_t>(opt.get_int("maxIterations", 100));
+
+  serve::QueryFn body = make_serve_query(query, g, gt, source, pr_iters);
+  if (!body) {
+    std::fprintf(stderr,
+                 "-query %s has no serving mode (use bfs, pr, or kcore)\n",
+                 query.c_str());
+    return 2;
+  }
+
+  serve::EngineOptions eopts;
+  eopts.max_inflight_queries = static_cast<std::size_t>(
+      opt.get_int("maxInflight", static_cast<std::int64_t>(clients)));
+  eopts.max_queue_depth = clients * per_client;
+  serve::QueryEngine engine(cfg, eopts);
+
+  std::atomic<std::uint64_t> retries{0};
+  Timer t;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (std::size_t q = 0; q < per_client; ++q) {
+          serve::QuerySpec spec;
+          spec.run = body;
+          spec.label = query + "/c" + std::to_string(c);
+          for (;;) {
+            try {
+              engine.submit(spec)->wait();
+              break;
+            } catch (const serve::ServeError& e) {
+              if (!e.retryable()) throw;
+              retries.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::yield();
+            }
+          }
+        }
+      });
+    }
+  }
+  engine.drain();
+  const double wall = t.seconds();
+
+  const auto s = engine.stats();
+  std::printf("serving %s: %zu clients x %zu queries, %zu sessions\n",
+              query.c_str(), clients, per_client,
+              engine.options().max_inflight_queries);
+  std::printf("  %-18s %llu\n", "admitted",
+              static_cast<unsigned long long>(s.admitted));
+  std::printf("  %-18s %llu (%llu client resubmits)\n", "rejected",
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(retries.load()));
+  std::printf("  %-18s %llu\n", "completed",
+              static_cast<unsigned long long>(s.completed));
+  std::printf("  %-18s %llu\n", "failed",
+              static_cast<unsigned long long>(s.failed));
+  std::printf("  %-18s %llu\n", "expired",
+              static_cast<unsigned long long>(s.expired));
+  std::printf("  %-18s %.3f s (%.2f queries/s)\n", "wall time", wall,
+              wall > 0 ? static_cast<double>(s.completed) / wall : 0.0);
+  std::printf("  %-18s p50 %.2f ms, p95 %.2f ms\n", "latency", s.p50_ms(),
+              s.p95_ms());
+  std::printf("  %-18s %.1f MiB in %llu requests, %llu retries, "
+              "%llu gave up\n",
+              "aggregate io",
+              static_cast<double>(s.aggregate.bytes_read) / (1 << 20),
+              static_cast<unsigned long long>(s.aggregate.io_requests),
+              static_cast<unsigned long long>(s.aggregate.retries),
+              static_cast<unsigned long long>(s.aggregate.gave_up));
+  std::printf("  %-18s %llu EdgeMap calls, %llu edges scattered\n",
+              "aggregate compute",
+              static_cast<unsigned long long>(s.aggregate.edge_map_calls),
+              static_cast<unsigned long long>(s.aggregate.edges_scattered));
+  return s.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,7 +198,10 @@ int main(int argc, char** argv) {
         "  -binningRatio R     scatter fraction of workers (default 0.5)\n"
         "  -sync               use the CAS-based variant (no binning)\n"
         "  -inIndexFilename F  transpose index (wcc/bc/kcore)\n"
-        "  -inAdjFilenames F   transpose adjacency (wcc/bc/kcore)\n");
+        "  -inAdjFilenames F   transpose adjacency (wcc/bc/kcore)\n"
+        "  --clients N         serving mode: N closed-loop clients\n"
+        "  --queries Q         serving mode: queries per client\n"
+        "  --maxInflight N     serving mode: concurrent sessions\n");
     return 2;
   }
 
@@ -114,10 +241,13 @@ int main(int argc, char** argv) {
   cfg.bin_count = static_cast<std::size_t>(opt.get_int("binCount", 1024));
   cfg.scatter_ratio = opt.get_double("binningRatio", 0.5);
   cfg.sync_mode = opt.get_bool("sync", false);
-  core::Runtime rt(cfg);
 
   const auto source =
       static_cast<vertex_t>(opt.get_int("startNode", 0));
+  if (opt.has("clients") || opt.has("queries")) {
+    return run_serving(cfg, opt, query, g, gt, source);
+  }
+  core::Runtime rt(cfg);
   Timer t;
   if (query == "bfs") {
     auto r = algorithms::bfs(rt, g, source);

@@ -5,6 +5,34 @@
 
 namespace blaze {
 
+std::uint64_t Log2Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample (1-based), then walk the buckets until
+  // the cumulative count covers it.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < buckets_.size(); ++k) {
+    if (buckets_[k] == 0) continue;
+    if (seen + buckets_[k] < rank) {
+      seen += buckets_[k];
+      continue;
+    }
+    // Interpolate within [lo, hi): assume samples spread evenly across the
+    // bucket. Bucket 0 is the degenerate {0, 1} range.
+    const std::uint64_t lo = k == 0 ? 0 : (1ULL << k);
+    const std::uint64_t hi = k == 0 ? 2 : (1ULL << (k + 1));
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(buckets_[k]);
+    auto v = lo + static_cast<std::uint64_t>(
+                      frac * static_cast<double>(hi - lo));
+    if (v > max_) v = max_;  // never report beyond the observed maximum
+    return v;
+  }
+  return max_;
+}
+
 std::string Log2Histogram::to_string() const {
   std::string out;
   char buf[96];

@@ -38,6 +38,24 @@ class Log2Histogram {
     return n;
   }
 
+  /// Value at quantile `q` in [0, 1] (q=0.5 → p50, q=0.95 → p95),
+  /// approximated by linear interpolation inside the covering power-of-two
+  /// bucket — the standard resolution/footprint trade of log-bucketed
+  /// latency histograms (error bounded by the bucket width, i.e. <2x).
+  /// Returns 0 when the histogram is empty.
+  std::uint64_t percentile(double q) const;
+
+  /// Merges another histogram into this one (per-session latency
+  /// histograms aggregate into the engine-wide one).
+  void merge(const Log2Histogram& other) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
   /// Short text rendering, e.g. for the dataset inventory bench.
   std::string to_string() const;
 

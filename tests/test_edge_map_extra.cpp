@@ -3,6 +3,7 @@
 // and option handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "core/edge_map.h"
@@ -159,6 +160,15 @@ TEST(EdgeMapExtra, StatsAccumulateAcrossCalls) {
 }
 
 TEST(EdgeMapExtra, SimulatedContentionSlowsSyncMode) {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "timing assertion: sanitizer instrumentation overhead "
+                  "swamps the modeled contention delta";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  GTEST_SKIP() << "timing assertion: sanitizer instrumentation overhead "
+                  "swamps the modeled contention delta";
+#endif
+#endif
   graph::Csr g = graph::generate_rmat(10, 8, 905);
   auto odg = format::make_mem_graph(g);
   std::vector<std::uint32_t> acc(g.num_vertices(), 0);
@@ -176,8 +186,15 @@ TEST(EdgeMapExtra, SimulatedContentionSlowsSyncMode) {
     edge_map(rt, odg, VertexSubset::all(g.num_vertices()), prog, opts);
     return stats.seconds;
   };
-  double fast = run_with(0);
-  double slow = run_with(200);
+  // Min-of-3 filters scheduler hiccups on a loaded 1-core host: a single
+  // stalled baseline run would otherwise dwarf the modeled contention.
+  auto min_of = [&](std::uint64_t contention_ns) {
+    double best = run_with(contention_ns);
+    for (int i = 0; i < 2; ++i) best = std::min(best, run_with(contention_ns));
+    return best;
+  };
+  double fast = min_of(0);
+  double slow = min_of(200);
   // ~8M edges * 200ns of modeled contention must dominate the baseline.
   EXPECT_GT(slow, fast * 2);
   EXPECT_EQ(acc, in_degrees(g));  // and results stay correct
