@@ -13,9 +13,12 @@
 // Environment overrides (in addition to bench_common.h's):
 //   BLAZE_BENCH_CLIENTS   client threads (default 4)
 //   BLAZE_BENCH_QUERIES   queries per client (default 3)
+//   BLAZE_BENCH_TRACE     Chrome trace-event JSON artifact path
+//                         (default bench_serving_trace.json; "" disables)
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -25,6 +28,8 @@
 #include "bench/bench_common.h"
 #include "device/cached_device.h"
 #include "serve/query_engine.h"
+#include "trace/chrome_export.h"
+#include "trace/tracer.h"
 
 namespace {
 
@@ -145,10 +150,18 @@ int main() {
   format::OnDiskGraph in_g(format::GraphIndex(in_base.index()),
                            in_base.device_ptr());
 
+  // The serving pass is the one worth a trace artifact: the reference and
+  // isolated passes above ran untraced (the gate flips on only here).
+  const char* trace_env = std::getenv("BLAZE_BENCH_TRACE");
+  const std::string trace_path =
+      trace_env != nullptr ? trace_env : "bench_serving_trace.json";
+
   serve::EngineOptions opts;
   opts.max_inflight_queries = clients;
   opts.max_queue_depth = clients * per_client;
-  serve::QueryEngine engine(bench_config(out_g), opts);
+  auto serve_cfg = bench_config(out_g);
+  serve_cfg.trace_enabled = !trace_path.empty();
+  serve::QueryEngine engine(serve_cfg, opts);
   engine.observe_cache(cache.get());
 
   std::atomic<std::uint64_t> overload_retries{0};
@@ -186,6 +199,15 @@ int main() {
   const bool results_match = !mismatch.load();
   const bool cache_wins = stats.cache_hit_rate > iso_rate;
 
+  bool trace_written = false;
+  if (!trace_path.empty()) {
+    trace_written = trace::write_chrome_trace(trace_path);
+    if (!trace_written) {
+      std::fprintf(stderr, "failed to write trace artifact %s\n",
+                   trace_path.c_str());
+    }
+  }
+
   std::printf(
       "{\"bench\":\"serving\",\"graph\":\"%s\",\"clients\":%zu,"
       "\"sessions\":%zu,\"queries_per_client\":%zu,\"admitted\":%llu,"
@@ -194,6 +216,7 @@ int main() {
       "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"cache_hit_rate\":%.4f,"
       "\"cache_dedup_hits\":%llu,\"isolated_hit_rate\":%.4f,"
       "\"io_retries\":%llu,\"io_gave_up\":%llu,"
+      "\"trace_events\":%llu,\"trace_dropped\":%llu,\"trace_path\":\"%s\","
       "\"results_match\":%s,\"shared_cache_wins\":%s}\n",
       ds.name.c_str(), clients, opts.max_inflight_queries, per_client,
       static_cast<unsigned long long>(stats.admitted),
@@ -206,6 +229,9 @@ int main() {
       static_cast<unsigned long long>(stats.cache_dedup_hits), iso_rate,
       static_cast<unsigned long long>(stats.aggregate.retries),
       static_cast<unsigned long long>(stats.aggregate.gave_up),
+      static_cast<unsigned long long>(stats.trace_counters.events),
+      static_cast<unsigned long long>(stats.trace_counters.dropped),
+      trace_written ? trace_path.c_str() : "",
       results_match ? "true" : "false", cache_wins ? "true" : "false");
   return results_match && cache_wins ? 0 : 1;
 }

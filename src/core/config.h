@@ -48,6 +48,11 @@ struct Config {
   /// (compare-and-swap style) and online binning is bypassed.
   bool sync_mode = false;
 
+  /// Enables the blaze::trace span recorder (process-wide gate; see
+  /// trace/tracer.h). Off by default: every instrumentation point then
+  /// costs one relaxed atomic load and a predictable branch.
+  bool trace_enabled = false;
+
   /// Modeled per-update cost of cross-core atomic contention, applied only
   /// in sync_mode. On the paper's 16-core testbed contended CAS lines
   /// bounce between cores (tens of ns per update); this single-core

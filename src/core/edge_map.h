@@ -111,6 +111,9 @@ std::vector<io::ReadBatch> page_frontier_batches(
   for (std::size_t d = 0; d < num_devices; ++d) {
     batches[d].device = devices[d];
     batches[d].device_index = static_cast<std::uint32_t>(d);
+    // Graph-level integrity gate (single-device graphs; see
+    // OnDiskGraph::set_page_verifier).
+    if (g.page_verifier()) batches[d].verifier = g.page_verifier();
   }
   page_bits.for_each([&](std::size_t p) {
     batches[p % num_devices].pages.push_back(p / num_devices);
@@ -147,6 +150,13 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
   const vertex_t n = g.num_vertices();
   VertexSubset out(n);
   if (opts.stats) ++opts.stats->edge_map_calls;
+  // Trace identity for everything this call does — including the IO jobs
+  // it posts (the pipeline snapshots the id per job) — plus the iteration
+  // boundary instant the Figure 2/8 idle-gap analysis keys on.
+  trace::ScopedQuery trace_scope(qc.trace_id());
+  trace::Span trace_span(trace::Name::kEdgeMap, frontier.universe());
+  trace::instant(trace::Name::kIteration,
+                 opts.stats ? opts.stats->edge_map_calls : 0);
   // Program/graph record-format compatibility, checked before any pipeline
   // work starts.
   const bool weighted_records =
@@ -257,9 +267,13 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
 
   // ---- Compute workers (paper steps 5-9) ----------------------------------
   qc.pool().run_on_all([&](std::size_t worker) {
+    // Pool threads carry no query identity of their own; adopt this
+    // call's so worker spans land in the right per-query tree.
+    trace::ScopedQuery worker_scope(qc.trace_id());
     const bool is_scatter = worker < scatter_threads;
     std::uint64_t local_edges = 0, local_records = 0;
     if (is_scatter) {
+      trace::Span scatter_span(trace::Name::kScatter, worker);
       ScatterBuffer* sbuf = sync_mode ? nullptr : &qc.scatter_buffer(worker);
       Backoff backoff;
       for (;;) {
@@ -284,7 +298,10 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
     }
     // Everyone — dedicated gather workers from the start, scatter workers
     // once their input is exhausted — drains the bins to completion.
-    if (!sync_mode) drain_with_backoff();
+    if (!sync_mode) {
+      trace::Span gather_span(trace::Name::kGather, worker);
+      drain_with_backoff();
+    }
     edges_scattered.fetch_add(local_edges, std::memory_order_relaxed);
     records_binned.fetch_add(local_records, std::memory_order_relaxed);
   });

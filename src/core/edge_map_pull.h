@@ -37,6 +37,10 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
   const vertex_t n = in_g.num_vertices();
   VertexSubset out(n);
   if (opts.stats) ++opts.stats->edge_map_calls;
+  trace::ScopedQuery trace_scope(qc.trace_id());
+  trace::Span trace_span(trace::Name::kEdgeMapPull, candidates.universe());
+  trace::instant(trace::Name::kIteration,
+                 opts.stats ? opts.stats->edge_map_calls : 0);
   if (frontier.empty() || candidates.empty()) return out;
 
   // Page frontier over the *candidates'* in-adjacency, handed to the
@@ -61,7 +65,11 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
 
   const format::GraphIndex& index = in_g.index();
   const format::PageVertexMap& pvmap = in_g.page_map();
-  qc.pool().run_on_all([&](std::size_t) {
+  qc.pool().run_on_all([&](std::size_t worker) {
+    trace::ScopedQuery worker_scope(qc.trace_id());
+    // Pull workers scan and gather in place (no bins): one scatter-side
+    // span covers each worker's whole page-consumption loop.
+    trace::Span scatter_span(trace::Name::kScatter, worker);
     std::uint64_t local_edges = 0;
     Backoff backoff;
     for (;;) {

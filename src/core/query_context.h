@@ -25,6 +25,7 @@
 #include "core/config.h"
 #include "io/buffer_pool.h"
 #include "io/io_pipeline.h"
+#include "trace/tracer.h"
 #include "util/thread_pool.h"
 
 namespace blaze::core {
@@ -62,6 +63,13 @@ class QueryContext {
   ThreadPool& pool() { return *pool_; }
   io::IoPipeline& io_pipeline() { return *pipeline_; }
 
+  /// The trace identity every span emitted on this context's behalf
+  /// carries. Assigned at construction; serve::QueryEngine re-stamps it
+  /// per admitted query so a reused session context yields one tree per
+  /// query, not one per session.
+  trace::QueryId trace_id() const { return trace_id_; }
+  void set_trace_id(trace::QueryId id) { trace_id_ = id; }
+
   /// Bin space, (re)created lazily from the config and reset between
   /// EdgeMap executions.
   BinSet& acquire_bins() {
@@ -97,6 +105,14 @@ class QueryContext {
     return *sbufs_[worker];
   }
 
+  /// True when this context's IO-buffer slice (if ever materialized) has
+  /// every buffer back in the free list. Exact only while the context is
+  /// idle and the pipeline is quiesced — the leak check the chaos tests
+  /// run after a drain.
+  bool io_pool_full() const {
+    return !io_pool_ || io_pool_->available() == io_pool_->num_buffers();
+  }
+
   /// Drops the arenas; they are rebuilt lazily on next use. Waits out any
   /// queued pipeline work first so no reader touches a pool being
   /// destroyed.
@@ -119,6 +135,7 @@ class QueryContext {
  private:
   Config cfg_;
   io::IoPipeline* pipeline_;
+  trace::QueryId trace_id_ = trace::next_query_id();
   std::unique_ptr<ThreadPool> owned_pool_;  ///< null when the pool is borrowed
   ThreadPool* pool_;
   std::unique_ptr<BinSet> bins_;

@@ -4,9 +4,24 @@
 #include <chrono>
 #include <cstring>
 
+#include "trace/tracer.h"
 #include "util/backoff.h"
 
 namespace blaze::device {
+
+namespace {
+
+// Hit/miss instants feed the trace timeline (one instant per
+// lookup/claim, arg = pages); the atomic counters stay the source of
+// truth for hit_rate().
+inline void note_hit(std::uint64_t pages) {
+  trace::instant(trace::Name::kCacheHit, pages);
+}
+inline void note_miss(std::uint64_t pages) {
+  trace::instant(trace::Name::kCacheMiss, pages);
+}
+
+}  // namespace
 
 CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
                            std::size_t capacity_bytes,
@@ -72,9 +87,11 @@ bool CachedDevice::lookup(std::uint64_t page, std::byte* out) {
   std::lock_guard lock(mu_);
   if (!copy_run_locked(page, 1, out)) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    note_miss(1);
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  note_hit(1);
   return true;
 }
 
@@ -83,9 +100,11 @@ bool CachedDevice::lookup_run(std::uint64_t first_page,
   std::lock_guard lock(mu_);
   if (!copy_run_locked(first_page, num_pages, out)) {
     misses_.fetch_add(num_pages, std::memory_order_relaxed);
+    note_miss(num_pages);
     return false;
   }
   hits_.fetch_add(num_pages, std::memory_order_relaxed);
+  note_hit(num_pages);
   return true;
 }
 
@@ -101,6 +120,7 @@ RunState CachedDevice::start_run_locked(std::uint64_t first_page,
                                         std::byte* out, bool deferred_retry) {
   if (copy_run_locked(first_page, num_pages, out)) {
     hits_.fetch_add(num_pages, std::memory_order_relaxed);
+    note_hit(num_pages);
     if (deferred_retry) {
       dedup_hits_.fetch_add(num_pages, std::memory_order_relaxed);
     }
@@ -121,6 +141,7 @@ RunState CachedDevice::start_run_locked(std::uint64_t first_page,
   }
   if (all_inflight) return RunState::kDeferred;
   misses_.fetch_add(num_pages, std::memory_order_relaxed);
+  note_miss(num_pages);
   for (std::uint32_t j = 0; j < num_pages; ++j) ++inflight_[first_page + j];
   return RunState::kOwned;
 }

@@ -1,5 +1,7 @@
 #include "device/io_stats.h"
 
+#include "trace/tracer.h"
+
 namespace blaze::device {
 
 IoStats::IoStats(std::uint64_t timeline_bucket_ns)
@@ -8,6 +10,14 @@ IoStats::IoStats(std::uint64_t timeline_bucket_ns)
       timeline_(timeline_bucket_ns == 0 ? 0 : kMaxBuckets) {}
 
 void IoStats::record_read(std::uint64_t bytes, std::uint64_t busy_ns) {
+  if (trace::enabled()) {
+    // Every device read funnels through here, so one retroactive span per
+    // completion reconstructs the paper's per-device service timeline
+    // (Fig 2) without touching the device implementations.
+    const std::uint64_t now = Timer::now_ns();
+    trace::complete(trace::Name::kDeviceService,
+                    now - std::min(busy_ns, now), busy_ns, bytes);
+  }
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   total_reads_.fetch_add(1, std::memory_order_relaxed);
   busy_ns_.fetch_add(busy_ns, std::memory_order_relaxed);

@@ -18,6 +18,7 @@
 #include "format/page_vertex_map.h"
 #include "graph/csr.h"
 #include "graph/weighted.h"
+#include "io/page_verify.h"
 
 namespace blaze::format {
 
@@ -44,6 +45,15 @@ class OnDiskGraph {
 
   std::uint32_t degree(vertex_t v) const { return index_.degree(v); }
 
+  /// Optional end-to-end integrity gate: when set, every EdgeMap read of
+  /// this graph's adjacency is checked page-by-page and a mismatch
+  /// surfaces as io::IoError{kCorruption} instead of silently corrupt
+  /// results. The verifier receives *device-local* page indices, so it is
+  /// only meaningful for single-device graphs (the chaos tests' shape);
+  /// striped graphs need per-stripe checksums and leave this unset.
+  void set_page_verifier(io::PageVerifier v) { verifier_ = std::move(v); }
+  const io::PageVerifier& page_verifier() const { return verifier_; }
+
   /// First and last page of vertex v's adjacency bytes. Only meaningful for
   /// degree > 0.
   std::pair<std::uint64_t, std::uint64_t> page_range(vertex_t v) const {
@@ -68,6 +78,7 @@ class OnDiskGraph {
   GraphIndex index_;
   PageVertexMap map_;
   std::shared_ptr<device::BlockDevice> dev_;
+  io::PageVerifier verifier_;  ///< empty = no verification
 };
 
 /// On-disk edge record of a weighted graph: destination + weight,

@@ -6,6 +6,8 @@
 namespace blaze::io {
 
 void ReadHandle::wait() const {
+  if (io_done()) return;
+  trace::Span span(trace::Name::kIoDrain);
   Backoff backoff;
   while (!io_done()) backoff.pause();
 }
@@ -50,6 +52,10 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
       new ReadHandle(pool.num_buffers() + 1, active, discard));
   if (active == 0) return handle;
 
+  std::size_t total_pages = 0;
+  for (const ReadBatch& b : batches) total_pages += b.pages.size();
+  trace::Span span(trace::Name::kIoSubmit, total_pages);
+
   std::lock_guard lock(readers_mu_);
   for (ReadBatch& b : batches) {
     if (b.pages.empty()) continue;
@@ -62,6 +68,7 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
     job->max_inflight = max_inflight;
     job->retry = retry_;
     job->verifier = std::move(b.verifier);
+    job->query = trace::current_query();
     // One persistent reader per distinct device, keyed by the device
     // itself: concurrent queries on the same SSD share its thread (and its
     // cache locality), queries on different SSDs run fully in parallel.
@@ -121,6 +128,10 @@ void IoPipeline::reader_main(Reader& reader) {
 
 void IoPipeline::execute(Job& job) {
   ReadHandle& handle = *job.handle;
+  // The reader thread does this batch's work on behalf of the submitting
+  // query: its device-service spans inherit that identity.
+  trace::ScopedQuery scope(job.query);
+  trace::Span span(trace::Name::kIoJob, job.pages.size());
   PipelineStats local;
   const std::uint64_t busy0 = job.device->stats().busy_ns();
   try {

@@ -40,6 +40,7 @@
 #include "io/io_error.h"
 #include "io/page_verify.h"
 #include "io/pipeline_stats.h"
+#include "trace/tracer.h"
 #include "util/mpmc_queue.h"
 #include "util/spinlock.h"
 
@@ -160,6 +161,9 @@ class IoPipeline {
     std::size_t max_inflight = 0;
     RetryPolicy retry;      ///< snapshot of the pipeline policy at post time
     PageVerifier verifier;  ///< moved from the batch; empty = none
+    /// Submitter's trace identity at post time: the reader thread services
+    /// the batch under the query that asked for it.
+    trace::QueryId query = 0;
   };
 
   struct Reader {

@@ -32,9 +32,18 @@ QueryEngine::QueryEngine(core::Config config, EngineOptions opts)
     : opts_(opts),
       session_cfg_(session_config(config, opts_)),
       runtime_(config) {
+  // One context per session, reused across the queries the session runs:
+  // private bins, scatter staging, and IO buffer slice over the shared
+  // pipeline. Engine-owned (not session-stack-local) so the arenas remain
+  // inspectable after drain() joins the threads.
+  contexts_.reserve(opts_.max_inflight_queries);
   sessions_.reserve(opts_.max_inflight_queries);
   for (std::size_t i = 0; i < opts_.max_inflight_queries; ++i) {
-    sessions_.emplace_back([this] { session_main(); });
+    contexts_.push_back(std::make_unique<core::QueryContext>(
+        session_cfg_, runtime_.io_pipeline()));
+  }
+  for (std::size_t i = 0; i < opts_.max_inflight_queries; ++i) {
+    sessions_.emplace_back([this, i] { session_main(i); });
   }
 }
 
@@ -62,6 +71,7 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
     }
     Entry entry;
     entry.submit_ns = Timer::now_ns();
+    entry.query_id = trace::next_query_id();
     entry.deadline_ns =
         spec.deadline_s > 0
             ? entry.submit_ns +
@@ -79,12 +89,11 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
   return ticket;
 }
 
-void QueryEngine::session_main() {
-  // One context per session, reused across the queries this session runs:
-  // private bins, scatter staging, and IO buffer slice over the shared
-  // pipeline. Building it once amortizes the arena allocations across the
-  // session's whole lifetime (the point of serving vs. one-shot runs).
-  core::QueryContext ctx(session_cfg_, runtime_.io_pipeline());
+void QueryEngine::session_main(std::size_t slot) {
+  // The session's context was built once in the constructor; reusing it
+  // amortizes the arena allocations across the session's whole lifetime
+  // (the point of serving vs. one-shot runs).
+  core::QueryContext& ctx = *contexts_[slot];
   while (true) {
     Entry entry;
     {
@@ -129,6 +138,7 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
       std::lock_guard slock(stats_mu_);
       ++stats_.expired;
       record_latency(lat);
+      record_slow_locked(entry, lat, QueryState::kExpired);
     }
     entry.ticket->finish(
         QueryState::kExpired, {},
@@ -140,6 +150,14 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     return;
   }
   entry.ticket->set_running();
+  // This query's trace identity: the session thread adopts it, the
+  // context re-stamps so EdgeMap (and the IO jobs it posts) inherit it,
+  // and the time it sat queued becomes a retroactive admission-wait span.
+  trace::ScopedQuery trace_scope(entry.query_id);
+  ctx.set_trace_id(entry.query_id);
+  trace::complete(trace::Name::kAdmissionWait, entry.submit_ns,
+                  start_ns - entry.submit_ns, 0, entry.query_id);
+  trace::Span exec_span(trace::Name::kSessionExecute);
   try {
     core::QueryStats qs = entry.spec.run(ctx);
     const double lat = elapsed_s();
@@ -148,6 +166,7 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
       ++stats_.completed;
       stats_.aggregate.merge(qs);
       record_latency(lat);
+      record_slow_locked(entry, lat, QueryState::kDone);
     }
     entry.ticket->finish(QueryState::kDone, qs, nullptr, lat);
   } catch (...) {
@@ -156,13 +175,28 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
       std::lock_guard slock(stats_mu_);
       ++stats_.failed;
       record_latency(lat);
+      record_slow_locked(entry, lat, QueryState::kFailed);
     }
     entry.ticket->finish(QueryState::kFailed, {}, std::current_exception(),
                          lat);
   }
 }
 
+void QueryEngine::record_slow_locked(const Entry& entry, double latency_s,
+                                     QueryState state) {
+  if (opts_.slow_query_threshold_s <= 0 ||
+      latency_s < opts_.slow_query_threshold_s) {
+    return;
+  }
+  if (stats_.slow_queries.size() >= kMaxSlowQueries) {
+    stats_.slow_queries.erase(stats_.slow_queries.begin());
+  }
+  stats_.slow_queries.push_back(
+      {entry.spec.label, latency_s, state, entry.query_id});
+}
+
 void QueryEngine::drain() {
+  trace::Span span(trace::Name::kEngineDrain);
   {
     std::unique_lock lock(mu_);
     draining_ = true;
@@ -185,7 +219,18 @@ EngineStats QueryEngine::stats() const {
     out.cache_dedup_hits = cache_->dedup_hits();
     out.cache_hit_rate = cache_->hit_rate();
   }
+  if (trace::enabled()) {
+    out.trace_counters = trace::make_counters(trace::collect());
+  }
   return out;
+}
+
+bool QueryEngine::io_pools_full() {
+  runtime_.io_pipeline().quiesce();
+  for (const auto& ctx : contexts_) {
+    if (!ctx->io_pool_full()) return false;
+  }
+  return true;
 }
 
 std::size_t QueryEngine::in_flight() const {

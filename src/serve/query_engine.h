@@ -41,6 +41,7 @@
 #include "core/stats.h"
 #include "device/cached_device.h"
 #include "serve/serve_error.h"
+#include "trace/tracer.h"
 #include "util/histogram.h"
 
 #include <condition_variable>
@@ -67,6 +68,11 @@ struct EngineOptions {
   /// Per-session IO buffer slice; 0 = Config::io_buffer_bytes divided
   /// evenly across max_inflight_queries.
   std::size_t io_buffer_bytes_per_query = 0;
+
+  /// Queries whose submit-to-terminal latency reaches this many seconds
+  /// are recorded in EngineStats::slow_queries (most recent
+  /// kMaxSlowQueries kept). 0 disables the log.
+  double slow_query_threshold_s = 0;
 };
 
 /// The work of one query: runs against a session-owned QueryContext and
@@ -172,6 +178,14 @@ class QueryTicket {
   double latency_s_ = 0;
 };
 
+/// One entry of the slow-query log (EngineOptions::slow_query_threshold_s).
+struct SlowQuery {
+  std::string label;
+  double latency_s = 0;
+  QueryState state = QueryState::kDone;  ///< terminal state it reached
+  trace::QueryId query = 0;  ///< joins against the exported trace's pid
+};
+
 /// Engine-level aggregate statistics (one snapshot; see QueryEngine::stats).
 struct EngineStats {
   std::uint64_t admitted = 0;
@@ -200,6 +214,14 @@ struct EngineStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_dedup_hits = 0;
   double cache_hit_rate = 0;
+
+  /// Terminal queries at or past slow_query_threshold_s, oldest first
+  /// (the most recent QueryEngine::kMaxSlowQueries are kept).
+  std::vector<SlowQuery> slow_queries;
+
+  /// Per-name span/instant counters over every event traced so far;
+  /// empty rows when tracing is disabled.
+  trace::CountersSnapshot trace_counters;
 };
 
 /// A serving engine: owns one core::Runtime (one IO pipeline, one set of
@@ -240,16 +262,27 @@ class QueryEngine {
   /// Queries admitted but not yet terminal (queued + running).
   std::size_t in_flight() const;
 
+  /// True when every session's IO-buffer slice is back at full occupancy
+  /// (quiesces the pipeline first). Only meaningful while no queries are
+  /// executing — the chaos tests' post-drain leak check.
+  bool io_pools_full();
+
+  /// Slow-query log depth (see EngineOptions::slow_query_threshold_s).
+  static constexpr std::size_t kMaxSlowQueries = 64;
+
  private:
   struct Entry {
     QuerySpec spec;
     std::shared_ptr<QueryTicket> ticket;
     std::uint64_t submit_ns = 0;
-    std::uint64_t deadline_ns = 0;  ///< absolute; 0 = none
+    std::uint64_t deadline_ns = 0;     ///< absolute; 0 = none
+    trace::QueryId query_id = 0;       ///< trace identity + slow-log join key
   };
 
-  void session_main();
+  void session_main(std::size_t slot);
   void execute(Entry& entry, core::QueryContext& ctx);
+  void record_slow_locked(const Entry& entry, double latency_s,
+                          QueryState state);
 
   const EngineOptions opts_;
   core::Config session_cfg_;  ///< per-session view: partitioned IO budget
@@ -267,6 +300,12 @@ class QueryEngine {
   EngineStats stats_;
 
   const device::CachedDevice* cache_ = nullptr;
+
+  /// One context per session, engine-owned (not session-stack-local) so
+  /// post-drain inspection — io_pools_full() — can see the arenas after
+  /// the session threads are gone. Declared before sessions_: outlives
+  /// the threads that use it.
+  std::vector<std::unique_ptr<core::QueryContext>> contexts_;
 
   std::vector<std::jthread> sessions_;  ///< last: join before state dies
 };

@@ -30,6 +30,8 @@
 #include "core/runtime.h"
 #include "format/on_disk_graph.h"
 #include "serve/query_engine.h"
+#include "trace/chrome_export.h"
+#include "trace/tracer.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -118,6 +120,8 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   eopts.max_inflight_queries = static_cast<std::size_t>(
       opt.get_int("maxInflight", static_cast<std::int64_t>(clients)));
   eopts.max_queue_depth = clients * per_client;
+  eopts.slow_query_threshold_s =
+      static_cast<double>(opt.get_int("slowQueryMs", 0)) / 1000.0;
   serve::QueryEngine engine(cfg, eopts);
 
   std::atomic<std::uint64_t> retries{0};
@@ -178,6 +182,21 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
               "aggregate compute",
               static_cast<unsigned long long>(s.aggregate.edge_map_calls),
               static_cast<unsigned long long>(s.aggregate.edges_scattered));
+  for (const auto& slow : s.slow_queries) {
+    std::printf("  slow query         %s: %.1f ms (%s)\n",
+                slow.label.c_str(), slow.latency_s * 1e3,
+                serve::to_string(slow.state));
+  }
+  if (!s.trace_counters.rows.empty()) {
+    std::printf("  trace counters (%llu events, %llu dropped)\n",
+                static_cast<unsigned long long>(s.trace_counters.events),
+                static_cast<unsigned long long>(s.trace_counters.dropped));
+    for (const auto& row : s.trace_counters.rows) {
+      std::printf("    %-16s %8llu x %10.3f ms\n", trace::to_string(row.name),
+                  static_cast<unsigned long long>(row.count),
+                  static_cast<double>(row.total_ns) / 1e6);
+    }
+  }
   return s.failed == 0 ? 0 : 1;
 }
 
@@ -201,7 +220,10 @@ int main(int argc, char** argv) {
         "  -inAdjFilenames F   transpose adjacency (wcc/bc/kcore)\n"
         "  --clients N         serving mode: N closed-loop clients\n"
         "  --queries Q         serving mode: queries per client\n"
-        "  --maxInflight N     serving mode: concurrent sessions\n");
+        "  --maxInflight N     serving mode: concurrent sessions\n"
+        "  --slowQueryMs N     serving mode: slow-query log threshold\n"
+        "  --trace FILE        write a Chrome trace-event JSON "
+        "(chrome://tracing, Perfetto)\n");
     return 2;
   }
 
@@ -242,10 +264,27 @@ int main(int argc, char** argv) {
   cfg.scatter_ratio = opt.get_double("binningRatio", 0.5);
   cfg.sync_mode = opt.get_bool("sync", false);
 
+  // --trace turns the process-wide recorder on (via Config::trace_enabled
+  // when the Runtime is built) and exports everything at exit.
+  const std::string trace_path = opt.get_string("trace", "");
+  cfg.trace_enabled = !trace_path.empty();
+  auto finish = [&](int rc) {
+    if (trace_path.empty()) return rc;
+    if (trace::write_chrome_trace(trace_path)) {
+      std::printf("trace: wrote %s (%llu dropped events)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(trace::dropped_events()));
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+    return rc;
+  };
+
   const auto source =
       static_cast<vertex_t>(opt.get_int("startNode", 0));
   if (opt.has("clients") || opt.has("queries")) {
-    return run_serving(cfg, opt, query, g, gt, source);
+    return finish(run_serving(cfg, opt, query, g, gt, source));
   }
   core::Runtime rt(cfg);
   Timer t;
@@ -291,5 +330,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown -query %s\n", query.c_str());
     return 2;
   }
-  return 0;
+  return finish(0);
 }

@@ -1,0 +1,29 @@
+// Chrome trace-event JSON export (chrome://tracing / Perfetto).
+//
+// The mapping groups work per query: pid = QueryId (with a process_name
+// metadata row "query N"; pid 0 is "engine"), tid = the tracer's stable
+// per-thread index, ts/dur in microseconds relative to the earliest event.
+// Spans become B/E pairs, instants "i", retroactive spans "X". The
+// exporter sanitizes the stream — orphan ends are dropped and unmatched
+// begins are closed at the trace horizon — so a lossy ring still yields a
+// file every viewer (and the schema test) accepts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace blaze::trace {
+
+/// Serializes `events` as a Chrome trace-event JSON object
+/// (`{"traceEvents": [...], ...}`). `dropped` is recorded in otherData.
+std::string to_chrome_json(const std::vector<Event>& events,
+                           std::uint64_t dropped);
+
+/// Collects everything traced so far and writes it to `path`.
+/// Returns false on IO failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace blaze::trace

@@ -1,0 +1,76 @@
+// Single-producer / single-consumer ring over trivially copyable slots.
+//
+// The trace subsystem hangs one of these off every thread that emits
+// events: the owning thread is the only producer, the trace collector the
+// only consumer, so a pair of release/acquire cursors is all the
+// synchronization needed — no locks, no CAS, nothing on the producer's
+// fast path but one load, one store, and a slot write. A full ring drops
+// the new event (never overwrites history) and counts the drop, so a
+// bursty producer degrades to visibly lossy instead of corrupting spans
+// already recorded.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace blaze {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (masked indexing).
+  explicit SpscRing(std::size_t capacity)
+      : buf_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(buf_.size() - 1) {}
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool push(const T& v) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= buf_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buf_[head & mask_] = v;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: invokes `fn(const T&)` on every available element and
+  /// advances the read cursor. Returns the number consumed.
+  template <typename Fn>
+  std::size_t consume(Fn&& fn) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t n = static_cast<std::size_t>(head - tail);
+    for (; tail != head; ++tail) fn(buf_[tail & mask_]);
+    tail_.store(tail, std::memory_order_release);
+    return n;
+  }
+
+  /// Elements currently readable (approximate from other threads).
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+  /// Pushes refused because the ring was full.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> buf_;
+  const std::size_t mask_;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace blaze

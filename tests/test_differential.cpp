@@ -15,9 +15,16 @@
 #include "baselines/inmem.h"
 #include "baselines/ligra.h"
 #include "baselines/queries.h"
+#include "algorithms/bc.h"
 #include "algorithms/bfs.h"
+#include "algorithms/kcore.h"
+#include "algorithms/mis.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/radii.h"
 #include "algorithms/spmv.h"
+#include "algorithms/sssp.h"
 #include "algorithms/wcc.h"
+#include "graph/weighted.h"
 #include "core/edge_map.h"
 #include "core/runtime.h"
 #include "format/on_disk_graph.h"
@@ -158,6 +165,99 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnBfsWccSpmv) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rounds, DifferentialTest, ::testing::Range(0, 6));
+
+// The wider algorithm suite against the in-core oracles, same randomized
+// setup: SSSP (synthesized and stored weights), k-core, BC, MIS, radii,
+// and PageRank all run in both execution modes on every round's graph.
+TEST_P(DifferentialTest, AlgorithmSuiteMatchesInMemoryOracles) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+  graph::Csr g = random_graph(rng);
+  graph::Csr gt = graph::transpose(g);
+  const vertex_t source =
+      static_cast<vertex_t>(rng.next_below(g.num_vertices()));
+
+  // Oracles (mode-independent; computed once per round).
+  auto want_sssp = baseline::inmem::sssp_dist(g, source);
+  auto want_core = baseline::inmem::coreness(g, gt);
+  auto want_bc = baseline::inmem::bc_dependency(g, gt, source);
+  auto want_mis = baseline::inmem::greedy_mis(g, gt);
+  algorithms::PageRankOptions pr_opts;
+  pr_opts.epsilon = 1e-3;
+  pr_opts.max_iterations = 30;
+  auto want_pr = baseline::inmem::pagerank_delta(
+      g, pr_opts.damping, pr_opts.epsilon, pr_opts.max_iterations);
+
+  // Weighted path: the same topology with stored per-edge float weights.
+  auto wg = graph::attach_hash_weights(g);
+  auto want_wsssp = baseline::inmem::sssp_dist_weighted(wg, source);
+
+  for (bool sync : {false, true}) {
+    const char* mode = sync ? "blaze-sync" : "blaze";
+    auto out_g = format::make_mem_graph(g);
+    auto in_g = format::make_mem_graph(gt);
+    auto w_g = format::make_mem_graph(wg);
+    auto cfg = testutil::test_config(3, 32);
+    cfg.sync_mode = sync;
+    core::Runtime rt(cfg);
+
+    // SSSP over synthesized weights is integer arithmetic: exact.
+    EXPECT_EQ(algorithms::sssp(rt, out_g, source).dist, want_sssp) << mode;
+
+    // Stored-weight SSSP relaxes with real floats; every path sum is
+    // computed the same way in engine and oracle, so only ulp noise.
+    auto wdist = algorithms::sssp_weighted(rt, w_g, source).dist;
+    ASSERT_EQ(wdist.size(), want_wsssp.size()) << mode;
+    for (std::size_t v = 0; v < want_wsssp.size(); ++v) {
+      if (std::isinf(want_wsssp[v])) {
+        EXPECT_TRUE(std::isinf(wdist[v])) << mode << " vertex " << v;
+      } else {
+        ASSERT_NEAR(wdist[v], want_wsssp[v],
+                    1e-3f * (1.0f + want_wsssp[v]))
+            << mode << " vertex " << v;
+      }
+    }
+
+    // Peeling produces a unique coreness assignment: exact.
+    EXPECT_EQ(algorithms::kcore(rt, out_g, in_g).coreness, want_core)
+        << mode;
+
+    // Brandes dependencies accumulate floats in parallel: relative L1.
+    auto dep = algorithms::bc(rt, out_g, in_g, source).dependency;
+    ASSERT_EQ(dep.size(), want_bc.size()) << mode;
+    double err = 0, norm = 1e-12;
+    for (std::size_t v = 0; v < want_bc.size(); ++v) {
+      err += std::fabs(dep[v] - want_bc[v]);
+      norm += std::fabs(want_bc[v]);
+    }
+    EXPECT_LT(err / norm, 1e-3) << mode;
+
+    // Greedy-priority MIS has a unique fixed point: exact membership.
+    auto mis_state = algorithms::mis(rt, out_g, in_g).state;
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(mis_state[v] == algorithms::MisState::kIn,
+                want_mis[v] == 1)
+          << mode << " vertex " << v;
+    }
+
+    // Radii: exact per-source BFS maxima over the samples the engine
+    // actually chose.
+    auto rr = algorithms::radii(rt, out_g, /*seed=*/rng.next());
+    if (!rr.sources.empty()) {
+      EXPECT_EQ(rr.radii,
+                baseline::inmem::radii_from_sources(g, rr.sources))
+          << mode;
+    }
+
+    // PageRank-delta vs the sequential float reference: relative L1.
+    auto rank = algorithms::pagerank(rt, out_g, pr_opts).rank;
+    double pr_err = 0, pr_norm = 1e-12;
+    for (std::size_t v = 0; v < want_pr.size(); ++v) {
+      pr_err += std::fabs(rank[v] - want_pr[v]);
+      pr_norm += std::fabs(want_pr[v]);
+    }
+    EXPECT_LT(pr_err / pr_norm, 1e-3) << mode;
+  }
+}
 
 }  // namespace
 }  // namespace blaze

@@ -3,6 +3,7 @@
 // binaries exactly as the paper's artifact instructions do.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -95,6 +96,82 @@ TEST_F(ToolsTest, BinningFlagsAccepted) {
                 prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
             0)
       << output();
+}
+
+/// First integer following `label` in a stats-table row ("  admitted  6").
+long long stat_row(const std::string& out, const std::string& label) {
+  auto pos = out.find("  " + label);
+  if (pos == std::string::npos) return -1;
+  pos += 2 + label.size();
+  while (pos < out.size() && !std::isdigit(static_cast<unsigned char>(out[pos]))) {
+    ++pos;
+  }
+  if (pos >= out.size()) return -1;
+  return std::strtoll(out.c_str() + pos, nullptr, 10);
+}
+
+TEST_F(ToolsTest, ServingModeAggregateTableMatchesQueryCount) {
+  ASSERT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query bfs -computeWorkers 2 --clients 2 --queries 3 " +
+                prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
+            0)
+      << output();
+  const std::string out = output();
+  EXPECT_NE(out.find("serving bfs: 2 clients x 3 queries"),
+            std::string::npos)
+      << out;
+  // The aggregate table reconciles with --clients x --queries.
+  EXPECT_EQ(stat_row(out, "admitted"), 6) << out;
+  EXPECT_EQ(stat_row(out, "completed"), 6) << out;
+  EXPECT_EQ(stat_row(out, "failed"), 0) << out;
+  EXPECT_EQ(stat_row(out, "expired"), 0) << out;
+  EXPECT_NE(out.find("latency"), std::string::npos) << out;
+  EXPECT_NE(out.find("aggregate io"), std::string::npos) << out;
+  EXPECT_NE(out.find("aggregate compute"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, TraceFlagWritesChromeJson) {
+  const std::string trace = "/tmp/blaze_tools_trace.json";
+  std::remove(trace.c_str());
+  ASSERT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query bfs -computeWorkers 2 --trace " + trace + " " +
+                prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
+            0)
+      << output();
+  EXPECT_NE(output().find("trace: wrote"), std::string::npos) << output();
+  std::string json;
+  if (std::FILE* f = std::fopen(trace.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+    std::fclose(f);
+  }
+  ASSERT_FALSE(json.empty()) << "trace file missing or empty";
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge_map\""), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST_F(ToolsTest, ServingModeWithTraceReportsCounters) {
+  const std::string trace = "/tmp/blaze_tools_serve_trace.json";
+  std::remove(trace.c_str());
+  ASSERT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query pr -computeWorkers 2 -maxIterations 3 --clients 2 "
+                "--queries 2 --slowQueryMs 0 --trace " +
+                trace + " " + prefix_ + ".gr.index " + prefix_ +
+                ".gr.adj.0"),
+            0)
+      << output();
+  const std::string out = output();
+  EXPECT_EQ(stat_row(out, "completed"), 4) << out;
+  // Tracing was on, so the table ends with the per-name counters —
+  // serving spans included.
+  EXPECT_NE(out.find("trace counters ("), std::string::npos) << out;
+  EXPECT_NE(out.find("session_execute"), std::string::npos) << out;
+  EXPECT_NE(out.find("admission_wait"), std::string::npos) << out;
+  EXPECT_NE(out.find("trace: wrote"), std::string::npos) << out;
+  std::remove(trace.c_str());
 }
 
 TEST_F(ToolsTest, MissingGraphFileFailsCleanly) {
