@@ -11,10 +11,16 @@
 // configuration for the CI artifact.
 //
 // Environment overrides (in addition to bench_common.h's):
-//   BLAZE_BENCH_CLIENTS   client threads (default 4)
-//   BLAZE_BENCH_QUERIES   queries per client (default 3)
-//   BLAZE_BENCH_TRACE     Chrome trace-event JSON artifact path
-//                         (default bench_serving_trace.json; "" disables)
+//   BLAZE_BENCH_CLIENTS      client threads (default 4)
+//   BLAZE_BENCH_QUERIES      queries per client (default 3)
+//   BLAZE_BENCH_TRACE        Chrome trace-event JSON artifact path
+//                            (default bench_serving_trace.json; "" disables)
+//   BLAZE_BENCH_METRICS      metrics artifact prefix (default
+//                            bench_serving_metrics -> .json + .prom;
+//                            "" disables)
+//   BLAZE_BENCH_METRICS_MS   sampler interval, ms (default 10)
+//   BLAZE_BENCH_METRICS_PORT scrape endpoint port (default off; 0 =
+//                            ephemeral)
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -27,6 +33,8 @@
 #include "algorithms/kcore.h"
 #include "bench/bench_common.h"
 #include "device/cached_device.h"
+#include "metrics/export.h"
+#include "metrics/metrics.h"
 #include "serve/query_engine.h"
 #include "trace/chrome_export.h"
 #include "trace/tracer.h"
@@ -156,13 +164,31 @@ int main() {
   const std::string trace_path =
       trace_env != nullptr ? trace_env : "bench_serving_trace.json";
 
+  // Metrics artifact: the engine's sampler runs fast (10 ms default) so
+  // the CI artifact carries a dense bandwidth/queue-depth timeline — the
+  // live version of the paper's Figure 2/3 series.
+  const char* metrics_env = std::getenv("BLAZE_BENCH_METRICS");
+  const std::string metrics_prefix =
+      metrics_env != nullptr ? metrics_env : "bench_serving_metrics";
+
   serve::EngineOptions opts;
   opts.max_inflight_queries = clients;
   opts.max_queue_depth = clients * per_client;
+  if (const char* port = std::getenv("BLAZE_BENCH_METRICS_PORT")) {
+    opts.metrics_port = static_cast<int>(std::atol(port));
+  }
   auto serve_cfg = bench_config(out_g);
   serve_cfg.trace_enabled = !trace_path.empty();
+  serve_cfg.metrics_enabled = !metrics_prefix.empty();
+  serve_cfg.metrics_sample_ms =
+      static_cast<std::uint32_t>(env_long("BLAZE_BENCH_METRICS_MS", 10));
   serve::QueryEngine engine(serve_cfg, opts);
   engine.observe_cache(cache.get());
+  cache->bind_metrics();  // hit/miss series next to the device bandwidth
+  if (engine.metrics_port() != 0) {
+    std::fprintf(stderr, "metrics endpoint: http://localhost:%u/metrics\n",
+                 engine.metrics_port());
+  }
 
   std::atomic<std::uint64_t> overload_retries{0};
   Timer wall;
@@ -208,6 +234,31 @@ int main() {
     }
   }
 
+  // Metrics artifacts: the JSON dump (registry snapshot + sampler time
+  // series) and the Prometheus exposition a scraper would have seen.
+  std::string metrics_json_path, metrics_prom_path;
+  std::uint64_t sampler_points = 0;
+  if (!metrics_prefix.empty()) {
+    engine.sampler().sample_once();  // fresh end-state point
+    const auto ts = engine.sampler().snapshot();
+    sampler_points = ts.points.size();
+    const auto rows = metrics::Registry::instance().snapshot();
+    const std::string jpath = metrics_prefix + ".json";
+    const std::string ppath = metrics_prefix + ".prom";
+    if (metrics::write_file(jpath, metrics::metrics_dump_json(rows, ts))) {
+      metrics_json_path = jpath;
+    } else {
+      std::fprintf(stderr, "failed to write metrics artifact %s\n",
+                   jpath.c_str());
+    }
+    if (metrics::write_file(ppath, metrics::to_prometheus(rows))) {
+      metrics_prom_path = ppath;
+    } else {
+      std::fprintf(stderr, "failed to write metrics artifact %s\n",
+                   ppath.c_str());
+    }
+  }
+
   std::printf(
       "{\"bench\":\"serving\",\"graph\":\"%s\",\"clients\":%zu,"
       "\"sessions\":%zu,\"queries_per_client\":%zu,\"admitted\":%llu,"
@@ -217,6 +268,8 @@ int main() {
       "\"cache_dedup_hits\":%llu,\"isolated_hit_rate\":%.4f,"
       "\"io_retries\":%llu,\"io_gave_up\":%llu,"
       "\"trace_events\":%llu,\"trace_dropped\":%llu,\"trace_path\":\"%s\","
+      "\"metrics_path\":\"%s\",\"metrics_prom_path\":\"%s\","
+      "\"sampler_points\":%llu,"
       "\"results_match\":%s,\"shared_cache_wins\":%s}\n",
       ds.name.c_str(), clients, opts.max_inflight_queries, per_client,
       static_cast<unsigned long long>(stats.admitted),
@@ -232,6 +285,8 @@ int main() {
       static_cast<unsigned long long>(stats.trace_counters.events),
       static_cast<unsigned long long>(stats.trace_counters.dropped),
       trace_written ? trace_path.c_str() : "",
+      metrics_json_path.c_str(), metrics_prom_path.c_str(),
+      static_cast<unsigned long long>(sampler_points),
       results_match ? "true" : "false", cache_wins ? "true" : "false");
   return results_match && cache_wins ? 0 : 1;
 }

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro run (and optionally a Figure 8 CSV) against
+BENCH_BASELINE.json.
+
+The gate is a coarse regression tripwire, not a statistics engine: CI
+runners are noisy, so a benchmark only fails when it exceeds its baseline
+by the (generous, default 5x) tolerance multiplier. New benchmarks absent
+from the baseline are reported but never fail the run — refresh the
+baseline with --update when adding one deliberately.
+
+Usage:
+  check_bench_baseline.py --baseline BENCH_BASELINE.json bench_micro.json
+  check_bench_baseline.py ... --fig8 fig8.csv     # also gate utilization
+  check_bench_baseline.py --update bench_micro.json   # reseed micro section
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+DEFAULT_TOLERANCE = 5.0
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_micro(baseline, bench_json):
+    """Returns a list of failure strings."""
+    failures = []
+    current = {
+        b["name"]: b
+        for b in bench_json.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    for name, entry in baseline.get("micro", {}).items():
+        if name not in current:
+            print(f"MISSING  {name}: in baseline but not in this run")
+            failures.append(f"{name} missing from run")
+            continue
+        base_ns = float(entry["real_time_ns"])
+        tol = float(entry.get("tolerance", DEFAULT_TOLERANCE))
+        now_ns = float(current[name]["real_time"])
+        limit = base_ns * tol
+        status = "OK" if now_ns <= limit else "FAIL"
+        print(
+            f"{status:7s}  {name}: {now_ns:.1f} ns"
+            f" (baseline {base_ns:.1f} ns, limit {limit:.1f} ns = {tol:g}x)"
+        )
+        if now_ns > limit:
+            failures.append(
+                f"{name}: {now_ns:.1f} ns > {limit:.1f} ns"
+                f" ({now_ns / base_ns:.1f}x of baseline)"
+            )
+    for name in sorted(set(current) - set(baseline.get("micro", {}))):
+        print(f"NEW      {name}: not in baseline (informational)")
+    return failures
+
+
+def check_fig8(baseline, csv_path):
+    failures = []
+    section = baseline.get("fig8")
+    if not section:
+        return failures
+    floor = float(section.get("min_utilization", 0.0))
+    want = {
+        (r["variant"], r["query"], r["graph"]): r for r in section["rows"]
+    }
+    try:
+        with open(csv_path) as f:
+            lines = [ln for ln in f if not ln.startswith("#")]
+        rows = list(csv.DictReader(lines))
+    except OSError as e:
+        print(f"error: cannot read {csv_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    seen = set()
+    for row in rows:
+        key = (row.get("variant"), row.get("query"), row.get("graph"))
+        if key not in want:
+            continue
+        seen.add(key)
+        util = float(row["utilization"])
+        status = "OK" if util >= floor else "FAIL"
+        print(
+            f"{status:7s}  fig8 {'/'.join(key)}: utilization {util:.2f}"
+            f" (floor {floor:.2f}, seed {want[key]['utilization']:.2f})"
+        )
+        if util < floor:
+            failures.append(
+                f"fig8 {'/'.join(key)}: utilization {util:.2f} < {floor:.2f}"
+            )
+    for key in sorted(set(want) - seen):
+        print(f"MISSING  fig8 {'/'.join(key)}: row not in CSV")
+        failures.append(f"fig8 row {'/'.join(key)} missing")
+    return failures
+
+
+def update_baseline(baseline_path, bench_json):
+    baseline = load_json(baseline_path)
+    micro = baseline.setdefault("micro", {})
+    for b in bench_json.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        entry = micro.setdefault(b["name"], {})
+        entry["real_time_ns"] = round(float(b["real_time"]), 1)
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"updated {baseline_path} ({len(micro)} micro entries)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", help="bench_micro --benchmark_format=json output")
+    ap.add_argument("--baseline", default="BENCH_BASELINE.json")
+    ap.add_argument("--fig8", help="bench_fig8_io_util CSV to gate as well")
+    ap.add_argument(
+        "--update", action="store_true",
+        help="reseed the baseline's micro timings from this run",
+    )
+    args = ap.parse_args()
+
+    bench_json = load_json(args.bench_json)
+    if args.update:
+        update_baseline(args.baseline, bench_json)
+        return 0
+
+    baseline = load_json(args.baseline)
+    failures = check_micro(baseline, bench_json)
+    if args.fig8:
+        failures += check_fig8(baseline, args.fig8)
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,17 @@ struct Config {
   /// costs one relaxed atomic load and a predictable branch.
   bool trace_enabled = false;
 
+  /// Enables blaze::metrics publication (process-wide sticky gate, same
+  /// semantics as trace_enabled; see metrics/metrics.h). Off by default
+  /// outside serve: a metrics-off run pays at most a relaxed atomic load
+  /// plus a null-pointer branch per instrumentation point.
+  bool metrics_enabled = false;
+
+  /// Interval of the background metrics sampler (time-series snapshots of
+  /// the registry), in milliseconds. Consumed by whoever owns a
+  /// metrics::Sampler over this config — serve::QueryEngine, blaze-run.
+  std::uint32_t metrics_sample_ms = 100;
+
   /// Modeled per-update cost of cross-core atomic contention, applied only
   /// in sync_mode. On the paper's 16-core testbed contended CAS lines
   /// bounce between cores (tens of ns per update); this single-core

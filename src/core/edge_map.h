@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/core_metrics.h"
 #include "core/query_context.h"
 #include "core/runtime.h"
 #include "core/stats.h"
@@ -157,6 +158,10 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
   trace::Span trace_span(trace::Name::kEdgeMap, frontier.universe());
   trace::instant(trace::Name::kIteration,
                  opts.stats ? opts.stats->edge_map_calls : 0);
+  if (const auto* m = detail::core_metrics()) {
+    m->iterations->inc();
+    m->frontier->set(static_cast<double>(frontier.count()));
+  }
   // Program/graph record-format compatibility, checked before any pipeline
   // work starts.
   const bool weighted_records =
@@ -316,6 +321,10 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
     std::rethrow_exception(err);
   }
 
+  if (const auto* m = detail::core_metrics()) {
+    m->edges->add(edges_scattered.load(std::memory_order_relaxed));
+    m->records->add(records_binned.load(std::memory_order_relaxed));
+  }
   if (opts.stats) {
     opts.stats->merge(io->stats());  // unified device->io accounting
     opts.stats->edges_scattered +=

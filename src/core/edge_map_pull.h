@@ -41,6 +41,10 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
   trace::Span trace_span(trace::Name::kEdgeMapPull, candidates.universe());
   trace::instant(trace::Name::kIteration,
                  opts.stats ? opts.stats->edge_map_calls : 0);
+  if (const auto* m = detail::core_metrics()) {
+    m->iterations->inc();
+    m->frontier->set(static_cast<double>(frontier.count()));
+  }
   if (frontier.empty() || candidates.empty()) return out;
 
   // Page frontier over the *candidates'* in-adjacency, handed to the
@@ -132,6 +136,9 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
     // The reader reclaimed its buffers and the workers drained the filled
     // queue: the pool is whole, the Runtime stays reusable. Surface it.
     std::rethrow_exception(err);
+  }
+  if (const auto* m = detail::core_metrics()) {
+    m->edges->add(edges_scanned.load(std::memory_order_relaxed));
   }
   if (opts.stats) {
     opts.stats->merge(io->stats());

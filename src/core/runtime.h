@@ -7,6 +7,7 @@
 #include "core/config.h"
 #include "core/query_context.h"
 #include "io/io_pipeline.h"
+#include "metrics/metrics.h"
 #include "trace/tracer.h"
 #include "util/thread_pool.h"
 
@@ -25,10 +26,11 @@ class Runtime {
       : config_(config), pool_(config.compute_workers) {
     pipeline_.set_retry_policy(
         {config_.io_retry_limit, config_.io_retry_backoff_us});
-    // The gate is process-wide and sticky: a Runtime asking for tracing
-    // turns it on, but a second tracing-off Runtime must not silently
+    // The gates are process-wide and sticky: a Runtime asking for tracing
+    // or metrics turns them on, but a second off Runtime must not silently
     // disable a concurrent session's recording.
     if (config_.trace_enabled) trace::set_enabled(true);
+    if (config_.metrics_enabled) metrics::set_enabled(true);
   }
 
   const Config& config() const { return config_; }

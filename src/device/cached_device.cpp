@@ -40,6 +40,25 @@ CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
   map_.reserve(capacity_pages_ * 2);
 }
 
+void CachedDevice::bind_metrics() {
+  if (!metrics_bindings_.empty()) return;
+  metrics::Registry& reg = metrics::Registry::instance();
+  const metrics::Labels labels{{"cache", name_}};
+  using metrics::Kind;
+  metrics_bindings_.add(reg.callback(
+      "blaze_cache_hits_total", labels, Kind::kCounter,
+      [this] { return static_cast<double>(hits()); }));
+  metrics_bindings_.add(reg.callback(
+      "blaze_cache_misses_total", labels, Kind::kCounter,
+      [this] { return static_cast<double>(misses()); }));
+  metrics_bindings_.add(reg.callback(
+      "blaze_cache_dedup_hits_total", labels, Kind::kCounter,
+      [this] { return static_cast<double>(dedup_hits()); }));
+  metrics_bindings_.add(reg.callback("blaze_cache_hit_rate", labels,
+                                     Kind::kGauge,
+                                     [this] { return hit_rate(); }));
+}
+
 void CachedDevice::lru_unlink(std::size_t slot) {
   const bool linked = lru_head_ == slot || lru_prev_[slot] != kNil ||
                       lru_next_[slot] != kNil;

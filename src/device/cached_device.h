@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "device/block_device.h"
+#include "metrics/metrics.h"
 #include "util/rng.h"
 
 namespace blaze::device {
@@ -72,6 +73,13 @@ class CachedDevice : public BlockDevice {
     const double m = static_cast<double>(misses());
     return h + m == 0 ? 0.0 : h / (h + m);
   }
+
+  /// Publishes the cache counters into the metric registry as polled
+  /// series (blaze_cache_{hits,misses,dedup_hits}_total and
+  /// blaze_cache_hit_rate, labeled by cache=name()). Zero hot-path cost —
+  /// the callbacks read the existing relaxed atomics at sample time — and
+  /// the bindings unregister when the device dies. Idempotent.
+  void bind_metrics();
 
   /// Fills `out` (kPageSize bytes) for page `page`; returns true on a
   /// cache hit. On miss the caller must read from the inner device and
@@ -144,6 +152,8 @@ class CachedDevice : public BlockDevice {
   // monitoring threads while sessions update them under mu_ or lock-free
   // (record_unaligned_miss), and TSan must stay clean.
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, dedup_hits_{0};
+
+  metrics::BindingSet metrics_bindings_;  ///< unregisters before counters die
 
   static constexpr std::size_t kNil = ~std::size_t{0};
 

@@ -22,14 +22,41 @@ void IoStats::record_read(std::uint64_t bytes, std::uint64_t busy_ns) {
   total_reads_.fetch_add(1, std::memory_order_relaxed);
   busy_ns_.fetch_add(busy_ns, std::memory_order_relaxed);
   current_epoch_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  // Metrics-off runs pay one atomic load + null branch here. Acquire
+  // pairs with bind_metrics' release store so the companion handles are
+  // visible whenever m_bytes_ is.
+  if (auto* c = m_bytes_.load(std::memory_order_acquire)) {
+    c->add(bytes);
+    m_reads_.load(std::memory_order_relaxed)->inc();
+    m_busy_.load(std::memory_order_relaxed)->add(busy_ns);
+  }
   if (bucket_ns_ != 0) {
     std::uint64_t now = Timer::now_ns();
     std::uint64_t bucket =
         (now - t0_ns_.load(std::memory_order_relaxed)) / bucket_ns_;
-    if (bucket < timeline_.size()) {
-      timeline_[bucket].fetch_add(bytes, std::memory_order_relaxed);
+    if (bucket >= timeline_.size()) {
+      // A run longer than the preallocated window: clamp into the final
+      // bucket (the timeline's total still reconciles with total_bytes())
+      // and count the drop so consumers can tell the tail is aggregated.
+      bucket = timeline_.size() - 1;
+      timeline_overflow_.fetch_add(1, std::memory_order_relaxed);
     }
+    timeline_[bucket].fetch_add(bytes, std::memory_order_relaxed);
   }
+}
+
+void IoStats::bind_metrics(const std::string& device_label) {
+  if (m_bytes_.load(std::memory_order_relaxed) != nullptr) return;
+  metrics::Registry& reg = metrics::Registry::instance();
+  const metrics::Labels labels{{"device", device_label}};
+  // Order matters: record_read() keys off m_bytes_, so publish the
+  // companions first and m_bytes_ last.
+  m_reads_.store(reg.counter("blaze_device_reads_total", labels),
+                 std::memory_order_relaxed);
+  m_busy_.store(reg.counter("blaze_device_busy_ns_total", labels),
+                std::memory_order_relaxed);
+  m_bytes_.store(reg.counter("blaze_device_bytes_total", labels),
+                 std::memory_order_release);
 }
 
 void IoStats::reset() {
@@ -42,6 +69,7 @@ void IoStats::reset() {
     closed_epochs_.clear();
   }
   t0_ns_.store(Timer::now_ns(), std::memory_order_relaxed);
+  timeline_overflow_.store(0, std::memory_order_relaxed);
   for (auto& b : timeline_) b.store(0, std::memory_order_relaxed);
 }
 

@@ -9,8 +9,10 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "util/common.h"
 #include "util/timer.h"
 
@@ -53,6 +55,21 @@ class IoStats {
   std::vector<std::uint64_t> timeline_bytes() const;
   std::uint64_t timeline_bucket_ns() const { return bucket_ns_; }
 
+  /// Completions whose bucket index ran past the preallocated ring
+  /// (clamped into the final bucket so timeline totals still reconcile
+  /// with total_bytes()). Non-zero means the run outlived the timeline
+  /// window: resize the bucket or reset() more often.
+  std::uint64_t timeline_overflow() const {
+    return timeline_overflow_.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes this device's counters into the process-wide metric
+  /// registry as blaze_device_{bytes,reads,busy_ns}_total{device=label}.
+  /// Idempotent (re-binding with any label keeps the first); thread-safe
+  /// against concurrent record_read(). Two devices bound with the same
+  /// label share one registry series, Prometheus-style.
+  void bind_metrics(const std::string& device_label);
+
  private:
   std::atomic<std::uint64_t> total_bytes_{0};
   std::atomic<std::uint64_t> total_reads_{0};
@@ -65,6 +82,14 @@ class IoStats {
   std::atomic<std::uint64_t> t0_ns_;
   static constexpr std::size_t kMaxBuckets = 1 << 16;
   std::vector<std::atomic<std::uint64_t>> timeline_;
+  std::atomic<std::uint64_t> timeline_overflow_{0};
+
+  /// Registry handles, null until bind_metrics(). Atomic because binding
+  /// (first pipeline submit touching the device) can race a concurrent
+  /// record_read from another session's reader thread.
+  std::atomic<metrics::Counter*> m_bytes_{nullptr};
+  std::atomic<metrics::Counter*> m_reads_{nullptr};
+  std::atomic<metrics::Counter*> m_busy_{nullptr};
 
   mutable std::mutex epoch_mu_;
   std::vector<std::uint64_t> closed_epochs_;

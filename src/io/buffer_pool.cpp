@@ -14,6 +14,23 @@ IoBufferPool::IoBufferPool(std::size_t total_bytes)
     bool ok = free_.push(i);
     BLAZE_CHECK(ok, "buffer pool init overflow");
   }
+  if (metrics::enabled()) {
+    // Process-unique pool label: serve sessions each own a slice of the
+    // static budget, and per-slice occupancy is what shows one stalled
+    // query backpressuring its own reads without starving the others.
+    static std::atomic<std::uint64_t> next_pool_id{0};
+    const std::string id =
+        std::to_string(next_pool_id.fetch_add(1, std::memory_order_relaxed));
+    metrics::Registry& reg = metrics::Registry::instance();
+    const metrics::Labels labels{{"pool", id}};
+    using metrics::Kind;
+    metrics_bindings_.add(reg.callback(
+        "blaze_io_pool_buffers_free", labels, Kind::kGauge,
+        [this] { return static_cast<double>(free_.approx_size()); }));
+    metrics_bindings_.add(reg.callback(
+        "blaze_io_pool_buffers_total", labels, Kind::kGauge,
+        [this] { return static_cast<double>(num_buffers_); }));
+  }
 }
 
 }  // namespace blaze::io

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "io/pipeline_stats.h"
+#include "metrics/metrics.h"
 #include "util/common.h"
 #include "util/mpmc_queue.h"
 
@@ -41,7 +42,11 @@ struct BufferMeta {
 class IoBufferPool {
  public:
   /// Creates a pool holding `total_bytes / (kMaxMergePages * kPageSize)`
-  /// buffers (at least 4).
+  /// buffers (at least 4). When metrics publication is on
+  /// (metrics::enabled()), the pool registers polled occupancy gauges
+  /// blaze_io_pool_buffers_{free,total}{pool=N} — N a process-unique pool
+  /// index — torn down when the pool dies. Zero hot-path cost: the
+  /// callback reads the free list's approximate size at sample time.
   explicit IoBufferPool(std::size_t total_bytes);
 
   std::size_t num_buffers() const { return num_buffers_; }
@@ -92,6 +97,7 @@ class IoBufferPool {
   std::vector<std::byte> storage_;
   std::vector<BufferMeta> metas_;
   MpmcQueue<std::uint32_t> free_;
+  metrics::BindingSet metrics_bindings_;  ///< occupancy gauges (see ctor)
 };
 
 }  // namespace blaze::io

@@ -56,6 +56,30 @@ std::shared_ptr<ReadHandle> IoPipeline::post(IoBufferPool& pool,
   for (const ReadBatch& b : batches) total_pages += b.pages.size();
   trace::Span span(trace::Name::kIoSubmit, total_pages);
 
+  if (metrics::enabled()) {
+    // Bind all registry handles BEFORE taking readers_mu_: registry
+    // snapshots hold the registry lock while running callbacks, so no code
+    // path may enter the registry while holding a lock a callback could
+    // want (lock-ordering discipline; see metrics.h header comment).
+    std::call_once(metrics_once_, [this] {
+      metrics::Registry& reg = metrics::Registry::instance();
+      JobCounters& c = job_counters_storage_;
+      c.bytes = reg.counter("blaze_io_bytes_total");
+      c.pages = reg.counter("blaze_io_pages_total");
+      c.requests = reg.counter("blaze_io_requests_total");
+      c.retries = reg.counter("blaze_io_retries_total");
+      c.failed = reg.counter("blaze_io_failed_requests_total");
+      c.gave_up = reg.counter("blaze_io_gave_up_total");
+      c.stalls = reg.counter("blaze_io_buffer_stalls_total");
+      c.stall_ns = reg.counter("blaze_io_buffer_stall_ns_total");
+      c.prefetch_bytes = reg.counter("blaze_io_prefetch_bytes_total");
+      job_counters_.store(&c, std::memory_order_release);
+    });
+    for (const ReadBatch& b : batches) {
+      if (!b.pages.empty()) b.device->stats().bind_metrics(b.device->name());
+    }
+  }
+
   std::lock_guard lock(readers_mu_);
   for (ReadBatch& b : batches) {
     if (b.pages.empty()) continue;
@@ -95,6 +119,14 @@ std::size_t IoPipeline::slot_for_locked(device::BlockDevice* device) {
   readers_.push_back(std::move(reader));
   const std::size_t slot = readers_.size() - 1;
   device_slots_.emplace(device, slot);
+  if (metrics::enabled()) {
+    // Owned gauge, not a callback: a polled callback would need readers_mu_
+    // under the registry lock, the exact inversion post() avoids above.
+    if (readers_gauge_ == nullptr) {
+      readers_gauge_ = metrics::Registry::instance().gauge("blaze_io_readers");
+    }
+    readers_gauge_->set(static_cast<double>(readers_.size()));
+  }
   return slot;
 }
 
@@ -155,6 +187,21 @@ void IoPipeline::execute(Job& job) {
     local.io_requests = 0;
     local.bytes_read = 0;
     local.merged_requests = 0;
+  }
+  // Per-job publication of the pipeline totals: one acquire load plus a
+  // handful of relaxed adds per batch, nothing when metrics are off.
+  if (const JobCounters* c = job_counters_.load(std::memory_order_acquire)) {
+    c->bytes->add(local.bytes_read);
+    c->pages->add(local.pages_read);
+    c->requests->add(local.io_requests);
+    if (local.retries != 0) c->retries->add(local.retries);
+    if (local.failed_requests != 0) c->failed->add(local.failed_requests);
+    if (local.gave_up != 0) c->gave_up->add(local.gave_up);
+    if (local.buffer_stalls != 0) {
+      c->stalls->add(local.buffer_stalls);
+      c->stall_ns->add(local.buffer_stall_ns);
+    }
+    if (local.prefetch_bytes != 0) c->prefetch_bytes->add(local.prefetch_bytes);
   }
   {
     std::lock_guard lock(handle.mu_);

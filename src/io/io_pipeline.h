@@ -40,6 +40,7 @@
 #include "io/io_error.h"
 #include "io/page_verify.h"
 #include "io/pipeline_stats.h"
+#include "metrics/metrics.h"
 #include "trace/tracer.h"
 #include "util/mpmc_queue.h"
 #include "util/spinlock.h"
@@ -175,6 +176,21 @@ class IoPipeline {
     std::jthread thread;  // last member: joins before the queue dies
   };
 
+  /// Process-wide pipeline totals, bound once (post() checks the gate and
+  /// lazily binds). All jobs on all pipelines publish into the same series;
+  /// per-device splits live on device::IoStats instead.
+  struct JobCounters {
+    metrics::Counter* bytes = nullptr;
+    metrics::Counter* pages = nullptr;
+    metrics::Counter* requests = nullptr;
+    metrics::Counter* retries = nullptr;
+    metrics::Counter* failed = nullptr;
+    metrics::Counter* gave_up = nullptr;
+    metrics::Counter* stalls = nullptr;
+    metrics::Counter* stall_ns = nullptr;
+    metrics::Counter* prefetch_bytes = nullptr;
+  };
+
   std::shared_ptr<ReadHandle> post(IoBufferPool& pool,
                                    std::vector<ReadBatch> batches,
                                    std::size_t max_inflight, bool discard);
@@ -190,6 +206,14 @@ class IoPipeline {
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<bool> stop_{false};
   RetryPolicy retry_;  ///< applied to transient faults; snapshot per job
+
+  // Metric handles. The gauge lives under readers_mu_ (set where readers
+  // are created); the counter block is published with release so execute()
+  // sees fully initialized handles after one acquire load.
+  metrics::Gauge* readers_gauge_ = nullptr;  ///< guarded by readers_mu_
+  std::once_flag metrics_once_;
+  JobCounters job_counters_storage_;
+  std::atomic<const JobCounters*> job_counters_{nullptr};
 };
 
 }  // namespace blaze::io

@@ -1,0 +1,53 @@
+// Exporters over the metric registry and sampler.
+//
+//   * to_prometheus(): Prometheus text exposition format (version 0.0.4),
+//     the payload the embedded scrape endpoint (http_export.h) serves.
+//     Counters/gauges one line per series; histograms as cumulative
+//     `_bucket{le=...}` lines plus `_sum`/`_count`, with power-of-two
+//     bounds matching the log2 buckets.
+//   * snapshot_json(): one JSON object per series — the machine-readable
+//     twin of the human stats tables (blaze-run --metrics-out, the
+//     bench_serving metrics artifact).
+//   * timeseries_json(): the sampler ring as {series, points} — enough to
+//     re-plot Figure 2 (bandwidth timeline) and Figure 3 (per-device byte
+//     skew) from a live run; see EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+
+namespace blaze::metrics {
+
+/// Prometheus text exposition of the given rows (one `# TYPE` header per
+/// family, families in row order — Registry::snapshot() is name-sorted).
+std::string to_prometheus(const std::vector<SampleRow>& rows);
+
+/// Convenience: exposition of the registry's current state.
+std::string to_prometheus(const Registry& registry);
+
+/// JSON array of series objects:
+///   [{"name":..., "labels":{...}, "kind":"counter", "value":...}, ...]
+/// Histograms carry "count", "sum", and non-empty "buckets" ([le, count]
+/// pairs, cumulative like the Prometheus exposition).
+std::string snapshot_json(const std::vector<SampleRow>& rows);
+
+/// JSON object for the sampler ring:
+///   {"interval_ms":..., "evicted_points":...,
+///    "series":[{"name":...,"labels":{...},"kind":...}, ...],
+///    "points":[{"ts_ns":..., "values":[...]}, ...]}
+/// Point `values` are index-aligned with `series`; points recorded before
+/// a series was discovered carry fewer values (that series' history
+/// starts later).
+std::string timeseries_json(const Sampler::TimeSeries& ts);
+
+/// Combined --metrics-out artifact: {"snapshot":[...], "timeseries":{...}}.
+std::string metrics_dump_json(const std::vector<SampleRow>& rows,
+                              const Sampler::TimeSeries& ts);
+
+/// Writes `content` to `path`; false (with errno intact) on failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace blaze::metrics

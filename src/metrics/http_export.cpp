@@ -1,0 +1,142 @@
+#include "metrics/http_export.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "metrics/export.h"
+
+namespace blaze::metrics {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; a scraper will retry
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const std::string& status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  return "HTTP/1.1 " + status +
+         "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(Registry& registry,
+                                     const Sampler* sampler)
+    : registry_(registry), sampler_(sampler) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(std::uint16_t port) {
+  if (running()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  // Serving a scrape endpoint implies publication.
+  set_enabled(true);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+}
+
+void MetricsHttpServer::accept_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // 50 ms poll bound keeps stop() prompt without an extra wake pipe.
+    const int rc = ::poll(&pfd, 1, 50);
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  // One read is enough for "GET /path HTTP/1.1"; scrape requests carry no
+  // body and the routes ignore headers.
+  char buf[2048];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const char* line_end = std::strstr(buf, "\r\n");
+  std::string request_line(buf, line_end != nullptr
+                                    ? static_cast<std::size_t>(line_end - buf)
+                                    : static_cast<std::size_t>(n));
+  std::string path;
+  {
+    const std::size_t sp1 = request_line.find(' ');
+    if (sp1 != std::string::npos) {
+      const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+      path = request_line.substr(
+          sp1 + 1,
+          sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+    }
+  }
+  if (path == "/metrics" || path == "/") {
+    send_all(fd, http_response("200 OK",
+                               "text/plain; version=0.0.4; charset=utf-8",
+                               to_prometheus(registry_)));
+  } else if (path == "/metrics.json") {
+    const std::string body =
+        sampler_ != nullptr
+            ? metrics_dump_json(registry_.snapshot(), sampler_->snapshot())
+            : std::string("{\"snapshot\":") +
+                  snapshot_json(registry_.snapshot()) + "}";
+    send_all(fd, http_response("200 OK", "application/json", body));
+  } else {
+    send_all(fd, http_response("404 Not Found", "text/plain",
+                               "unknown path; try /metrics\n"));
+  }
+}
+
+}  // namespace blaze::metrics

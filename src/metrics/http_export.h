@@ -1,0 +1,70 @@
+// Minimal embedded HTTP scrape endpoint for the metric registry.
+//
+// Enough HTTP for a Prometheus scraper or `curl` during a running query —
+// nothing more: one accept thread, blocking per-request handling (scrapes
+// are rare and tiny), two routes:
+//
+//   GET /metrics        -> text/plain Prometheus exposition
+//   GET /metrics.json   -> application/json snapshot (+ sampler time
+//                          series when a Sampler is attached)
+//
+// anything else         -> 404
+//
+// POSIX sockets only (the repo's CI targets Linux). Port 0 binds an
+// ephemeral port; port() reports the actual one — how the tests and
+// benches avoid collisions. Lifetime: stop() (or the destructor) shuts
+// the listening socket down and joins the thread; in-flight responses
+// complete first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+
+namespace blaze::metrics {
+
+class MetricsHttpServer {
+ public:
+  /// Serves `registry`; when `sampler` is non-null, /metrics.json embeds
+  /// its time series too (the sampler must outlive the server).
+  explicit MetricsHttpServer(Registry& registry,
+                             const Sampler* sampler = nullptr);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the accept thread.
+  /// False (with errno intact) when the bind/listen fails.
+  bool start(std::uint16_t port);
+
+  /// Stops accepting, closes the socket, joins the thread. Idempotent.
+  void stop();
+
+  bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (actual one when started with port 0); 0 if stopped.
+  std::uint16_t port() const {
+    return port_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  Registry& registry_;
+  const Sampler* sampler_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint16_t> port_{0};
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace blaze::metrics

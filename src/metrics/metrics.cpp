@@ -1,0 +1,181 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+#include "trace/tracer.h"
+
+namespace blaze::metrics {
+
+namespace {
+
+/// Serialized series identity: name + sorted label pairs. Field separators
+/// are characters Prometheus names/label keys cannot contain.
+std::string series_key(const std::string& name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  if (!on) return;  // sticky, like trace::set_enabled
+  const bool was =
+      detail::g_enabled.exchange(true, std::memory_order_relaxed);
+  if (!was) {
+    // Counter bridge into blaze::trace: the span recorder's drop
+    // accounting becomes a scrapeable series, and both subsystems stamp
+    // from the same clock (util::Timer::now_ns), so sampler points join
+    // exported trace events directly on the time axis.
+    Registry::instance().callback(
+        "blaze_trace_dropped_events_total", {}, Kind::kCounter, [] {
+          return static_cast<double>(trace::dropped_events());
+        });
+  }
+}
+
+Log2Histogram Histogram::snapshot() const {
+  Log2Histogram out;
+  // Bulk-load each bucket at its lower bound: percentile() stays within
+  // the same <2x log2 error bound, and the copy is O(kBuckets) regardless
+  // of observation count.
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    const std::uint64_t c = bucket(k);
+    const std::uint64_t lo = k == 0 ? 0 : (std::uint64_t{1} << k);
+    out.add_many(lo, c);
+  }
+  return out;
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // never destroyed: handles outlive
+  return *r;                            // every static-teardown order
+}
+
+Registry::Owned& Registry::owned_locked(const std::string& name,
+                                        const Labels& labels, Kind kind) {
+  const std::string key = series_key(name, labels);
+  auto it = index_.find(key);
+  if (it != index_.end()) return *series_[it->second];
+  auto owned = std::make_unique<Owned>();
+  owned->name = name;
+  owned->labels = labels;
+  std::sort(owned->labels.begin(), owned->labels.end());
+  owned->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      owned->counter.reset(new Counter());
+      break;
+    case Kind::kGauge:
+      owned->gauge.reset(new Gauge());
+      break;
+    case Kind::kHistogram:
+      owned->histogram.reset(new Histogram());
+      break;
+  }
+  series_.push_back(std::move(owned));
+  index_.emplace(key, series_.size() - 1);
+  return *series_.back();
+}
+
+Counter* Registry::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  return owned_locked(name, labels, Kind::kCounter).counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  return owned_locked(name, labels, Kind::kGauge).gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               const Labels& labels) {
+  std::lock_guard lock(mu_);
+  return owned_locked(name, labels, Kind::kHistogram).histogram.get();
+}
+
+CallbackId Registry::callback(const std::string& name, const Labels& labels,
+                              Kind kind, std::function<double()> fn) {
+  std::lock_guard lock(mu_);
+  Callback cb;
+  cb.id = next_callback_id_++;
+  cb.name = name;
+  cb.labels = labels;
+  std::sort(cb.labels.begin(), cb.labels.end());
+  cb.kind = kind;
+  cb.fn = std::move(fn);
+  callbacks_.push_back(std::move(cb));
+  return callbacks_.back().id;
+}
+
+void Registry::unregister(CallbackId id) {
+  std::lock_guard lock(mu_);  // waits out any snapshot evaluating callbacks
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->id == id) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<SampleRow> Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<SampleRow> rows;
+  rows.reserve(series_.size() + callbacks_.size());
+  for (const auto& s : series_) {
+    SampleRow row;
+    row.name = s->name;
+    row.labels = s->labels;
+    row.kind = s->kind;
+    switch (s->kind) {
+      case Kind::kCounter:
+        row.value = static_cast<double>(s->counter->value());
+        break;
+      case Kind::kGauge:
+        row.value = s->gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *s->histogram;
+        row.buckets.resize(Histogram::kBuckets);
+        for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+          row.buckets[k] = h.bucket(k);
+        }
+        row.count = h.count();
+        row.sum = h.sum();
+        row.value = static_cast<double>(row.count);
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const auto& cb : callbacks_) {
+    SampleRow row;
+    row.name = cb.name;
+    row.labels = cb.labels;
+    row.kind = cb.kind;
+    row.value = cb.fn();
+    if (cb.kind == Kind::kHistogram) {
+      row.count = static_cast<std::uint64_t>(row.value);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const SampleRow& a, const SampleRow& b) {
+                     return a.name < b.name;
+                   });
+  return rows;
+}
+
+std::size_t Registry::num_series() const {
+  std::lock_guard lock(mu_);
+  return series_.size() + callbacks_.size();
+}
+
+}  // namespace blaze::metrics

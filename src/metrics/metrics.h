@@ -1,0 +1,255 @@
+// blaze::metrics — process-wide metric registry (the tentpole of the
+// observability layer).
+//
+// The paper's evaluation is built on continuous telemetry: the Figure 2
+// bandwidth timeline, the Figure 3 per-SSD byte skew, and the Figure 8
+// utilization are all *time-series* quantities. Before this subsystem the
+// repo could only report them as end-of-query snapshots scattered across
+// ad-hoc structs (device::IoStats, io::PipelineStats, serve::EngineStats,
+// trace counters). The registry unifies them: every subsystem publishes
+// named counters / gauges / log2 histograms — with label support for
+// per-device and per-session series — into one process-wide store that a
+// background sampler (sampler.h) turns into bounded in-memory time series
+// and the exporters (export.h, http_export.h) turn into Prometheus text
+// exposition or JSON artifacts.
+//
+// Cost model (mirrors blaze::trace):
+//   * One process-wide gate, metrics::enabled(), a relaxed atomic bool.
+//     Subsystems bind their hot-path handles only when it is on, so a
+//     metrics-off run pays a null-pointer branch at most.
+//   * Owned metrics (Counter/Gauge/Histogram) are registry-allocated and
+//     NEVER freed or moved: a handle acquired once is a stable pointer,
+//     and updating it is a single relaxed atomic RMW — no lock, no lookup.
+//   * Callback metrics (polled gauges/counters) are evaluated only at
+//     snapshot time, under the registry lock. They are the adapter story
+//     for surfaces that already keep their own atomics (buffer-pool
+//     occupancy, admission-queue depth, cache hit counters): zero added
+//     hot-path cost. Callbacks MUST NOT call back into the Registry and
+//     should only read atomics or take leaf locks (the registry lock is
+//     held while they run; unregister() synchronizes with in-flight
+//     snapshots so an unregistered callback never fires again).
+//
+// Identity: a series is (name, sorted label pairs). Asking for the same
+// series twice returns the same handle — two devices with the same name
+// share one series, exactly like Prometheus client libraries.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace blaze::metrics {
+
+// ---- Process-wide gate ---------------------------------------------------
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// True when metric publication is on (Config::metrics_enabled via
+/// core::Runtime, or any exporter/sampler being constructed). Relaxed:
+/// emitters may observe a flip late, costing a few samples around the
+/// transition.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the gate. Sticky in the same way as trace::set_enabled: a second
+/// metrics-off Runtime must not silently disable a concurrent session's
+/// publication, so subsystems only ever turn it on.
+void set_enabled(bool on);
+
+// ---- Metric instruments --------------------------------------------------
+
+/// Label set of one series. Kept sorted by key inside the registry.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter (Prometheus `counter`). Lock-free hot path.
+class Counter {
+ public:
+  void add(std::uint64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous value (Prometheus `gauge`). Lock-free hot path.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> v_{0.0};
+};
+
+/// Log2-bucketed histogram (Prometheus `histogram` with power-of-two
+/// bounds). Bucket k counts values in [2^k, 2^(k+1)), bucket 0 counts
+/// {0, 1} — the same layout as Log2Histogram, but with atomic buckets so
+/// observe() is lock-free from any thread.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::uint64_t v) {
+    buckets_[Log2Histogram::bucket_of(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t k) const {
+    return buckets_[k].load(std::memory_order_relaxed);
+  }
+
+  /// Racy-but-consistent-enough copy for percentile reporting (each bucket
+  /// is read once; concurrent observes land in this snapshot or the next).
+  Log2Histogram snapshot() const;
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+inline const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+/// One series' value at snapshot time — the exporters' input row.
+struct SampleRow {
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  double value = 0;  ///< counter/gauge value; histograms use the fields below
+  std::vector<std::uint64_t> buckets;  ///< histogram: per-bucket counts
+  std::uint64_t count = 0;             ///< histogram: total observations
+  std::uint64_t sum = 0;               ///< histogram: sum of observed values
+};
+
+using CallbackId = std::uint64_t;
+
+// ---- Registry ------------------------------------------------------------
+
+/// The process-wide metric store. All methods are thread-safe.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Owned instruments: allocated on first request, the same (name, labels)
+  /// pair always returns the same stable pointer. Handles stay valid for
+  /// the registry's lifetime — cache them, never re-look-up on a hot path.
+  Counter* counter(const std::string& name, const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const Labels& labels = {});
+  Histogram* histogram(const std::string& name, const Labels& labels = {});
+
+  /// Polled series: `fn` is evaluated at snapshot time under the registry
+  /// lock (see the header comment's callback rules). `kind` distinguishes
+  /// Prometheus TYPE only; the value is whatever `fn` returns.
+  CallbackId callback(const std::string& name, const Labels& labels,
+                      Kind kind, std::function<double()> fn);
+
+  /// Removes a callback. Blocks until any in-flight snapshot finishes, so
+  /// after return the callback will never run again (safe to destroy its
+  /// captures).
+  void unregister(CallbackId id);
+
+  /// Every series' current value: owned instruments read from their
+  /// atomics, callbacks evaluated. Rows are ordered name-major (owned
+  /// before callbacks within a name).
+  std::vector<SampleRow> snapshot() const;
+
+  /// Registered series count (owned + callbacks).
+  std::size_t num_series() const;
+
+ private:
+  struct Owned {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Callback {
+    CallbackId id;
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::function<double()> fn;
+  };
+
+  Owned& owned_locked(const std::string& name, const Labels& labels,
+                      Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::size_t> index_;        // series key -> slot
+  std::vector<std::unique_ptr<Owned>> series_;      // stable storage
+  std::vector<Callback> callbacks_;
+  CallbackId next_callback_id_ = 1;
+};
+
+/// RAII holder for callback registrations: clears them (unregisters) on
+/// destruction. The adapter pattern: a subsystem registers its polled
+/// gauges into a member BindingSet, and its destructor tears them down
+/// before the referenced atomics die.
+class BindingSet {
+ public:
+  BindingSet() = default;
+  ~BindingSet() { clear(); }
+  BindingSet(const BindingSet&) = delete;
+  BindingSet& operator=(const BindingSet&) = delete;
+  BindingSet(BindingSet&& o) noexcept : ids_(std::move(o.ids_)) {
+    o.ids_.clear();
+  }
+
+  void add(CallbackId id) { ids_.push_back(id); }
+  void clear() {
+    for (CallbackId id : ids_) Registry::instance().unregister(id);
+    ids_.clear();
+  }
+  bool empty() const { return ids_.empty(); }
+
+ private:
+  std::vector<CallbackId> ids_;
+};
+
+}  // namespace blaze::metrics

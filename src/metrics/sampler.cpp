@@ -1,0 +1,132 @@
+#include "metrics/sampler.h"
+
+#include <chrono>
+
+#include "util/timer.h"
+
+namespace blaze::metrics {
+
+namespace {
+
+std::string sample_series_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {  // registry labels are pre-sorted
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+Sampler::Sampler(Registry& registry, Options opts)
+    : registry_(registry), opts_(opts) {
+  // Constructing a sampler means someone wants live telemetry: flip the
+  // publication gate so lazily-bound hot-path handles start publishing.
+  set_enabled(true);
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  std::lock_guard lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Sampler::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock(mu_);
+  running_ = false;
+}
+
+bool Sampler::running() const {
+  std::lock_guard lock(mu_);
+  return running_;
+}
+
+void Sampler::sample_once() {
+  std::unique_lock lock(mu_);
+  sample_locked(lock);
+}
+
+void Sampler::sample_locked(std::unique_lock<std::mutex>& lock) {
+  // Registry snapshot happens OUTSIDE mu_ would be ideal, but the sampler
+  // lock is leaf-level here: nothing inside Registry::snapshot() (or the
+  // callbacks it runs) takes the sampler's mutex, so holding it keeps the
+  // series table and ring consistent without a second copy.
+  const std::vector<SampleRow> rows = registry_.snapshot();
+  Point point;
+  point.ts_ns = Timer::now_ns();
+  point.values.assign(series_.size(), 0.0);
+  for (const SampleRow& row : rows) {
+    const std::string key = sample_series_key(row.name, row.labels);
+    auto it = series_index_.find(key);
+    std::size_t idx;
+    if (it == series_index_.end()) {
+      idx = series_.size();
+      series_.push_back({row.name, row.labels, row.kind});
+      series_index_.emplace(key, idx);
+      point.values.resize(series_.size(), 0.0);
+    } else {
+      idx = it->second;
+    }
+    point.values[idx] = row.value;
+  }
+  points_.push_back(point);
+  while (points_.size() > opts_.capacity) {
+    points_.pop_front();
+    ++evicted_points_;
+  }
+  if (on_sample_) {
+    // Invoked under mu_: the callback must not touch the Sampler (see
+    // header). Keeping the lock means stop() cannot tear the series table
+    // down mid-callback.
+    on_sample_(points_.back(), series_);
+  }
+  (void)lock;
+}
+
+void Sampler::thread_main() {
+  std::unique_lock lock(mu_);
+  while (!stop_requested_) {
+    sample_locked(lock);
+    cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                 [&] { return stop_requested_; });
+  }
+  // Final tick so the window always includes the run's end state.
+  sample_locked(lock);
+}
+
+Sampler::TimeSeries Sampler::snapshot() const {
+  std::lock_guard lock(mu_);
+  TimeSeries out;
+  out.series = series_;
+  out.points.assign(points_.begin(), points_.end());
+  out.evicted_points = evicted_points_;
+  out.interval_ms = opts_.interval_ms;
+  return out;
+}
+
+std::size_t Sampler::num_points() const {
+  std::lock_guard lock(mu_);
+  return points_.size();
+}
+
+void Sampler::set_on_sample(
+    std::function<void(const Point&, const std::vector<Series>&)> fn) {
+  std::lock_guard lock(mu_);
+  on_sample_ = std::move(fn);
+}
+
+}  // namespace blaze::metrics

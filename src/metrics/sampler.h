@@ -1,0 +1,117 @@
+// Background time-series sampler over the metric registry.
+//
+// The paper's figures are time series: Figure 2 plots device bandwidth
+// per time bucket, Figure 3 per-SSD byte skew over a run, Figure 8 the
+// utilization those series imply. The sampler is the live, always-on
+// version of that machinery: a background thread snapshots every
+// registered series at a configurable interval (Config::metrics_sample_ms)
+// into a bounded in-memory ring. Consumers — the JSON time-series export,
+// blaze-run's --live stderr reporter, operators diffing two scrapes — get
+// (timestamp, value) points per series without instrumenting anything.
+//
+// Ring semantics: bounded by `capacity` points; when full the OLDEST point
+// is evicted and counted (a live view wants the recent window, and the
+// bench/serve runs that want full history size the ring accordingly).
+// Timestamps come from util::Timer::now_ns() — the same clock blaze::trace
+// stamps events with, so sampler points and exported trace spans join
+// directly on the time axis.
+//
+// Series identity is append-only: a series discovered at tick t gets the
+// next index, and every point's `values` vector is index-aligned with the
+// series table (points recorded before a series existed are simply shorter
+// — the series' history starts at its discovery tick).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace blaze::metrics {
+
+class Sampler {
+ public:
+  struct Options {
+    std::uint32_t interval_ms = 100;  ///< Config::metrics_sample_ms
+    std::size_t capacity = 4096;      ///< ring bound, in points
+  };
+
+  /// One series' identity in the sampled table.
+  struct Series {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+  };
+
+  /// One tick: every sampled series' value at `ts_ns`. `values` is
+  /// index-aligned with the series table; series discovered after this
+  /// tick make later points longer, never this one.
+  struct Point {
+    std::uint64_t ts_ns = 0;
+    std::vector<double> values;
+  };
+
+  /// Everything a consumer needs to reconstruct the time series.
+  struct TimeSeries {
+    std::vector<Series> series;
+    std::vector<Point> points;        ///< oldest first
+    std::uint64_t evicted_points = 0; ///< ring-bound evictions so far
+    std::uint32_t interval_ms = 0;
+  };
+
+  explicit Sampler(Registry& registry) : Sampler(registry, Options()) {}
+  Sampler(Registry& registry, Options opts);
+  ~Sampler();  // stops the thread
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Starts the background thread (idempotent).
+  void start();
+
+  /// Stops and joins the background thread (idempotent; the ring and
+  /// series table remain readable).
+  void stop();
+
+  bool running() const;
+
+  /// Takes one sample now, from any thread — the manual tick used by
+  /// tests and by exporters that want a final fresh point before dumping.
+  void sample_once();
+
+  /// Copy of the ring + series table.
+  TimeSeries snapshot() const;
+
+  std::size_t num_points() const;
+
+  /// Observer invoked after every sample (sampler thread context) with the
+  /// fresh point and the series table — blaze-run's --live reporter.
+  /// Set before start(); the callback must not touch the Sampler itself.
+  void set_on_sample(
+      std::function<void(const Point&, const std::vector<Series>&)> fn);
+
+ private:
+  void thread_main();
+  void sample_locked(std::unique_lock<std::mutex>& lock);
+
+  Registry& registry_;
+  const Options opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< prompt stop during interval sleeps
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::vector<Series> series_;
+  std::map<std::string, std::size_t> series_index_;
+  std::deque<Point> points_;
+  std::uint64_t evicted_points_ = 0;
+  std::function<void(const Point&, const std::vector<Series>&)> on_sample_;
+  std::thread thread_;  ///< last member: joined before state dies
+};
+
+}  // namespace blaze::metrics

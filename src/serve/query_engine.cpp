@@ -42,12 +42,55 @@ QueryEngine::QueryEngine(core::Config config, EngineOptions opts)
     contexts_.push_back(std::make_unique<core::QueryContext>(
         session_cfg_, runtime_.io_pipeline()));
   }
+  // Serving IS the observability surface: the engine turns on the
+  // process-wide metrics gate (sticky, like tracing), binds its owned
+  // handles once, and publishes queue state as polled gauges. All registry
+  // calls happen here, before any engine lock exists to invert against.
+  metrics::set_enabled(true);
+  metrics::Registry& reg = metrics::Registry::instance();
+  metrics_.admitted = reg.counter("blaze_serve_admitted_total");
+  metrics_.rejected = reg.counter("blaze_serve_rejected_total");
+  metrics_.completed = reg.counter("blaze_serve_completed_total");
+  metrics_.failed = reg.counter("blaze_serve_failed_total");
+  metrics_.expired = reg.counter("blaze_serve_expired_total");
+  metrics_.latency_us = reg.histogram("blaze_serve_latency_us");
+  metrics_bindings_.add(
+      reg.callback("blaze_serve_queue_depth", {}, metrics::Kind::kGauge,
+                   [this] {
+                     std::lock_guard lock(mu_);
+                     return static_cast<double>(queue_.size());
+                   }));
+  metrics_bindings_.add(
+      reg.callback("blaze_serve_running", {}, metrics::Kind::kGauge,
+                   [this] {
+                     std::lock_guard lock(mu_);
+                     return static_cast<double>(running_);
+                   }));
+  metrics::Sampler::Options sampler_opts;
+  sampler_opts.interval_ms = runtime_.config().metrics_sample_ms;
+  sampler_ = std::make_unique<metrics::Sampler>(reg, sampler_opts);
+  sampler_->start();
+  if (opts_.metrics_port >= 0) {
+    http_ = std::make_unique<metrics::MetricsHttpServer>(reg, sampler_.get());
+    if (!http_->start(static_cast<std::uint16_t>(opts_.metrics_port))) {
+      http_.reset();  // bind failure is non-fatal; metrics_port() reads 0
+    }
+  }
   for (std::size_t i = 0; i < opts_.max_inflight_queries; ++i) {
     sessions_.emplace_back([this, i] { session_main(i); });
   }
 }
 
-QueryEngine::~QueryEngine() { drain(); }
+QueryEngine::~QueryEngine() {
+  drain();
+  // Teardown order mirrors the dependency chain: the HTTP endpoint reads
+  // the sampler, the sampler snapshots the registry, and the registry's
+  // snapshot runs the queue-depth callbacks that take mu_ — so stop the
+  // exporters, then unregister the callbacks, before any engine state dies.
+  if (http_) http_->stop();
+  if (sampler_) sampler_->stop();
+  metrics_bindings_.clear();
+}
 
 std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
   auto ticket = std::shared_ptr<QueryTicket>(new QueryTicket(spec.label));
@@ -56,6 +99,7 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
     if (draining_) {
       std::lock_guard slock(stats_mu_);
       ++stats_.rejected;
+      metrics_.rejected->inc();
       throw ServeError(RejectKind::kShuttingDown,
                        "engine is draining; query '" + spec.label +
                            "' not admitted");
@@ -63,6 +107,7 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
     if (queue_.size() >= opts_.max_queue_depth) {
       std::lock_guard slock(stats_mu_);
       ++stats_.rejected;
+      metrics_.rejected->inc();
       throw ServeError(RejectKind::kOverloaded,
                        "submission queue full (" +
                            std::to_string(opts_.max_queue_depth) +
@@ -84,6 +129,7 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
       std::lock_guard slock(stats_mu_);
       ++stats_.admitted;
     }
+    metrics_.admitted->inc();
   }
   work_cv_.notify_one();
   return ticket;
@@ -125,7 +171,9 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     return static_cast<double>(Timer::now_ns() - entry.submit_ns) / 1e9;
   };
   auto record_latency = [&](double seconds) {
-    stats_.latency_us.add(static_cast<std::uint64_t>(seconds * 1e6));
+    const auto us = static_cast<std::uint64_t>(seconds * 1e6);
+    stats_.latency_us.add(us);
+    metrics_.latency_us->observe(us);
   };
   // In every path below the engine counters are updated BEFORE the ticket
   // turns terminal, so a client that returns from ticket->wait() and reads
@@ -137,6 +185,7 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     {
       std::lock_guard slock(stats_mu_);
       ++stats_.expired;
+      metrics_.expired->inc();
       record_latency(lat);
       record_slow_locked(entry, lat, QueryState::kExpired);
     }
@@ -164,6 +213,7 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     {
       std::lock_guard slock(stats_mu_);
       ++stats_.completed;
+      metrics_.completed->inc();
       stats_.aggregate.merge(qs);
       record_latency(lat);
       record_slow_locked(entry, lat, QueryState::kDone);
@@ -174,6 +224,7 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     {
       std::lock_guard slock(stats_mu_);
       ++stats_.failed;
+      metrics_.failed->inc();
       record_latency(lat);
       record_slow_locked(entry, lat, QueryState::kFailed);
     }

@@ -40,6 +40,9 @@
 #include "core/runtime.h"
 #include "core/stats.h"
 #include "device/cached_device.h"
+#include "metrics/http_export.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
 #include "serve/serve_error.h"
 #include "trace/tracer.h"
 #include "util/histogram.h"
@@ -73,6 +76,13 @@ struct EngineOptions {
   /// are recorded in EngineStats::slow_queries (most recent
   /// kMaxSlowQueries kept). 0 disables the log.
   double slow_query_threshold_s = 0;
+
+  /// Embedded Prometheus scrape endpoint: -1 (default) disables it, 0
+  /// binds an ephemeral port (read the actual one back via
+  /// QueryEngine::metrics_port()), anything else binds that TCP port.
+  /// GET /metrics serves the text exposition, GET /metrics.json the JSON
+  /// snapshot plus the engine sampler's time series.
+  int metrics_port = -1;
 };
 
 /// The work of one query: runs against a session-owned QueryContext and
@@ -255,6 +265,20 @@ class QueryEngine {
   /// Snapshot of the aggregate statistics.
   EngineStats stats() const;
 
+  /// The engine's background metrics sampler (always running; interval =
+  /// Config::metrics_sample_ms). Serving is the observability surface, so
+  /// the engine turns on the process-wide metrics gate and samples the
+  /// registry — per-device bandwidth, pool occupancy, queue depth — for
+  /// the whole of its lifetime.
+  const metrics::Sampler& sampler() const { return *sampler_; }
+  metrics::Sampler& sampler() { return *sampler_; }
+
+  /// Actual port of the embedded scrape endpoint; 0 when disabled
+  /// (EngineOptions::metrics_port == -1) or when the bind failed.
+  std::uint16_t metrics_port() const {
+    return http_ ? http_->port() : 0;
+  }
+
   /// The shared runtime (e.g. to open graphs against its config).
   core::Runtime& runtime() { return runtime_; }
   const EngineOptions& options() const { return opts_; }
@@ -279,6 +303,19 @@ class QueryEngine {
     trace::QueryId query_id = 0;       ///< trace identity + slow-log join key
   };
 
+  /// Owned registry handles for the serve-layer series. Bound once in the
+  /// constructor (the engine enables metrics unconditionally), so the
+  /// submit/execute paths update them lock-free without touching the
+  /// registry again.
+  struct ServeMetrics {
+    metrics::Counter* admitted = nullptr;
+    metrics::Counter* rejected = nullptr;
+    metrics::Counter* completed = nullptr;
+    metrics::Counter* failed = nullptr;
+    metrics::Counter* expired = nullptr;
+    metrics::Histogram* latency_us = nullptr;
+  };
+
   void session_main(std::size_t slot);
   void execute(Entry& entry, core::QueryContext& ctx);
   void record_slow_locked(const Entry& entry, double latency_s,
@@ -300,6 +337,14 @@ class QueryEngine {
   EngineStats stats_;
 
   const device::CachedDevice* cache_ = nullptr;
+
+  ServeMetrics metrics_;
+  /// Queue-depth/running callback gauges (they take mu_, so nothing may
+  /// call into the registry while holding mu_ — see metrics.h lock rules).
+  /// Explicitly cleared in the destructor before the queue dies.
+  metrics::BindingSet metrics_bindings_;
+  std::unique_ptr<metrics::Sampler> sampler_;
+  std::unique_ptr<metrics::MetricsHttpServer> http_;
 
   /// One context per session, engine-owned (not session-stack-local) so
   /// post-drain inspection — io_pools_full() — can see the arenas after

@@ -14,8 +14,16 @@
 // Serving mode: --clients N --queries Q runs N closed-loop clients each
 // submitting Q copies of the query to a shared serve::QueryEngine (one
 // Runtime, one IO pipeline) and prints the engine's aggregate stats table.
+//
+// Telemetry (blaze::metrics): --metrics-port starts the embedded
+// Prometheus scrape endpoint, --metrics-out dumps the registry snapshot
+// plus the sampler's time series as JSON at exit, --live prints a
+// one-line progress report to stderr on every sampler tick, and
+// --stats-json writes the machine-readable QueryStats + MemoryFootprint
+// record of a single-query run.
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,7 +36,12 @@
 #include "algorithms/sssp.h"
 #include "algorithms/wcc.h"
 #include "core/runtime.h"
+#include "core/stats.h"
 #include "format/on_disk_graph.h"
+#include "metrics/export.h"
+#include "metrics/http_export.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
 #include "serve/query_engine.h"
 #include "trace/chrome_export.h"
 #include "trace/tracer.h"
@@ -65,6 +78,108 @@ void print_stats(const char* query, double seconds,
                 static_cast<unsigned long long>(stats.prefetch_pages));
   }
   std::printf("\n");
+}
+
+/// One-line stderr progress report, fed by the sampler after every tick.
+/// Reads whatever series exist: per-device byte counters become a
+/// bandwidth estimate over the tick interval (bytes/ns == GB/s), and the
+/// serve gauges appear automatically in serving mode.
+std::function<void(const blaze::metrics::Sampler::Point&,
+                   const std::vector<blaze::metrics::Sampler::Series>&)>
+make_live_reporter() {
+  struct State {
+    std::uint64_t last_ts = 0;
+    double last_bytes = -1;
+  };
+  auto state = std::make_shared<State>();
+  return [state](const blaze::metrics::Sampler::Point& p,
+                 const std::vector<blaze::metrics::Sampler::Series>& series) {
+    double bytes = 0, iters = 0, frontier = 0;
+    double pool_free = 0, pool_total = 0;
+    double queue = -1, running = -1;
+    const std::size_t n = std::min(series.size(), p.values.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& name = series[i].name;
+      if (name == "blaze_device_bytes_total") bytes += p.values[i];
+      else if (name == "blaze_iterations_total") iters = p.values[i];
+      else if (name == "blaze_frontier_vertices") frontier = p.values[i];
+      else if (name == "blaze_io_pool_buffers_free") pool_free += p.values[i];
+      else if (name == "blaze_io_pool_buffers_total") pool_total += p.values[i];
+      else if (name == "blaze_serve_queue_depth") queue = p.values[i];
+      else if (name == "blaze_serve_running") running = p.values[i];
+    }
+    double gbps = 0;
+    if (state->last_bytes >= 0 && p.ts_ns > state->last_ts) {
+      gbps = (bytes - state->last_bytes) /
+             static_cast<double>(p.ts_ns - state->last_ts);
+    }
+    std::fprintf(stderr, "[live] read %6.2f GB/s | iters %5.0f | frontier %8.0f",
+                 gbps, iters, frontier);
+    if (pool_total > 0) {
+      std::fprintf(stderr, " | pool %3.0f/%3.0f free", pool_free, pool_total);
+    }
+    if (queue >= 0) {
+      std::fprintf(stderr, " | queued %2.0f running %2.0f", queue, running);
+    }
+    std::fprintf(stderr, "\n");
+    state->last_ts = p.ts_ns;
+    state->last_bytes = bytes;
+  };
+}
+
+/// --stats-json: one query's machine-readable record — the full unified
+/// QueryStats (device -> io -> core) plus the Figure-12 DRAM breakdown.
+bool write_stats_json(const std::string& path, const std::string& query,
+                      double wall_s, const blaze::core::QueryStats& s,
+                      const blaze::core::MemoryFootprint& fp) {
+  std::string out = "{\n";
+  char buf[256];
+  auto add_u64 = [&](const char* k, unsigned long long v, bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %llu%s\n", k, v,
+                  comma ? "," : "");
+    out += buf;
+  };
+  auto add_f = [&](const char* k, double v) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.9g,\n", k, v);
+    out += buf;
+  };
+  out += "  \"query\": \"" + query + "\",\n";
+  add_f("wall_seconds", wall_s);
+  add_f("edge_map_seconds", s.seconds);
+  add_f("avg_read_gbps", s.avg_read_gbps());
+  add_f("device_utilization", s.device_utilization());
+  add_u64("edge_map_calls", s.edge_map_calls);
+  add_u64("vertex_map_calls", s.vertex_map_calls);
+  add_u64("edges_scattered", s.edges_scattered);
+  add_u64("records_binned", s.records_binned);
+  add_u64("pages_read", s.pages_read);
+  add_u64("io_requests", s.io_requests);
+  add_u64("bytes_read", s.bytes_read);
+  add_u64("merged_requests", s.merged_requests);
+  add_u64("tail_clamps", s.tail_clamps);
+  add_u64("inflight_peak", s.inflight_peak);
+  add_u64("buffer_stalls", s.buffer_stalls);
+  add_u64("buffer_stall_ns", s.buffer_stall_ns);
+  add_u64("retries", s.retries);
+  add_u64("failed_requests", s.failed_requests);
+  add_u64("gave_up", s.gave_up);
+  add_u64("device_busy_ns", s.device_busy_ns);
+  add_u64("prefetch_pages", s.prefetch_pages);
+  add_u64("prefetch_bytes", s.prefetch_bytes);
+  out += "  \"memory\": {\n";
+  auto add_mem = [&](const char* k, unsigned long long v, bool comma) {
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %llu%s\n", k, v,
+                  comma ? "," : "");
+    out += buf;
+  };
+  add_mem("io_buffers", fp.io_buffers, true);
+  add_mem("bins", fp.bins, true);
+  add_mem("graph_metadata", fp.graph_metadata, true);
+  add_mem("frontiers", fp.frontiers, true);
+  add_mem("algorithm", fp.algorithm, true);
+  add_mem("total", fp.total(), false);
+  out += "  }\n}\n";
+  return blaze::metrics::write_file(path, out);
 }
 
 /// Builds the serving-mode body for one query kind; returns an empty
@@ -122,7 +237,17 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   eopts.max_queue_depth = clients * per_client;
   eopts.slow_query_threshold_s =
       static_cast<double>(opt.get_int("slowQueryMs", 0)) / 1000.0;
+  if (opt.has("metrics-port")) {
+    eopts.metrics_port = static_cast<int>(opt.get_int("metrics-port", 0));
+  }
   serve::QueryEngine engine(cfg, eopts);
+  if (engine.metrics_port() != 0) {
+    std::fprintf(stderr, "metrics: http://localhost:%u/metrics\n",
+                 engine.metrics_port());
+  }
+  if (opt.get_bool("live", false)) {
+    engine.sampler().set_on_sample(make_live_reporter());
+  }
 
   std::atomic<std::uint64_t> retries{0};
   Timer t;
@@ -151,6 +276,20 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   }
   engine.drain();
   const double wall = t.seconds();
+
+  const std::string metrics_out = opt.get_string("metrics-out", "");
+  if (!metrics_out.empty()) {
+    engine.sampler().sample_once();  // fresh final point
+    const std::string dump = metrics::metrics_dump_json(
+        metrics::Registry::instance().snapshot(),
+        engine.sampler().snapshot());
+    if (metrics::write_file(metrics_out, dump)) {
+      std::printf("metrics: wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   metrics_out.c_str());
+    }
+  }
 
   const auto s = engine.stats();
   std::printf("serving %s: %zu clients x %zu queries, %zu sessions\n",
@@ -204,7 +343,7 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
 
 int main(int argc, char** argv) {
   using namespace blaze;
-  Options opt(argc, argv, {"sync"});
+  Options opt(argc, argv, {"sync", "live"});
   if (opt.positional().size() != 2) {
     std::fprintf(
         stderr,
@@ -223,7 +362,16 @@ int main(int argc, char** argv) {
         "  --maxInflight N     serving mode: concurrent sessions\n"
         "  --slowQueryMs N     serving mode: slow-query log threshold\n"
         "  --trace FILE        write a Chrome trace-event JSON "
-        "(chrome://tracing, Perfetto)\n");
+        "(chrome://tracing, Perfetto)\n"
+        "  --metrics-port P    Prometheus scrape endpoint on port P "
+        "(0 = ephemeral)\n"
+        "  --metrics-out FILE  write metrics snapshot + time series JSON "
+        "at exit\n"
+        "  --metricsSampleMs N sampler interval in ms (default 100)\n"
+        "  --live              one-line progress report per sampler tick "
+        "(stderr)\n"
+        "  --stats-json FILE   machine-readable QueryStats + memory "
+        "footprint (single-query mode)\n");
     return 2;
   }
 
@@ -264,6 +412,19 @@ int main(int argc, char** argv) {
   cfg.scatter_ratio = opt.get_double("binningRatio", 0.5);
   cfg.sync_mode = opt.get_bool("sync", false);
 
+  // Telemetry flags. Any of them flips Config::metrics_enabled (the sticky
+  // process gate); serving mode additionally always publishes.
+  const std::string metrics_out = opt.get_string("metrics-out", "");
+  const std::string stats_json = opt.get_string("stats-json", "");
+  const bool live = opt.get_bool("live", false);
+  const int metrics_port =
+      opt.has("metrics-port")
+          ? static_cast<int>(opt.get_int("metrics-port", 0))
+          : -1;
+  cfg.metrics_enabled = !metrics_out.empty() || live || metrics_port >= 0;
+  cfg.metrics_sample_ms =
+      static_cast<std::uint32_t>(opt.get_int("metricsSampleMs", 100));
+
   // --trace turns the process-wide recorder on (via Config::trace_enabled
   // when the Runtime is built) and exports everything at exit.
   const std::string trace_path = opt.get_string("trace", "");
@@ -286,7 +447,34 @@ int main(int argc, char** argv) {
   if (opt.has("clients") || opt.has("queries")) {
     return finish(run_serving(cfg, opt, query, g, gt, source));
   }
+
+  // Single-query telemetry: this mode owns its sampler + scrape endpoint
+  // (serving mode's engine owns its own).
+  std::unique_ptr<metrics::Sampler> sampler;
+  std::unique_ptr<metrics::MetricsHttpServer> http;
+  if (cfg.metrics_enabled) {
+    metrics::Sampler::Options sopts;
+    sopts.interval_ms = cfg.metrics_sample_ms;
+    sampler = std::make_unique<metrics::Sampler>(
+        metrics::Registry::instance(), sopts);
+    if (live) sampler->set_on_sample(make_live_reporter());
+    sampler->start();
+    if (metrics_port >= 0) {
+      http = std::make_unique<metrics::MetricsHttpServer>(
+          metrics::Registry::instance(), sampler.get());
+      if (http->start(static_cast<std::uint16_t>(metrics_port))) {
+        std::fprintf(stderr, "metrics: http://localhost:%u/metrics\n",
+                     http->port());
+      } else {
+        std::fprintf(stderr, "metrics: failed to bind port %d\n",
+                     metrics_port);
+      }
+    }
+  }
+
   core::Runtime rt(cfg);
+  core::QueryStats run_stats;
+  std::uint64_t algo_bytes = 0;
   Timer t;
   if (query == "bfs") {
     auto r = algorithms::bfs(rt, g, source);
@@ -295,6 +483,8 @@ int main(int argc, char** argv) {
     print_stats("bfs", t.seconds(), r.stats);
     std::printf("reached %llu vertices in %u iterations\n",
                 static_cast<unsigned long long>(reached), r.iterations);
+    run_stats = r.stats;
+    algo_bytes = r.algorithm_bytes();
   } else if (query == "pr") {
     algorithms::PageRankOptions o;
     o.max_iterations =
@@ -302,33 +492,81 @@ int main(int argc, char** argv) {
     auto r = algorithms::pagerank(rt, g, o);
     print_stats("pr", t.seconds(), r.stats);
     std::printf("converged after %u iterations\n", r.iterations);
+    run_stats = r.stats;
+    algo_bytes = r.algorithm_bytes();
   } else if (query == "wcc") {
     auto r = algorithms::wcc(rt, g, gt);
     print_stats("wcc", t.seconds(), r.stats);
+    run_stats = r.stats;
+    algo_bytes = r.algorithm_bytes();
   } else if (query == "spmv") {
     std::vector<float> x(g.num_vertices(), 1.0f);
     auto r = algorithms::spmv(rt, g, x);
     print_stats("spmv", t.seconds(), r.stats);
+    run_stats = r.stats;
+    algo_bytes = r.algorithm_bytes();
   } else if (query == "bc") {
     auto r = algorithms::bc(rt, g, gt, source);
     print_stats("bc", t.seconds(), r.stats);
     std::printf("%u BFS levels\n", r.levels);
+    run_stats = r.stats;
+    algo_bytes = r.algorithm_bytes();
   } else if (query == "sssp") {
     if (g.index().record_bytes() == 8) {
       // Weighted file (v2 header): relax over the stored weights.
       auto r = algorithms::sssp_weighted(rt, g, source);
       print_stats("sssp(weighted)", t.seconds(), r.stats);
+      run_stats = r.stats;
+      algo_bytes = r.algorithm_bytes();
     } else {
       auto r = algorithms::sssp(rt, g, source);
       print_stats("sssp", t.seconds(), r.stats);
+      run_stats = r.stats;
+      algo_bytes = r.algorithm_bytes();
     }
   } else if (query == "kcore") {
     auto r = algorithms::kcore(rt, g, gt);
     print_stats("kcore", t.seconds(), r.stats);
     std::printf("max core: %u\n", r.max_core);
+    run_stats = r.stats;
+    algo_bytes = r.algorithm_bytes();
   } else {
     std::fprintf(stderr, "unknown -query %s\n", query.c_str());
     return 2;
   }
-  return finish(0);
+  const double wall = t.seconds();
+
+  int rc = 0;
+  if (!stats_json.empty()) {
+    // The Figure-12 DRAM breakdown, computed the same way as bench_fig12.
+    core::MemoryFootprint fp;
+    fp.graph_metadata =
+        g.metadata_bytes() + (needs_transpose ? gt.metadata_bytes() : 0);
+    fp.frontiers = 2 * (g.num_vertices() / 8 + g.num_pages() / 8);
+    fp.algorithm = algo_bytes;
+    fp.io_buffers = rt.io_pool().memory_bytes();
+    fp.bins = cfg.sync_mode ? 0 : cfg.bin_space_bytes;
+    if (write_stats_json(stats_json, query, wall, run_stats, fp)) {
+      std::printf("stats: wrote %s\n", stats_json.c_str());
+    } else {
+      std::fprintf(stderr, "stats: failed to write %s\n", stats_json.c_str());
+      rc = 1;
+    }
+  }
+  if (sampler) {
+    if (http) http->stop();
+    sampler->stop();  // final tick lands before the dump
+    if (!metrics_out.empty()) {
+      const std::string dump = metrics::metrics_dump_json(
+          metrics::Registry::instance().snapshot(), sampler->snapshot());
+      if (metrics::write_file(metrics_out, dump)) {
+        std::printf("metrics: wrote %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: failed to write %s\n",
+                     metrics_out.c_str());
+        rc = 1;
+      }
+    }
+  }
+  return finish(rc);
 }

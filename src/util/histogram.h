@@ -21,6 +21,16 @@ class Log2Histogram {
     if (value > max_) max_ = value;
   }
 
+  /// Bulk insert of `n` copies of `value` (bucket reconstruction from
+  /// atomic snapshots; see metrics::Histogram::snapshot).
+  void add_many(std::uint64_t value, std::uint64_t n) {
+    if (n == 0) return;
+    buckets_[bucket_of(value)] += n;
+    count_ += n;
+    sum_ += value * n;
+    if (value > max_) max_ = value;
+  }
+
   std::uint64_t count() const { return count_; }
   std::uint64_t max() const { return max_; }
   double mean() const {

@@ -606,6 +606,69 @@ TEST(IoStats, ResetClearsEverything) {
   EXPECT_EQ(stats.busy_ns(), 0u);
   EXPECT_EQ(stats.epoch_bytes().size(), 1u);
   EXPECT_EQ(stats.epoch_bytes()[0], 0u);
+  EXPECT_EQ(stats.timeline_overflow(), 0u);
+}
+
+// A run longer than the preallocated timeline window must clamp late
+// completions into the final bucket — never index past the ring — while
+// keeping sum(timeline) == total_bytes() and counting the drops.
+TEST(IoStats, TimelineClampsPastWindowEnd) {
+  // 1 ns buckets: the 2^16-bucket window spans ~65 us, so a completion
+  // recorded after a 1 ms sleep is far past the end.
+  IoStats stats(1);
+  stats.record_read(100, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  stats.record_read(200, 0);
+  stats.record_read(300, 0);
+  EXPECT_GE(stats.timeline_overflow(), 2u);
+  auto tl = stats.timeline_bytes();
+  ASSERT_FALSE(tl.empty());
+  // Clamped writes land in the very last ring slot.
+  EXPECT_EQ(tl.size(), std::size_t{1} << 16);
+  EXPECT_GE(tl.back(), 500u);
+  std::uint64_t total = std::accumulate(tl.begin(), tl.end(), 0ull);
+  EXPECT_EQ(total, stats.total_bytes());
+  EXPECT_EQ(total, 600u);
+  // reset() restarts the window and zeroes the overflow count.
+  stats.reset();
+  EXPECT_EQ(stats.timeline_overflow(), 0u);
+  stats.record_read(42, 0);
+  EXPECT_EQ(stats.timeline_overflow(), 0u);
+  tl = stats.timeline_bytes();
+  std::uint64_t after = std::accumulate(tl.begin(), tl.end(), 0ull);
+  EXPECT_EQ(after, 42u);
+}
+
+// reset() may race in-flight record_read()s (another session's reader
+// thread): both sides use atomics, so the worst case is a few bytes
+// attributed to the old or new window — never a crash or torn index.
+// Run under TSan in CI.
+TEST(IoStats, ResetRacesRecordRead) {
+  IoStats stats(100);  // tiny buckets: exercise the clamp path too
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        stats.record_read(512, 10);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    stats.reset();
+    if (i % 50 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  // Post-race invariant: the final quiescent state still reconciles.
+  stats.reset();
+  stats.record_read(4096, 1);
+  auto tl = stats.timeline_bytes();
+  std::uint64_t total = std::accumulate(tl.begin(), tl.end(), 0ull);
+  EXPECT_EQ(total, stats.total_bytes());
+  EXPECT_EQ(stats.total_bytes(), 4096u);
 }
 
 }  // namespace

@@ -271,6 +271,67 @@ TEST(Histogram, MeanMaxCount) {
   EXPECT_FALSE(h.to_string().empty());
 }
 
+TEST(Histogram, BucketOfAtPowerOfTwoBoundaries) {
+  // Bucket k covers [2^k, 2^(k+1)): an exact power of two opens its
+  // bucket, the value just below closes the previous one.
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::uint64_t p = 1ULL << k;
+    EXPECT_EQ(Log2Histogram::bucket_of(p), k) << "2^" << k;
+    EXPECT_EQ(Log2Histogram::bucket_of(p - 1), k - 1) << "2^" << k << "-1";
+  }
+  EXPECT_EQ(Log2Histogram::bucket_of(~0ULL), 63u);
+}
+
+TEST(Histogram, PercentileEmptyIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, PercentileSingleValue) {
+  Log2Histogram h;
+  h.add(100);
+  // One sample: every quantile is that sample (the interpolated bucket
+  // value is clamped to the observed max).
+  EXPECT_EQ(h.percentile(0.0), 100u);
+  EXPECT_EQ(h.percentile(0.5), 100u);
+  EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, PercentileAllSameValue) {
+  Log2Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(1000);
+  // p100 must be exactly the (clamped) max; interior quantiles stay within
+  // the covering power-of-two bucket [512, 1000] — the documented <2x
+  // resolution bound of a log-bucketed histogram.
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+  EXPECT_GE(h.percentile(0.5), 512u);
+  EXPECT_LE(h.percentile(0.5), 1000u);
+  EXPECT_GE(h.percentile(0.0), 512u);
+}
+
+TEST(Histogram, MergeWithEmpty) {
+  Log2Histogram h;
+  for (std::uint64_t v : {4, 8, 200}) h.add(v);
+  const std::uint64_t p50 = h.percentile(0.5);
+
+  Log2Histogram empty;
+  h.merge(empty);  // no-op
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), 200u);
+  EXPECT_EQ(h.percentile(0.5), p50);
+
+  Log2Histogram into;
+  into.merge(h);  // empty.merge(h) == h
+  EXPECT_EQ(into.count(), 3u);
+  EXPECT_EQ(into.max(), 200u);
+  EXPECT_DOUBLE_EQ(into.mean(), h.mean());
+  EXPECT_EQ(into.percentile(0.5), p50);
+  EXPECT_EQ(into.num_buckets_used(), h.num_buckets_used());
+}
+
 // ----------------------------------------------------------------- Spinlock
 
 TEST(Spinlock, MutualExclusionUnderContention) {
