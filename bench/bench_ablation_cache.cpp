@@ -4,10 +4,11 @@
 // The paper attributes Blaze's only loss (sk2005 vs FlashGraph) to
 // FlashGraph's LRU page cache capturing that graph's locality. This bench
 // layers CachedDevice over the simulated SSD and runs BFS with no cache,
-// a random-eviction cache (Blaze's original behaviour), and an LRU cache,
-// on both a high-locality graph (sk) and a no-locality one (ur). Expected
-// shape: LRU recovers most of the sk gap and beats random; on ur no
-// policy helps (nothing to cache).
+// a random-eviction cache (Blaze's original behaviour), an LRU cache, and
+// the scan-resistant S3-FIFO pool default, on both a high-locality graph
+// (sk) and a no-locality one (ur). Expected shape: LRU/S3-FIFO recover
+// most of the sk gap and beat random; on ur no policy helps (nothing to
+// cache).
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -24,15 +25,15 @@ int main() {
 
   for (const std::string gname : {"sk", "tw", "ur"}) {
     const auto& ds = dataset(gname);
-    for (const std::string policy : {"none", "random", "lru"}) {
+    for (const std::string policy : {"none", "random", "lru", "s3fifo"}) {
       auto base = format::make_simulated_graph(ds.csr, profile);
       std::shared_ptr<device::BlockDevice> dev = base.device_ptr();
       device::CachedDevice* cache = nullptr;
       if (policy != "none") {
+        device::EvictionPolicy ep = device::EvictionPolicy::kRandom;
+        device::parse_eviction_policy(policy, ep);
         auto cached = std::make_shared<device::CachedDevice>(
-            dev, base.input_bytes() / 8,
-            policy == "lru" ? device::EvictionPolicy::kLru
-                            : device::EvictionPolicy::kRandom);
+            dev, base.input_bytes() / 8, ep);
         cache = cached.get();
         dev = cached;
       }

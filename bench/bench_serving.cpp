@@ -3,16 +3,28 @@
 // The ROADMAP's serving north star, measured: C client threads each submit
 // Q queries (mixed BFS / PageRank-delta / k-core over the same on-disk
 // graph) to one serve::QueryEngine — one shared Runtime, one IO pipeline,
-// one shared CachedDevice — waiting for each ticket before submitting the
-// next (closed loop). Every query's result is checked against a
-// sequential single-Runtime reference, and the shared cache's hit rate is
-// compared against the FlashGraph-motivating baseline of one isolated
-// Runtime + private cache per query. Output is one JSON row per
-// configuration for the CI artifact.
+// one shared sharded page-cache pool — waiting for each ticket before
+// submitting the next (closed loop). Every query's result is checked
+// against a sequential single-Runtime reference, and the shared cache's
+// hit rate is compared against the FlashGraph-motivating baseline of one
+// isolated Runtime + private cache per query. The bench sweeps client
+// counts and eviction policies (the pool is deliberately undersized so
+// the policies differentiate: PageRank's full scans flush an LRU, while
+// S3-FIFO keeps the cross-query hot set resident) and prints one JSON row
+// per (clients, policy) configuration for the CI artifact and the
+// check_bench_baseline.py --serving gate.
 //
 // Environment overrides (in addition to bench_common.h's):
-//   BLAZE_BENCH_CLIENTS      client threads (default 4)
+//   BLAZE_BENCH_CLIENTS      client threads (default 4; ignored when
+//                            BLAZE_BENCH_CLIENT_SWEEP is set)
+//   BLAZE_BENCH_CLIENT_SWEEP comma list of client counts, e.g. "4,16,64"
+//   BLAZE_BENCH_POLICIES     comma list of pool policies
+//                            (default "lru,s3fifo")
 //   BLAZE_BENCH_QUERIES      queries per client (default 3)
+//   BLAZE_BENCH_CACHE_DIV    cache budget divisor: pool bytes =
+//                            2 * graph / DIV (default 4 -> half the
+//                            graph, real eviction pressure)
+//   BLAZE_BENCH_CACHE_SHARDS pool shard count (default 0 = auto)
 //   BLAZE_BENCH_TRACE        Chrome trace-event JSON artifact path
 //                            (default bench_serving_trace.json; "" disables)
 //   BLAZE_BENCH_METRICS      metrics artifact prefix (default
@@ -21,6 +33,7 @@
 //   BLAZE_BENCH_METRICS_MS   sampler interval, ms (default 10)
 //   BLAZE_BENCH_METRICS_PORT scrape endpoint port (default off; 0 =
 //                            ephemeral)
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -103,23 +116,56 @@ double rate(std::uint64_t hits, std::uint64_t misses) {
              : 0.0;
 }
 
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
-  const auto clients =
-      static_cast<std::size_t>(env_long("BLAZE_BENCH_CLIENTS", 4));
   const auto per_client =
       static_cast<std::size_t>(env_long("BLAZE_BENCH_QUERIES", 3));
   const auto profile = bench_optane();
   const auto& ds = dataset("r2");
 
+  // Sweep axes.
+  std::vector<std::size_t> client_sweep;
+  if (const char* sweep = std::getenv("BLAZE_BENCH_CLIENT_SWEEP")) {
+    for (const auto& item : split_list(sweep)) {
+      client_sweep.push_back(
+          static_cast<std::size_t>(std::atol(item.c_str())));
+    }
+  }
+  if (client_sweep.empty()) {
+    client_sweep.push_back(
+        static_cast<std::size_t>(env_long("BLAZE_BENCH_CLIENTS", 4)));
+  }
+  const char* policies_env = std::getenv("BLAZE_BENCH_POLICIES");
+  std::vector<std::string> policies =
+      split_list(policies_env != nullptr ? policies_env : "lru,s3fifo");
+  if (policies.empty()) policies.push_back("s3fifo");
+
   auto out_base = format::make_simulated_graph(ds.csr, profile);
   auto in_base = format::make_simulated_graph(ds.transpose, profile);
-  // Cache sized to hold the graph: the bench measures cross-query
-  // sharing (N queries fault each page once vs N times), not eviction
-  // pressure — an undersized cache would make the comparison hostage to
-  // scheduling-dependent LRU thrash between concurrent working sets.
-  const std::size_t cache_bytes = out_base.input_bytes() * 2;
+  // Deliberately undersized pool (default: half the graph) so eviction
+  // policy matters: with a cache that swallows the whole graph every
+  // policy degenerates to "no evictions" and the sweep measures nothing.
+  const auto cache_div =
+      static_cast<std::size_t>(env_long("BLAZE_BENCH_CACHE_DIV", 4));
+  const std::size_t cache_bytes =
+      out_base.input_bytes() * 2 / (cache_div == 0 ? 1 : cache_div);
+  const auto cache_shards =
+      static_cast<std::size_t>(env_long("BLAZE_BENCH_CACHE_SHARDS", 0));
 
   // Reference pass: sequential, single Runtime, uncached device — the
   // ground truth every served query must reproduce.
@@ -150,143 +196,187 @@ int main() {
     iso_hits += cache->hits();
     iso_misses += cache->misses();
   }
+  const double iso_rate = rate(iso_hits, iso_misses);
 
-  // Serving pass: one engine, one shared cache, closed-loop clients.
-  auto cache = std::make_shared<device::CachedDevice>(
-      out_base.device_ptr(), cache_bytes, device::EvictionPolicy::kLru);
-  format::OnDiskGraph out_g(format::GraphIndex(out_base.index()), cache);
-  format::OnDiskGraph in_g(format::GraphIndex(in_base.index()),
-                           in_base.device_ptr());
-
-  // The serving pass is the one worth a trace artifact: the reference and
-  // isolated passes above ran untraced (the gate flips on only here).
+  // Artifact paths: written once, on the sweep's last configuration (the
+  // trace gate is process-wide and sticky, so only that pass is traced).
   const char* trace_env = std::getenv("BLAZE_BENCH_TRACE");
   const std::string trace_path =
       trace_env != nullptr ? trace_env : "bench_serving_trace.json";
-
-  // Metrics artifact: the engine's sampler runs fast (10 ms default) so
-  // the CI artifact carries a dense bandwidth/queue-depth timeline — the
-  // live version of the paper's Figure 2/3 series.
   const char* metrics_env = std::getenv("BLAZE_BENCH_METRICS");
   const std::string metrics_prefix =
       metrics_env != nullptr ? metrics_env : "bench_serving_metrics";
 
-  serve::EngineOptions opts;
-  opts.max_inflight_queries = clients;
-  opts.max_queue_depth = clients * per_client;
-  if (const char* port = std::getenv("BLAZE_BENCH_METRICS_PORT")) {
-    opts.metrics_port = static_cast<int>(std::atol(port));
-  }
-  auto serve_cfg = bench_config(out_g);
-  serve_cfg.trace_enabled = !trace_path.empty();
-  serve_cfg.metrics_enabled = !metrics_prefix.empty();
-  serve_cfg.metrics_sample_ms =
-      static_cast<std::uint32_t>(env_long("BLAZE_BENCH_METRICS_MS", 10));
-  serve::QueryEngine engine(serve_cfg, opts);
-  engine.observe_cache(cache.get());
-  cache->bind_metrics();  // hit/miss series next to the device bandwidth
-  if (engine.metrics_port() != 0) {
-    std::fprintf(stderr, "metrics endpoint: http://localhost:%u/metrics\n",
-                 engine.metrics_port());
-  }
+  int rc_artifacts = 0;
 
-  std::atomic<std::uint64_t> overload_retries{0};
-  Timer wall;
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(clients);
-    for (std::size_t c = 0; c < clients; ++c) {
-      pool.emplace_back([&, c] {
-        for (std::size_t q = 0; q < per_client; ++q) {
-          const int kind = static_cast<int>((c + q) % 3);
-          serve::QuerySpec spec;
-          spec.run = make_query(kind, out_g, in_g, ref, mismatch);
-          spec.label = std::string(kKinds[kind]) + "/c" +
-                       std::to_string(c) + "q" + std::to_string(q);
-          for (;;) {
-            try {
-              engine.submit(spec)->wait();
-              break;
-            } catch (const serve::ServeError& e) {
-              if (!e.retryable()) throw;
-              overload_retries.fetch_add(1, std::memory_order_relaxed);
-              std::this_thread::yield();
+  for (std::size_t ci = 0; ci < client_sweep.size(); ++ci) {
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const std::size_t clients = client_sweep[ci];
+      const bool last_config = ci + 1 == client_sweep.size() &&
+                               pi + 1 == policies.size();
+
+      device::EvictionPolicy policy = device::EvictionPolicy::kS3Fifo;
+      if (!device::parse_eviction_policy(policies[pi], policy)) {
+        std::fprintf(stderr, "unknown policy %s in BLAZE_BENCH_POLICIES\n",
+                     policies[pi].c_str());
+        return 2;
+      }
+
+      // Serving pass: one engine, one shared pool, closed-loop clients.
+      device::PageCacheOptions popts;
+      popts.name = std::string("serving_") + policies[pi];
+      popts.capacity_bytes = cache_bytes;
+      popts.policy = policy;
+      popts.shards = cache_shards;
+      auto pool = std::make_shared<device::ShardedPageCache>(popts);
+      auto cache = std::make_shared<device::CachedDevice>(
+          out_base.device_ptr(), pool);
+      format::OnDiskGraph out_g(format::GraphIndex(out_base.index()), cache);
+      format::OnDiskGraph in_g(format::GraphIndex(in_base.index()),
+                               in_base.device_ptr());
+
+      serve::EngineOptions opts;
+      // Admission-capped: above 16 concurrent runners the engine queues
+      // instead of oversubscribing (each running query brings its own
+      // compute workers), so the 64-client row measures queueing — the
+      // realistic server shape — not thread thrash.
+      opts.max_inflight_queries = std::min<std::size_t>(clients, 16);
+      opts.max_queue_depth = clients * per_client;
+      if (const char* port = std::getenv("BLAZE_BENCH_METRICS_PORT")) {
+        opts.metrics_port = static_cast<int>(std::atol(port));
+      }
+      auto serve_cfg = bench_config(out_g);
+      serve_cfg.trace_enabled = last_config && !trace_path.empty();
+      serve_cfg.metrics_enabled = last_config && !metrics_prefix.empty();
+      serve_cfg.metrics_sample_ms = static_cast<std::uint32_t>(
+          env_long("BLAZE_BENCH_METRICS_MS", 10));
+      serve::QueryEngine engine(serve_cfg, opts);
+      engine.observe_cache(cache.get());
+      if (last_config && serve_cfg.metrics_enabled) {
+        cache->bind_metrics();  // per-device + per-shard series
+      }
+      if (engine.metrics_port() != 0) {
+        std::fprintf(stderr,
+                     "metrics endpoint: http://localhost:%u/metrics\n",
+                     engine.metrics_port());
+      }
+
+      std::atomic<std::uint64_t> overload_retries{0};
+      Timer wall;
+      {
+        std::vector<std::jthread> tpool;
+        tpool.reserve(clients);
+        for (std::size_t c = 0; c < clients; ++c) {
+          tpool.emplace_back([&, c] {
+            for (std::size_t q = 0; q < per_client; ++q) {
+              const int kind = static_cast<int>((c + q) % 3);
+              serve::QuerySpec spec;
+              spec.run = make_query(kind, out_g, in_g, ref, mismatch);
+              spec.label = std::string(kKinds[kind]) + "/c" +
+                           std::to_string(c) + "q" + std::to_string(q);
+              for (;;) {
+                try {
+                  engine.submit(spec)->wait();
+                  break;
+                } catch (const serve::ServeError& e) {
+                  if (!e.retryable()) throw;
+                  overload_retries.fetch_add(1, std::memory_order_relaxed);
+                  std::this_thread::yield();
+                }
+              }
             }
+          });
+        }
+      }
+      engine.drain();
+      const double wall_s = wall.seconds();
+
+      const auto stats = engine.stats();
+      // Informational under eviction pressure: with a pool deliberately
+      // smaller than the working set, the shared cache can lose to the
+      // isolated baseline (which gives one query the whole budget). The
+      // baseline gate decides whether to require it.
+      const bool cache_wins = stats.cache_hit_rate > iso_rate;
+
+      bool trace_written = false;
+      std::string metrics_json_path, metrics_prom_path;
+      std::uint64_t sampler_points = 0;
+      if (last_config) {
+        if (!trace_path.empty()) {
+          trace_written = trace::write_chrome_trace(trace_path);
+          if (!trace_written) {
+            std::fprintf(stderr, "failed to write trace artifact %s\n",
+                         trace_path.c_str());
+            rc_artifacts = 1;
           }
         }
-      });
+        if (!metrics_prefix.empty()) {
+          engine.sampler().sample_once();  // fresh end-state point
+          const auto ts = engine.sampler().snapshot();
+          sampler_points = ts.points.size();
+          const auto rows = metrics::Registry::instance().snapshot();
+          const std::string jpath = metrics_prefix + ".json";
+          const std::string ppath = metrics_prefix + ".prom";
+          if (metrics::write_file(jpath,
+                                  metrics::metrics_dump_json(rows, ts))) {
+            metrics_json_path = jpath;
+          } else {
+            std::fprintf(stderr, "failed to write metrics artifact %s\n",
+                         jpath.c_str());
+            rc_artifacts = 1;
+          }
+          if (metrics::write_file(ppath, metrics::to_prometheus(rows))) {
+            metrics_prom_path = ppath;
+          } else {
+            std::fprintf(stderr, "failed to write metrics artifact %s\n",
+                         ppath.c_str());
+            rc_artifacts = 1;
+          }
+        }
+      }
+
+      std::printf(
+          "{\"bench\":\"serving\",\"graph\":\"%s\",\"clients\":%zu,"
+          "\"policy\":\"%s\",\"shards\":%zu,\"cache_mib\":%.1f,"
+          "\"sessions\":%zu,\"queries_per_client\":%zu,\"admitted\":%llu,"
+          "\"completed\":%llu,\"failed\":%llu,\"expired\":%llu,"
+          "\"overload_retries\":%llu,\"wall_s\":%.3f,\"qps\":%.2f,"
+          "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"cache_hit_rate\":%.4f,"
+          "\"cache_dedup_hits\":%llu,\"cache_ghost_hits\":%llu,"
+          "\"isolated_hit_rate\":%.4f,"
+          "\"io_retries\":%llu,\"io_gave_up\":%llu,"
+          "\"trace_events\":%llu,\"trace_dropped\":%llu,"
+          "\"trace_path\":\"%s\","
+          "\"metrics_path\":\"%s\",\"metrics_prom_path\":\"%s\","
+          "\"sampler_points\":%llu,"
+          "\"results_match\":%s,\"shared_cache_wins\":%s}\n",
+          ds.name.c_str(), clients, policies[pi].c_str(),
+          pool->shard_count(),
+          static_cast<double>(pool->capacity_bytes()) / (1 << 20),
+          opts.max_inflight_queries, per_client,
+          static_cast<unsigned long long>(stats.admitted),
+          static_cast<unsigned long long>(stats.completed),
+          static_cast<unsigned long long>(stats.failed),
+          static_cast<unsigned long long>(stats.expired),
+          static_cast<unsigned long long>(overload_retries.load()), wall_s,
+          wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0.0,
+          stats.p50_ms(), stats.p95_ms(), stats.cache_hit_rate,
+          static_cast<unsigned long long>(stats.cache_dedup_hits),
+          static_cast<unsigned long long>(stats.cache_ghost_hits),
+          iso_rate,
+          static_cast<unsigned long long>(stats.aggregate.retries),
+          static_cast<unsigned long long>(stats.aggregate.gave_up),
+          static_cast<unsigned long long>(stats.trace_counters.events),
+          static_cast<unsigned long long>(stats.trace_counters.dropped),
+          trace_written ? trace_path.c_str() : "",
+          metrics_json_path.c_str(), metrics_prom_path.c_str(),
+          static_cast<unsigned long long>(sampler_points),
+          !mismatch.load() ? "true" : "false",
+          cache_wins ? "true" : "false");
+      std::fflush(stdout);
     }
   }
-  engine.drain();
-  const double wall_s = wall.seconds();
 
-  const auto stats = engine.stats();
-  const double iso_rate = rate(iso_hits, iso_misses);
   const bool results_match = !mismatch.load();
-  const bool cache_wins = stats.cache_hit_rate > iso_rate;
-
-  bool trace_written = false;
-  if (!trace_path.empty()) {
-    trace_written = trace::write_chrome_trace(trace_path);
-    if (!trace_written) {
-      std::fprintf(stderr, "failed to write trace artifact %s\n",
-                   trace_path.c_str());
-    }
-  }
-
-  // Metrics artifacts: the JSON dump (registry snapshot + sampler time
-  // series) and the Prometheus exposition a scraper would have seen.
-  std::string metrics_json_path, metrics_prom_path;
-  std::uint64_t sampler_points = 0;
-  if (!metrics_prefix.empty()) {
-    engine.sampler().sample_once();  // fresh end-state point
-    const auto ts = engine.sampler().snapshot();
-    sampler_points = ts.points.size();
-    const auto rows = metrics::Registry::instance().snapshot();
-    const std::string jpath = metrics_prefix + ".json";
-    const std::string ppath = metrics_prefix + ".prom";
-    if (metrics::write_file(jpath, metrics::metrics_dump_json(rows, ts))) {
-      metrics_json_path = jpath;
-    } else {
-      std::fprintf(stderr, "failed to write metrics artifact %s\n",
-                   jpath.c_str());
-    }
-    if (metrics::write_file(ppath, metrics::to_prometheus(rows))) {
-      metrics_prom_path = ppath;
-    } else {
-      std::fprintf(stderr, "failed to write metrics artifact %s\n",
-                   ppath.c_str());
-    }
-  }
-
-  std::printf(
-      "{\"bench\":\"serving\",\"graph\":\"%s\",\"clients\":%zu,"
-      "\"sessions\":%zu,\"queries_per_client\":%zu,\"admitted\":%llu,"
-      "\"completed\":%llu,\"failed\":%llu,\"expired\":%llu,"
-      "\"overload_retries\":%llu,\"wall_s\":%.3f,\"qps\":%.2f,"
-      "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"cache_hit_rate\":%.4f,"
-      "\"cache_dedup_hits\":%llu,\"isolated_hit_rate\":%.4f,"
-      "\"io_retries\":%llu,\"io_gave_up\":%llu,"
-      "\"trace_events\":%llu,\"trace_dropped\":%llu,\"trace_path\":\"%s\","
-      "\"metrics_path\":\"%s\",\"metrics_prom_path\":\"%s\","
-      "\"sampler_points\":%llu,"
-      "\"results_match\":%s,\"shared_cache_wins\":%s}\n",
-      ds.name.c_str(), clients, opts.max_inflight_queries, per_client,
-      static_cast<unsigned long long>(stats.admitted),
-      static_cast<unsigned long long>(stats.completed),
-      static_cast<unsigned long long>(stats.failed),
-      static_cast<unsigned long long>(stats.expired),
-      static_cast<unsigned long long>(overload_retries.load()), wall_s,
-      wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0.0,
-      stats.p50_ms(), stats.p95_ms(), stats.cache_hit_rate,
-      static_cast<unsigned long long>(stats.cache_dedup_hits), iso_rate,
-      static_cast<unsigned long long>(stats.aggregate.retries),
-      static_cast<unsigned long long>(stats.aggregate.gave_up),
-      static_cast<unsigned long long>(stats.trace_counters.events),
-      static_cast<unsigned long long>(stats.trace_counters.dropped),
-      trace_written ? trace_path.c_str() : "",
-      metrics_json_path.c_str(), metrics_prom_path.c_str(),
-      static_cast<unsigned long long>(sampler_points),
-      results_match ? "true" : "false", cache_wins ? "true" : "false");
-  return results_match && cache_wins ? 0 : 1;
+  return results_match && rc_artifacts == 0 ? 0 : 1;
 }

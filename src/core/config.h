@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "device/eviction_policy.h"
+
 namespace blaze::core {
 
 struct Config {
@@ -63,6 +65,23 @@ struct Config {
   /// the registry), in milliseconds. Consumed by whoever owns a
   /// metrics::Sampler over this config — serve::QueryEngine, blaze-run.
   std::uint32_t metrics_sample_ms = 100;
+
+  /// Shared page-cache pool budget in bytes (--cacheMB on the CLI). 0
+  /// disables the pool: devices are used raw unless a caller layers its
+  /// own CachedDevice. When set, Runtime::page_cache() lazily builds one
+  /// device::ShardedPageCache with this budget, and wrap_cached() devices
+  /// share it.
+  std::size_t cache_bytes = 0;
+
+  /// Shard count for the shared pool (--cache-shards). 0 = auto: one
+  /// shard per 256 cached pages, clamped to [1, 16]
+  /// (ShardedPageCache::auto_shards).
+  std::size_t cache_shards = 0;
+
+  /// Eviction policy for the shared pool (--cache-policy). S3-FIFO is the
+  /// default: EdgeMap's sequential scans flush an LRU's hot set, while the
+  /// small/main/ghost queues keep cross-query hot pages resident.
+  device::EvictionPolicy cache_policy = device::EvictionPolicy::kS3Fifo;
 
   /// Modeled per-update cost of cross-core atomic contention, applied only
   /// in sync_mode. On the paper's 16-core testbed contended CAS lines

@@ -6,6 +6,8 @@
 
 #include "core/config.h"
 #include "core/query_context.h"
+#include "device/cached_device.h"
+#include "device/page_cache.h"
 #include "io/io_pipeline.h"
 #include "metrics/metrics.h"
 #include "trace/tracer.h"
@@ -76,6 +78,32 @@ class Runtime {
         {config_.io_retry_limit, config_.io_retry_backoff_us});
   }
 
+  /// The shared page-cache pool, lazily built from the cache_* config
+  /// knobs the first time it is asked for. Returns nullptr when
+  /// cache_bytes == 0 (caching disabled). Every device wrapped through
+  /// wrap_cached() registers with — and competes for — this one pool, so
+  /// the budget covers the whole runtime rather than one device.
+  const std::shared_ptr<device::ShardedPageCache>& page_cache() {
+    if (!page_cache_ && config_.cache_bytes > 0) {
+      device::PageCacheOptions opts;
+      opts.capacity_bytes = config_.cache_bytes;
+      opts.policy = config_.cache_policy;
+      opts.shards = config_.cache_shards;
+      page_cache_ = std::make_shared<device::ShardedPageCache>(opts);
+      if (config_.metrics_enabled) page_cache_->bind_metrics();
+    }
+    return page_cache_;
+  }
+
+  /// Wraps `dev` in a CachedDevice over the shared pool; returns `dev`
+  /// unchanged when caching is disabled (cache_bytes == 0).
+  std::shared_ptr<device::BlockDevice> wrap_cached(
+      std::shared_ptr<device::BlockDevice> dev) {
+    const auto& pool = page_cache();
+    if (!pool) return dev;
+    return std::make_shared<device::CachedDevice>(std::move(dev), pool);
+  }
+
   // Legacy arena accessors, delegating to the default context (kept so the
   // single-query path and existing harnesses read naturally).
   BinSet& acquire_bins() { return default_context().acquire_bins(); }
@@ -103,6 +131,7 @@ class Runtime {
   Config config_;
   ThreadPool pool_;
   io::IoPipeline pipeline_;
+  std::shared_ptr<device::ShardedPageCache> page_cache_;  ///< lazy; may stay null
   // Declared after the pipeline: destroyed first, and its destructor
   // quiesces the (still-alive) pipeline, so no reader touches the arenas
   // while they die; the pipeline's own destructor then joins the readers.

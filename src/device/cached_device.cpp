@@ -1,8 +1,8 @@
 #include "device/cached_device.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "trace/tracer.h"
 #include "util/backoff.h"
@@ -11,34 +11,46 @@ namespace blaze::device {
 
 namespace {
 
-// Hit/miss instants feed the trace timeline (one instant per
-// lookup/claim, arg = pages); the atomic counters stay the source of
-// truth for hit_rate().
-inline void note_hit(std::uint64_t pages) {
-  trace::instant(trace::Name::kCacheHit, pages);
-}
-inline void note_miss(std::uint64_t pages) {
-  trace::instant(trace::Name::kCacheMiss, pages);
+PageCacheOptions private_pool_options(const std::string& name,
+                                      std::size_t capacity_bytes,
+                                      EvictionPolicy policy) {
+  PageCacheOptions opts;
+  opts.name = name;
+  opts.capacity_bytes = capacity_bytes;
+  opts.policy = policy;
+  opts.shards = 1;  // exact pre-pool semantics: one lock, one LRU domain
+  return opts;
 }
 
 }  // namespace
 
+// Member declaration order (name_, inner_, pool_, base_) lets each ctor
+// read inner->name() before the move and name_ when building the pool.
+
 CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
-                           std::size_t capacity_bytes,
-                           EvictionPolicy policy)
+                           std::size_t capacity_bytes, EvictionPolicy policy)
     : name_(inner->name() + "+cache"),
       inner_(std::move(inner)),
-      policy_(policy),
-      capacity_pages_(std::max<std::size_t>(4, capacity_bytes / kPageSize)),
-      storage_(capacity_pages_ * kPageSize),
-      stats_(0),
-      slot_page_(capacity_pages_, ~0ull),
-      lru_prev_(capacity_pages_, kNil),
-      lru_next_(capacity_pages_, kNil) {
-  free_slots_.reserve(capacity_pages_);
-  for (std::size_t i = 0; i < capacity_pages_; ++i) free_slots_.push_back(i);
-  map_.reserve(capacity_pages_ * 2);
-}
+      pool_(std::make_shared<ShardedPageCache>(
+          private_pool_options(name_, capacity_bytes, policy))),
+      base_(pool_->register_device(inner_->name())),
+      stats_(0) {}
+
+CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
+                           PageCacheOptions opts)
+    : name_(inner->name() + "+cache"),
+      inner_(std::move(inner)),
+      pool_(std::make_shared<ShardedPageCache>(std::move(opts))),
+      base_(pool_->register_device(inner_->name())),
+      stats_(0) {}
+
+CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
+                           std::shared_ptr<ShardedPageCache> pool)
+    : name_(inner->name() + "+cache"),
+      inner_(std::move(inner)),
+      pool_(std::move(pool)),
+      base_(pool_->register_device(inner_->name())),
+      stats_(0) {}
 
 void CachedDevice::bind_metrics() {
   if (!metrics_bindings_.empty()) return;
@@ -54,77 +66,44 @@ void CachedDevice::bind_metrics() {
   metrics_bindings_.add(reg.callback(
       "blaze_cache_dedup_hits_total", labels, Kind::kCounter,
       [this] { return static_cast<double>(dedup_hits()); }));
+  metrics_bindings_.add(reg.callback(
+      "blaze_cache_ghost_hits_total", labels, Kind::kCounter,
+      [this] { return static_cast<double>(ghost_hits()); }));
   metrics_bindings_.add(reg.callback("blaze_cache_hit_rate", labels,
                                      Kind::kGauge,
                                      [this] { return hit_rate(); }));
+  pool_->bind_metrics();  // per-shard + pool aggregate series
 }
 
-void CachedDevice::lru_unlink(std::size_t slot) {
-  const bool linked = lru_head_ == slot || lru_prev_[slot] != kNil ||
-                      lru_next_[slot] != kNil;
-  if (!linked) return;
-  std::size_t p = lru_prev_[slot], n = lru_next_[slot];
-  if (p != kNil) lru_next_[p] = n;
-  else lru_head_ = n;
-  if (n != kNil) lru_prev_[n] = p;
-  else lru_tail_ = p;
-  lru_prev_[slot] = lru_next_[slot] = kNil;
-}
-
-void CachedDevice::lru_push_front(std::size_t slot) {
-  lru_prev_[slot] = kNil;
-  lru_next_[slot] = lru_head_;
-  if (lru_head_ != kNil) lru_prev_[lru_head_] = slot;
-  lru_head_ = slot;
-  if (lru_tail_ == kNil) lru_tail_ = slot;
-}
-
-std::size_t CachedDevice::pick_victim_locked() {
-  if (policy_ == EvictionPolicy::kLru) return lru_tail_;
-  // Random: any occupied slot.
-  return static_cast<std::size_t>(rng_.next_below(capacity_pages_));
-}
-
-bool CachedDevice::copy_run_locked(std::uint64_t first_page,
-                                   std::uint32_t num_pages, std::byte* out) {
-  for (std::uint32_t j = 0; j < num_pages; ++j) {
-    if (!map_.contains(first_page + j)) return false;
+void CachedDevice::count_run(RunState s, std::uint32_t num_pages,
+                             bool deferred_retry) {
+  switch (s) {
+    case RunState::kHit:
+      hits_.fetch_add(num_pages, std::memory_order_relaxed);
+      if (deferred_retry) {
+        dedup_hits_.fetch_add(num_pages, std::memory_order_relaxed);
+      }
+      break;
+    case RunState::kOwned:
+      misses_.fetch_add(num_pages, std::memory_order_relaxed);
+      break;
+    case RunState::kDeferred:
+      break;  // nothing counted until the run resolves
   }
-  for (std::uint32_t j = 0; j < num_pages; ++j) {
-    std::size_t slot = map_.find(first_page + j)->second;
-    if (policy_ == EvictionPolicy::kLru) {
-      lru_unlink(slot);
-      lru_push_front(slot);
-    }
-    std::memcpy(out + std::size_t{j} * kPageSize,
-                storage_.data() + slot * kPageSize, kPageSize);
-  }
-  return true;
 }
 
 bool CachedDevice::lookup(std::uint64_t page, std::byte* out) {
-  std::lock_guard lock(mu_);
-  if (!copy_run_locked(page, 1, out)) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    note_miss(1);
-    return false;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  note_hit(1);
-  return true;
+  return lookup_run(page, 1, out);
 }
 
 bool CachedDevice::lookup_run(std::uint64_t first_page,
                               std::uint32_t num_pages, std::byte* out) {
-  std::lock_guard lock(mu_);
-  if (!copy_run_locked(first_page, num_pages, out)) {
-    misses_.fetch_add(num_pages, std::memory_order_relaxed);
-    note_miss(num_pages);
-    return false;
+  if (pool_->lookup_run(key(first_page), num_pages, out)) {
+    hits_.fetch_add(num_pages, std::memory_order_relaxed);
+    return true;
   }
-  hits_.fetch_add(num_pages, std::memory_order_relaxed);
-  note_hit(num_pages);
-  return true;
+  misses_.fetch_add(num_pages, std::memory_order_relaxed);
+  return false;
 }
 
 void CachedDevice::record_unaligned_miss(std::uint64_t offset,
@@ -132,113 +111,53 @@ void CachedDevice::record_unaligned_miss(std::uint64_t offset,
   const std::uint64_t first = offset / kPageSize;
   const std::uint64_t last = (offset + length + kPageSize - 1) / kPageSize;
   misses_.fetch_add(last - first, std::memory_order_relaxed);
-}
-
-RunState CachedDevice::start_run_locked(std::uint64_t first_page,
-                                        std::uint32_t num_pages,
-                                        std::byte* out, bool deferred_retry) {
-  if (copy_run_locked(first_page, num_pages, out)) {
-    hits_.fetch_add(num_pages, std::memory_order_relaxed);
-    note_hit(num_pages);
-    if (deferred_retry) {
-      dedup_hits_.fetch_add(num_pages, std::memory_order_relaxed);
-    }
-    return RunState::kHit;
-  }
-  // Defer only when every MISSING page is already being read elsewhere —
-  // then this request costs zero inner reads once the owners finish. A
-  // partially covered run is claimed outright: re-reading an in-flight
-  // page alongside the truly missing ones is at worst one redundant page
-  // inside an already-merged request.
-  bool all_inflight = true;
-  for (std::uint32_t j = 0; j < num_pages; ++j) {
-    const std::uint64_t p = first_page + j;
-    if (!map_.contains(p) && !inflight_.contains(p)) {
-      all_inflight = false;
-      break;
-    }
-  }
-  if (all_inflight) return RunState::kDeferred;
-  misses_.fetch_add(num_pages, std::memory_order_relaxed);
-  note_miss(num_pages);
-  for (std::uint32_t j = 0; j < num_pages; ++j) ++inflight_[first_page + j];
-  return RunState::kOwned;
+  // Unattributed instant (shard 0-sentinel): this traffic never reaches
+  // the pool, but the trace timeline should still show it missing.
+  trace::instant(trace::Name::kCacheMiss,
+                 trace::cache_arg(last - first, 0));
 }
 
 RunState CachedDevice::try_start_run(std::uint64_t first_page,
                                      std::uint32_t num_pages,
                                      std::byte* out) {
-  std::lock_guard lock(mu_);
-  return start_run_locked(first_page, num_pages, out,
-                          /*deferred_retry=*/false);
+  const RunState s = pool_->try_start_run(key(first_page), num_pages, out);
+  count_run(s, num_pages, /*deferred_retry=*/false);
+  return s;
 }
 
 RunState CachedDevice::retry_deferred_run(std::uint64_t first_page,
                                           std::uint32_t num_pages,
                                           std::byte* out) {
-  std::lock_guard lock(mu_);
-  return start_run_locked(first_page, num_pages, out,
-                          /*deferred_retry=*/true);
+  const RunState s =
+      pool_->retry_deferred_run(key(first_page), num_pages, out);
+  count_run(s, num_pages, /*deferred_retry=*/true);
+  return s;
 }
 
 void CachedDevice::end_run(std::uint64_t first_page,
                            std::uint32_t num_pages) {
-  {
-    std::lock_guard lock(mu_);
-    for (std::uint32_t j = 0; j < num_pages; ++j) {
-      auto it = inflight_.find(first_page + j);
-      if (it == inflight_.end()) continue;
-      if (--it->second == 0) inflight_.erase(it);
-    }
-  }
-  inflight_cv_.notify_all();
+  pool_->end_run(key(first_page), num_pages);
 }
 
 void CachedDevice::fill(std::uint64_t page, const std::byte* data) {
-  std::lock_guard lock(mu_);
-  std::size_t slot;
-  if (auto it = map_.find(page); it != map_.end()) {
-    slot = it->second;  // racing fill of the same page: refresh in place
-  } else if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = pick_victim_locked();
-    if (slot == kNil) return;
-    map_.erase(slot_page_[slot]);
-    if (policy_ == EvictionPolicy::kLru) lru_unlink(slot);
-  }
-  std::memcpy(storage_.data() + slot * kPageSize, data, kPageSize);
-  slot_page_[slot] = page;
-  map_[page] = slot;
-  if (policy_ == EvictionPolicy::kLru) {
-    lru_unlink(slot);  // no-op when freshly allocated
-    lru_push_front(slot);
+  if (pool_->fill(key(page), data)) {
+    ghost_hits_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void CachedDevice::read_page_sync(std::uint64_t page, std::byte* dst) {
-  {
-    std::unique_lock lock(mu_);
-    while (true) {
-      if (copy_run_locked(page, 1, dst)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      if (!inflight_.contains(page)) break;  // claim the read ourselves
-      // Another caller is reading this page right now: wait for its fill
-      // instead of issuing a duplicate inner read. The timeout bounds the
-      // wait if the owner aborts between its end_run() and our wakeup race.
-      inflight_cv_.wait_for(lock, std::chrono::microseconds(200));
-      if (copy_run_locked(page, 1, dst)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        dedup_hits_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-    }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    ++inflight_[page];
+  switch (pool_->acquire_page_sync(key(page), dst)) {
+    case SyncAcquire::kHit:
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case SyncAcquire::kDedupHit:
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case SyncAcquire::kOwned:
+      break;
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   try {
     inner_->read(page * kPageSize, std::span<std::byte>(dst, kPageSize));
   } catch (...) {
@@ -255,9 +174,10 @@ void CachedDevice::read(std::uint64_t offset, std::span<std::byte> out) {
   if (!aligned) {
     inner_->read(offset, out);
     // Uncacheable traffic still shows up in the hit-rate statistics: every
-    // overlapped page is a miss (it went to the inner device).
+    // overlapped page is a miss (it went to the inner device). Service
+    // time and bytes are recorded on the inner device only — it did the
+    // work, and recording the bytes here too double-counted them.
     record_unaligned_miss(offset, out.size());
-    stats_.record_read(out.size(), 0);
     return;
   }
   for (std::size_t done = 0; done < out.size(); done += kPageSize) {
@@ -273,8 +193,8 @@ namespace {
 /// pages another session is already reading are *deferred* — parked here
 /// instead of duplicated on the inner device — and completed from the cache
 /// once the owner fills it (cross-query read dedup). The channel itself
-/// stays single-submitter (the AsyncChannel contract); only the device's
-/// page table synchronizes across channels.
+/// stays single-submitter (the AsyncChannel contract); only the pool's
+/// shard state synchronizes across channels.
 class CachedChannel : public AsyncChannel {
  public:
   explicit CachedChannel(CachedDevice& dev)

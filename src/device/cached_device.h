@@ -4,35 +4,24 @@
 // locality FlashGraph's LRU page cache exploits, and "Blaze only implements
 // the random eviction of IO buffer pages, and we leave implementing more
 // advanced eviction policies as future work". This decorator implements
-// that future work: any engine can layer a page cache with a pluggable
-// eviction policy (LRU or random) over its device. The ablation bench
-// (bench_ablation_cache) measures what each policy buys on each topology.
+// that future work as a thin BlockDevice adapter over the sharded
+// device::PageCache subsystem (page_cache.h): the storage, eviction
+// policies, and miss-dedup registry all live in ShardedPageCache /
+// CacheShard; CachedDevice translates device pages into pool keys, keeps
+// the per-device view of the counters, and provides the sync/async read
+// facades. Several CachedDevices can share one pool under a single byte
+// budget (Runtime::page_cache()), or a device can own a private pool via
+// the legacy constructor.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
 
 #include "device/block_device.h"
+#include "device/page_cache.h"
 #include "metrics/metrics.h"
-#include "util/rng.h"
 
 namespace blaze::device {
-
-enum class EvictionPolicy {
-  kLru,     ///< least-recently-used (FlashGraph's policy)
-  kRandom,  ///< uniform random victim (original Blaze's behaviour)
-};
-
-/// Outcome of the miss-dedup protocol for one page run (see try_start_run).
-enum class RunState {
-  kHit,       ///< served from the cache; the buffer is filled
-  kDeferred,  ///< every missing page is already being read by another caller
-  kOwned,     ///< caller claimed the read; it must fill() then end_run()
-};
 
 /// Read-through page cache over another device. Only whole-page-aligned
 /// reads are cached; unaligned reads pass through. Thread-safe: many query
@@ -40,10 +29,21 @@ enum class RunState {
 /// the same page are deduplicated so two queries faulting the same CSR page
 /// issue one inner-device read (the second waits — or defers, on the async
 /// path — and is served from the cache when the first one fills it).
-class CachedDevice : public BlockDevice {
+class CachedDevice : public BlockDevice, public CacheStatsSource {
  public:
+  /// Private single-shard pool (exact pre-pool semantics: one lock, one
+  /// eviction domain). Kept for the ablation benches and the policy tests.
   CachedDevice(std::shared_ptr<BlockDevice> inner,
                std::size_t capacity_bytes, EvictionPolicy policy);
+
+  /// Private pool built from `opts` (capacity/policy/shards).
+  CachedDevice(std::shared_ptr<BlockDevice> inner, PageCacheOptions opts);
+
+  /// Adapter over a shared pool: this device registers its key namespace
+  /// with `pool` and competes for the pool's byte budget with every other
+  /// device registered there.
+  CachedDevice(std::shared_ptr<BlockDevice> inner,
+               std::shared_ptr<ShardedPageCache> pool);
 
   const std::string& name() const override { return name_; }
   std::uint64_t size() const override { return inner_->size(); }
@@ -53,9 +53,18 @@ class CachedDevice : public BlockDevice {
   std::unique_ptr<AsyncChannel> open_channel() override;
 
   /// Stats of the *cached* view (hits cost no inner-device time).
+  /// Unaligned pass-through traffic is recorded on the inner device only —
+  /// it is serviced there, and double-recording it here once inflated the
+  /// cached view's byte counts.
   IoStats& stats() override { return stats_; }
   BlockDevice& inner() { return *inner_; }
 
+  /// The pool backing this device (shared or private).
+  const std::shared_ptr<ShardedPageCache>& pool() const { return pool_; }
+
+  // --- Per-device counter view. A shared pool mixes several devices'
+  // --- traffic, so the adapter counts its own outcomes; the pool/shard
+  // --- counters aggregate across devices.
   std::uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -67,6 +76,11 @@ class CachedDevice : public BlockDevice {
   std::uint64_t dedup_hits() const {
     return dedup_hits_.load(std::memory_order_relaxed);
   }
+  /// Fills of pages the pool remembered evicting recently (S3-FIFO ghost
+  /// queue promotions; always 0 under LRU/random).
+  std::uint64_t ghost_hits() const {
+    return ghost_hits_.load(std::memory_order_relaxed);
+  }
   /// Hit fraction in [0,1]; 0 when no traffic has been recorded.
   double hit_rate() const {
     const double h = static_cast<double>(hits());
@@ -74,11 +88,23 @@ class CachedDevice : public BlockDevice {
     return h + m == 0 ? 0.0 : h / (h + m);
   }
 
-  /// Publishes the cache counters into the metric registry as polled
-  /// series (blaze_cache_{hits,misses,dedup_hits}_total and
-  /// blaze_cache_hit_rate, labeled by cache=name()). Zero hot-path cost —
-  /// the callbacks read the existing relaxed atomics at sample time — and
-  /// the bindings unregister when the device dies. Idempotent.
+  /// This device's counter view (CacheStatsSource). Evictions are a pool
+  /// property, reported as 0 here; observe the pool for them.
+  CacheCounters cache_counters() const override {
+    CacheCounters c;
+    c.hits = hits();
+    c.misses = misses();
+    c.dedup_hits = dedup_hits();
+    c.ghost_hits = ghost_hits();
+    return c;
+  }
+
+  /// Publishes the per-device counters into the metric registry as polled
+  /// series (blaze_cache_{hits,misses,dedup_hits,ghost_hits}_total and
+  /// blaze_cache_hit_rate, labeled by cache=name()), and the pool's
+  /// per-shard series (ShardedPageCache::bind_metrics). Zero hot-path cost
+  /// — the callbacks read the existing relaxed atomics at sample time —
+  /// and the bindings unregister when the device dies. Idempotent.
   void bind_metrics();
 
   /// Fills `out` (kPageSize bytes) for page `page`; returns true on a
@@ -87,11 +113,10 @@ class CachedDevice : public BlockDevice {
   bool lookup(std::uint64_t page, std::byte* out);
 
   /// All-or-nothing lookup of `num_pages` consecutive pages starting at
-  /// `first_page`, under one lock acquisition. Copies into `out` and counts
-  /// num_pages hits only when EVERY page is cached; otherwise copies
-  /// nothing and counts num_pages misses (the whole request will be
-  /// re-read from the inner device, so pages that happened to be cached
-  /// must not inflate the hit rate).
+  /// `first_page`. Copies into `out` and counts num_pages hits only when
+  /// EVERY page is cached; otherwise copies nothing and counts num_pages
+  /// misses (the whole request will be re-read from the inner device, so
+  /// pages that happened to be cached must not inflate the hit rate).
   bool lookup_run(std::uint64_t first_page, std::uint32_t num_pages,
                   std::byte* out);
 
@@ -132,41 +157,18 @@ class CachedDevice : public BlockDevice {
  private:
   std::string name_;
   std::shared_ptr<BlockDevice> inner_;
-  EvictionPolicy policy_;
-  std::size_t capacity_pages_;
-  std::vector<std::byte> storage_;
+  std::shared_ptr<ShardedPageCache> pool_;
+  std::uint64_t base_ = 0;  ///< pool key = base_ + device page number
   IoStats stats_;
 
-  std::mutex mu_;
-  std::condition_variable inflight_cv_;  ///< signaled by end_run()
-  // Guarded by mu_:
-  std::unordered_map<std::uint64_t, std::size_t> map_;   // page -> slot
-  std::unordered_map<std::uint64_t, std::uint32_t> inflight_;  // page -> refs
-  std::vector<std::uint64_t> slot_page_;                 // slot -> page
-  std::vector<std::size_t> free_slots_;
-  // LRU bookkeeping (intrusive doubly linked list over slots).
-  std::vector<std::size_t> lru_prev_, lru_next_;
-  std::size_t lru_head_ = kNil, lru_tail_ = kNil;
-  Xoshiro256 rng_{0xCACE};
-  // Counters are atomic (relaxed): hot accessors like hits() are read by
-  // monitoring threads while sessions update them under mu_ or lock-free
-  // (record_unaligned_miss), and TSan must stay clean.
+  /// Adapter-level outcome counters (see class comment on views).
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, dedup_hits_{0};
+  std::atomic<std::uint64_t> ghost_hits_{0};
 
   metrics::BindingSet metrics_bindings_;  ///< unregisters before counters die
 
-  static constexpr std::size_t kNil = ~std::size_t{0};
-
-  void lru_unlink(std::size_t slot);
-  void lru_push_front(std::size_t slot);
-  std::size_t pick_victim_locked();
-  /// Copies a fully cached run into `out` with LRU touch; false if any page
-  /// is absent. No counting. Caller holds mu_.
-  bool copy_run_locked(std::uint64_t first_page, std::uint32_t num_pages,
-                       std::byte* out);
-  /// Shared body of try_start_run / retry_deferred_run. Caller holds mu_.
-  RunState start_run_locked(std::uint64_t first_page, std::uint32_t num_pages,
-                            std::byte* out, bool deferred_retry);
+  std::uint64_t key(std::uint64_t page) const { return base_ + page; }
+  void count_run(RunState s, std::uint32_t num_pages, bool deferred_retry);
   /// Blocking per-page miss path for the sync read() API: waits out a
   /// foreign in-flight read or claims ownership and reads the inner device.
   void read_page_sync(std::uint64_t page, std::byte* dst);

@@ -1,0 +1,49 @@
+// Page-cache eviction policy identifiers.
+//
+// Split out of cached_device.h so core::Config can name a policy without
+// pulling in the cache implementation: the enum is plumbed Config ->
+// Runtime -> device::ShardedPageCache, and parsed from --cache-policy on
+// the CLI. kS3Fifo is the default for shared serving pools: EdgeMap's full
+// sequential scans flush an LRU's hot set, while S3-FIFO's small/main
+// split plus ghost promotion keeps cross-query hot pages resident (see
+// DESIGN.md section 8).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace blaze::device {
+
+enum class EvictionPolicy {
+  kLru,     ///< least-recently-used (FlashGraph's policy)
+  kRandom,  ///< uniform random victim (original Blaze's behaviour)
+  kS3Fifo,  ///< scan-resistant small/main/ghost FIFO trio (S3-FIFO)
+};
+
+constexpr const char* to_string(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kRandom: return "random";
+    case EvictionPolicy::kS3Fifo: return "s3fifo";
+  }
+  return "unknown";
+}
+
+/// Parses "lru" / "random" / "s3fifo" (as accepted by --cache-policy and
+/// the bench BLAZE_BENCH_POLICIES list). Returns false on unknown names
+/// and leaves `out` untouched.
+inline bool parse_eviction_policy(std::string_view name,
+                                  EvictionPolicy& out) {
+  if (name == "lru") {
+    out = EvictionPolicy::kLru;
+  } else if (name == "random") {
+    out = EvictionPolicy::kRandom;
+  } else if (name == "s3fifo" || name == "s3-fifo") {
+    out = EvictionPolicy::kS3Fifo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace blaze::device

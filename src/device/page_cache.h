@@ -1,0 +1,300 @@
+// device::PageCache — sharded, scan-resistant page-cache pool.
+//
+// PR 3 made CachedDevice the hot shared structure under multi-query
+// serving; this subsystem pulls the storage/eviction core out of it into a
+// layered pool so hundreds of sessions stop colliding on one lock:
+//
+//   ShardedPageCache            pool: byte budget, key namespace, metrics
+//     └── CacheShard × N        each: own mutex + cv, page table, slots,
+//           └── CachePolicy     in-flight dedup registry, counters
+//                               pluggable eviction (LRU / random / S3-FIFO)
+//
+// Keys are (device, page) pairs packed into 64 bits, so one pool can back
+// several devices under a single byte budget (Runtime::page_cache()).
+// Pages hash to shards by their kShardGroupPages-aligned group, sized to
+// the read engine's merge bound so a merged run touches at most two
+// shards; each shard owns its own lock, in-flight registry, and eviction
+// state, making cross-query contention per-shard instead of global.
+//
+// The default policy is S3-FIFO (small/main/ghost FIFO trio): EdgeMap's
+// full sequential scans are exactly the access pattern that flushes an
+// LRU's hot set, while S3-FIFO admits new pages into a small probationary
+// queue that scans stream straight through, and promotes re-faulted pages
+// (ghost hits) into the protected main queue. LRU and random remain
+// available for the ablation benches and FlashGraph-parity comparisons.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "device/eviction_policy.h"
+#include "metrics/metrics.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace blaze::device {
+
+/// Outcome of the miss-dedup protocol for one page run.
+enum class RunState {
+  kHit,       ///< served from the cache; the buffer is filled
+  kDeferred,  ///< every missing page is already being read by another caller
+  kOwned,     ///< caller claimed the read; it must fill() then end_run()
+};
+
+/// Outcome of the blocking sync-path page acquisition.
+enum class SyncAcquire {
+  kHit,       ///< copied from the cache immediately
+  kDedupHit,  ///< copied after waiting out another caller's in-flight read
+  kOwned,     ///< caller claimed the read (fill() + end_run() required)
+};
+
+/// One consistent view of the cache counters (adapter-, shard-, or
+/// pool-level); serve::EngineStats snapshots these.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t dedup_hits = 0;   ///< hits served by waiting out a peer read
+  std::uint64_t ghost_hits = 0;   ///< re-faults promoted via the ghost queue
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const double h = static_cast<double>(hits);
+    const double m = static_cast<double>(misses);
+    return h + m == 0 ? 0.0 : h / (h + m);
+  }
+};
+
+/// Anything that can report cache counters (CachedDevice reports its
+/// per-device view, ShardedPageCache the pool aggregate); QueryEngine
+/// observes either.
+class CacheStatsSource {
+ public:
+  virtual ~CacheStatsSource() = default;
+  virtual CacheCounters cache_counters() const = 0;
+};
+
+/// Per-shard eviction policy. Not thread-safe: every call happens under
+/// the owning shard's lock. Slots are dense indices [0, capacity); the
+/// shard guarantees victim() is only called when every slot is resident.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  /// `key` became resident in `slot`. Returns true when the admission was
+  /// upgraded by a ghost hit (the page was evicted recently — S3-FIFO
+  /// promotes it straight into the protected main queue).
+  virtual bool inserted(std::size_t slot, std::uint64_t key) = 0;
+
+  /// Cache hit on a resident slot.
+  virtual void touched(std::size_t slot) = 0;
+
+  /// Picks a resident slot to evict, unlinking it from the policy's
+  /// bookkeeping (the shard erases the page table entry and reuses the
+  /// slot). May rotate internal queues (S3-FIFO promotion/demotion).
+  virtual std::size_t victim() = 0;
+};
+
+/// Builds the policy state machine for one shard of `slots` slots.
+std::unique_ptr<CachePolicy> make_cache_policy(EvictionPolicy policy,
+                                               std::size_t slots,
+                                               std::uint64_t seed);
+
+/// Pages per shard-hash group. Equal to the read engine's merge bound
+/// (io::kMaxMergePages) so a merged run crosses at most one group
+/// boundary, i.e. touches at most two shards.
+inline constexpr std::uint64_t kShardGroupPages = 4;
+
+/// One cache shard: storage slots, page table, in-flight dedup registry,
+/// eviction policy, and counters, all guarded by one shard-local mutex.
+/// Exposed (rather than buried in ShardedPageCache) so the policy unit
+/// tests can drive a single shard deterministically.
+class CacheShard {
+ public:
+  CacheShard(std::uint32_t index, std::size_t capacity_pages,
+             EvictionPolicy policy, std::uint64_t seed);
+
+  // Non-copyable: the mutex/cv and slot storage pin the identity.
+  CacheShard(const CacheShard&) = delete;
+  CacheShard& operator=(const CacheShard&) = delete;
+
+  /// All-or-nothing lookup of `num_pages` consecutive keys under one lock
+  /// acquisition; counts num_pages hits or num_pages misses.
+  bool lookup_run(std::uint64_t first_key, std::uint32_t num_pages,
+                  std::byte* out);
+
+  /// Full miss-dedup protocol for a run living entirely in this shard
+  /// (one lock acquisition; exact pre-pool CachedDevice semantics):
+  ///   kHit      -> copied + counted as hits (+dedup when deferred_retry)
+  ///   kDeferred -> every missing page in flight elsewhere; nothing counted
+  ///   kOwned    -> counted as misses, pages marked in flight
+  RunState start_run(std::uint64_t first_key, std::uint32_t num_pages,
+                     std::byte* out, bool deferred_retry);
+
+  // --- Split protocol for runs spanning two shards: the pool peeks every
+  // --- segment first, then counts/claims once the combined outcome is
+  // --- known, so run-level all-or-nothing accounting survives sharding.
+
+  /// Non-counting probe: copies (and policy-touches) when every page is
+  /// resident (kHit), reports kDeferred when every missing page is in
+  /// flight, else kClaimable.
+  enum class Probe { kHit, kDeferred, kClaimable };
+  Probe peek_run(std::uint64_t first_key, std::uint32_t num_pages,
+                 std::byte* out);
+
+  /// Counters only: num_pages hits (+num_pages dedup hits when `dedup`).
+  void count_hits(std::uint32_t num_pages, bool dedup);
+
+  /// Counters only: num_pages misses (non-claiming lookup paths).
+  void count_misses(std::uint32_t num_pages);
+
+  /// Marks num_pages keys in flight and counts them as misses.
+  void claim_run(std::uint64_t first_key, std::uint32_t num_pages);
+
+  /// Releases in-flight marks and wakes sync waiters.
+  void end_run(std::uint64_t first_key, std::uint32_t num_pages);
+
+  /// Inserts one page, evicting per policy when full. Returns true on a
+  /// ghost hit (see CachePolicy::inserted).
+  bool fill(std::uint64_t key, const std::byte* data);
+
+  /// Blocking single-page acquisition for the sync read path: hit, hit
+  /// after waiting out a foreign in-flight read (dedup), or ownership of
+  /// the miss (caller reads the device, fill()s, end_run()s).
+  SyncAcquire acquire_page_sync(std::uint64_t key, std::byte* dst);
+
+  std::uint32_t index() const { return index_; }
+  std::size_t capacity_pages() const { return capacity_pages_; }
+
+  /// Relaxed snapshot of this shard's counters.
+  CacheCounters counters() const;
+
+  /// Resident pages right now (test/diagnostic; takes the shard lock).
+  std::size_t resident_pages() const;
+
+ private:
+  static constexpr std::size_t kNil = ~std::size_t{0};
+
+  /// Copies a fully resident run into `out` with policy touch; false if
+  /// any page is absent. No counting. Caller holds mu_.
+  bool copy_run_locked(std::uint64_t first_key, std::uint32_t num_pages,
+                       std::byte* out);
+  Probe classify_locked(std::uint64_t first_key, std::uint32_t num_pages,
+                        std::byte* out);
+  void claim_locked(std::uint64_t first_key, std::uint32_t num_pages);
+  bool fill_locked(std::uint64_t key, const std::byte* data);
+  void note_hits(std::uint32_t num_pages, bool dedup);
+  void note_misses(std::uint32_t num_pages);
+
+  const std::uint32_t index_;
+  const std::size_t capacity_pages_;
+  std::vector<std::byte> storage_;
+  std::unique_ptr<CachePolicy> policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable inflight_cv_;  ///< signaled by end_run()
+  // Guarded by mu_:
+  std::unordered_map<std::uint64_t, std::size_t> map_;  // key -> slot
+  std::unordered_map<std::uint64_t, std::uint32_t> inflight_;  // key -> refs
+  std::vector<std::uint64_t> slot_key_;                 // slot -> key
+  std::vector<std::size_t> free_slots_;
+
+  // Counters are atomic (relaxed): monitoring threads read them while
+  // sessions update under mu_, and TSan must stay clean.
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, dedup_hits_{0};
+  std::atomic<std::uint64_t> ghost_hits_{0}, evictions_{0};
+};
+
+/// Pool configuration (Config::cache_* maps onto this 1:1).
+struct PageCacheOptions {
+  std::string name = "page_cache";  ///< metrics label
+  std::size_t capacity_bytes = 0;   ///< total budget across all shards
+  EvictionPolicy policy = EvictionPolicy::kS3Fifo;
+  std::size_t shards = 0;           ///< 0 = auto (scaled to capacity)
+  std::uint64_t seed = 0xCACE;      ///< policy RNG seed (random eviction)
+};
+
+/// The pool: N shards behind one key namespace. Thread-safe — every
+/// operation resolves to one or two shard-local critical sections.
+class ShardedPageCache : public CacheStatsSource {
+ public:
+  explicit ShardedPageCache(PageCacheOptions opts);
+
+  /// Registers a device with the pool and returns its key namespace base:
+  /// callers add it to device-local page numbers to form pool keys. Pages
+  /// of different registered devices can never collide.
+  std::uint64_t register_device(const std::string& device_name);
+
+  // --- Miss-dedup protocol over pool keys (run = consecutive keys; at
+  // --- most kMaxMergePages, so at most two shards are involved).
+  RunState try_start_run(std::uint64_t first_key, std::uint32_t num_pages,
+                         std::byte* out);
+  RunState retry_deferred_run(std::uint64_t first_key,
+                              std::uint32_t num_pages, std::byte* out);
+  void end_run(std::uint64_t first_key, std::uint32_t num_pages);
+
+  /// Inserts one page; true on a ghost hit.
+  bool fill(std::uint64_t key, const std::byte* data);
+
+  /// All-or-nothing counting lookup (sync fast path, tests).
+  bool lookup_run(std::uint64_t first_key, std::uint32_t num_pages,
+                  std::byte* out);
+
+  /// Blocking single-page acquisition (sync read path).
+  SyncAcquire acquire_page_sync(std::uint64_t key, std::byte* dst);
+
+  const std::string& name() const { return opts_.name; }
+  EvictionPolicy policy() const { return opts_.policy; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t capacity_pages() const { return capacity_pages_; }
+  std::size_t capacity_bytes() const { return capacity_pages_ * kPageSize; }
+
+  CacheShard& shard(std::size_t i) { return *shards_[i]; }
+  const CacheShard& shard(std::size_t i) const { return *shards_[i]; }
+  std::uint32_t shard_of(std::uint64_t key) const;
+
+  /// Pool aggregate = sum of the shard counters.
+  CacheCounters cache_counters() const override;
+  double hit_rate() const { return cache_counters().hit_rate(); }
+
+  /// Publishes per-shard and aggregate series into the metric registry:
+  /// blaze_cache_{hits,misses,dedup_hits,ghost_hits,evictions}_total
+  /// labeled {cache=name, shard=i}, plus pool-level blaze_cache_hit_rate
+  /// and blaze_cache_shards{cache=name}. Zero hot-path cost (callbacks
+  /// read the relaxed shard atomics at sample time); idempotent; bindings
+  /// unregister when the pool dies.
+  void bind_metrics();
+
+  /// Picks the shard count for a budget when PageCacheOptions::shards == 0:
+  /// one shard per 256 cached pages (1 MiB), clamped to [1, 16] — small
+  /// caches keep exact single-shard policy behaviour, serving-scale pools
+  /// spread locks wide enough for dozens of sessions.
+  static std::size_t auto_shards(std::size_t capacity_pages);
+
+ private:
+  PageCacheOptions opts_;
+  std::size_t capacity_pages_ = 0;
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+
+  std::mutex devices_mu_;
+  std::uint64_t next_device_ = 0;  ///< guarded by devices_mu_
+
+  metrics::BindingSet metrics_bindings_;
+
+  /// Splits [first, first+n) at shard-group boundaries and invokes
+  /// fn(shard, first_key, num_pages) per segment (1 or 2 calls).
+  template <typename Fn>
+  void for_each_segment(std::uint64_t first_key, std::uint32_t num_pages,
+                        Fn&& fn);
+
+  RunState start_run(std::uint64_t first_key, std::uint32_t num_pages,
+                     std::byte* out, bool deferred_retry);
+};
+
+}  // namespace blaze::device

@@ -265,10 +265,12 @@ EngineStats QueryEngine::stats() const {
     out = stats_;
   }
   if (cache_ != nullptr) {
-    out.cache_hits = cache_->hits();
-    out.cache_misses = cache_->misses();
-    out.cache_dedup_hits = cache_->dedup_hits();
-    out.cache_hit_rate = cache_->hit_rate();
+    const device::CacheCounters c = cache_->cache_counters();
+    out.cache_hits = c.hits;
+    out.cache_misses = c.misses;
+    out.cache_dedup_hits = c.dedup_hits;
+    out.cache_ghost_hits = c.ghost_hits;
+    out.cache_hit_rate = c.hit_rate();
   }
   if (trace::enabled()) {
     out.trace_counters = trace::make_counters(trace::collect());

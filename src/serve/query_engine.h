@@ -223,6 +223,7 @@ struct EngineStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_dedup_hits = 0;
+  std::uint64_t cache_ghost_hits = 0;  ///< S3-FIFO ghost-queue promotions
   double cache_hit_rate = 0;
 
   /// Terminal queries at or past slow_query_threshold_s, oldest first
@@ -257,10 +258,14 @@ class QueryEngine {
   /// destructor if the owner did not.
   void drain();
 
-  /// Points the engine at the shared page cache its graphs read through so
-  /// stats() can report hit rates. Optional; the engine never creates the
-  /// cache (the graph/device stack is the caller's).
-  void observe_cache(const device::CachedDevice* cache) { cache_ = cache; }
+  /// Points the engine at the cache its graphs read through — a
+  /// CachedDevice (per-device view) or a ShardedPageCache (pool aggregate
+  /// across devices) — so stats() can report hit rates. Optional; the
+  /// engine never creates the cache (the graph/device stack is the
+  /// caller's).
+  void observe_cache(const device::CacheStatsSource* cache) {
+    cache_ = cache;
+  }
 
   /// Snapshot of the aggregate statistics.
   EngineStats stats() const;
@@ -336,7 +341,7 @@ class QueryEngine {
   mutable std::mutex stats_mu_;
   EngineStats stats_;
 
-  const device::CachedDevice* cache_ = nullptr;
+  const device::CacheStatsSource* cache_ = nullptr;
 
   ServeMetrics metrics_;
   /// Queue-depth/running callback gauges (they take mu_, so nothing may

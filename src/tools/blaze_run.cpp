@@ -37,6 +37,7 @@
 #include "algorithms/wcc.h"
 #include "core/runtime.h"
 #include "core/stats.h"
+#include "device/cached_device.h"
 #include "format/on_disk_graph.h"
 #include "metrics/export.h"
 #include "metrics/http_export.h"
@@ -182,6 +183,17 @@ bool write_stats_json(const std::string& path, const std::string& query,
   return blaze::metrics::write_file(path, out);
 }
 
+/// Rebuilds `g` so its adjacency reads go through a CachedDevice over the
+/// runtime's shared pool. No-op (returns a plain copy) when the pool is
+/// disabled or the graph has no device.
+blaze::format::OnDiskGraph wrap_graph_cached(
+    const blaze::format::OnDiskGraph& g, blaze::core::Runtime& rt) {
+  const auto& pool = rt.page_cache();
+  if (!pool || !g.device_ptr()) return g;
+  return {g.index(), std::make_shared<blaze::device::CachedDevice>(
+                         g.device_ptr(), pool)};
+}
+
 /// Builds the serving-mode body for one query kind; returns an empty
 /// function for kinds without a QueryContext entry point.
 blaze::serve::QueryFn make_serve_query(const std::string& query,
@@ -223,8 +235,7 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   const auto pr_iters =
       static_cast<std::uint32_t>(opt.get_int("maxIterations", 100));
 
-  serve::QueryFn body = make_serve_query(query, g, gt, source, pr_iters);
-  if (!body) {
+  if (!make_serve_query(query, g, gt, source, pr_iters)) {
     std::fprintf(stderr,
                  "-query %s has no serving mode (use bfs, pr, or kcore)\n",
                  query.c_str());
@@ -241,6 +252,13 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
     eopts.metrics_port = static_cast<int>(opt.get_int("metrics-port", 0));
   }
   serve::QueryEngine engine(cfg, eopts);
+  // Route the graphs through the shared page-cache pool when --cacheMB is
+  // set; the wrapped copies must outlive drain(), hence locals here.
+  const format::OnDiskGraph cg = wrap_graph_cached(g, engine.runtime());
+  const format::OnDiskGraph cgt = wrap_graph_cached(gt, engine.runtime());
+  serve::QueryFn body = make_serve_query(query, cg, cgt, source, pr_iters);
+  const auto& pool = engine.runtime().page_cache();
+  if (pool) engine.observe_cache(pool.get());
   if (engine.metrics_port() != 0) {
     std::fprintf(stderr, "metrics: http://localhost:%u/metrics\n",
                  engine.metrics_port());
@@ -310,6 +328,17 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
               wall > 0 ? static_cast<double>(s.completed) / wall : 0.0);
   std::printf("  %-18s p50 %.2f ms, p95 %.2f ms\n", "latency", s.p50_ms(),
               s.p95_ms());
+  if (pool) {
+    std::printf("  %-18s %.1f%% (%llu hits, %llu misses, %llu dedup, "
+                "%llu ghost) [%s x%zu]\n",
+                "cache",
+                100.0 * s.cache_hit_rate,
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_misses),
+                static_cast<unsigned long long>(s.cache_dedup_hits),
+                static_cast<unsigned long long>(s.cache_ghost_hits),
+                device::to_string(pool->policy()), pool->shard_count());
+  }
   std::printf("  %-18s %.1f MiB in %llu requests, %llu retries, "
               "%llu gave up\n",
               "aggregate io",
@@ -357,6 +386,11 @@ int main(int argc, char** argv) {
         "  -sync               use the CAS-based variant (no binning)\n"
         "  -inIndexFilename F  transpose index (wcc/bc/kcore)\n"
         "  -inAdjFilenames F   transpose adjacency (wcc/bc/kcore)\n"
+        "  --cacheMB N         shared page-cache pool budget in MiB "
+        "(0 = off, the default)\n"
+        "  --cache-policy P    pool eviction policy: s3fifo (default), "
+        "lru, random\n"
+        "  --cache-shards N    pool shard count (0 = auto from budget)\n"
         "  --clients N         serving mode: N closed-loop clients\n"
         "  --queries Q         serving mode: queries per client\n"
         "  --maxInflight N     serving mode: concurrent sessions\n"
@@ -411,6 +445,19 @@ int main(int argc, char** argv) {
   cfg.bin_count = static_cast<std::size_t>(opt.get_int("binCount", 1024));
   cfg.scatter_ratio = opt.get_double("binningRatio", 0.5);
   cfg.sync_mode = opt.get_bool("sync", false);
+
+  // Shared page-cache pool knobs (Runtime::page_cache()).
+  cfg.cache_bytes =
+      static_cast<std::size_t>(opt.get_int("cacheMB", 0)) << 20;
+  cfg.cache_shards =
+      static_cast<std::size_t>(opt.get_int("cache-shards", 0));
+  const std::string policy_name = opt.get_string("cache-policy", "s3fifo");
+  if (!device::parse_eviction_policy(policy_name, cfg.cache_policy)) {
+    std::fprintf(stderr,
+                 "unknown --cache-policy %s (use s3fifo, lru, or random)\n",
+                 policy_name.c_str());
+    return 2;
+  }
 
   // Telemetry flags. Any of them flips Config::metrics_enabled (the sticky
   // process gate); serving mode additionally always publishes.
@@ -473,6 +520,8 @@ int main(int argc, char** argv) {
   }
 
   core::Runtime rt(cfg);
+  g = wrap_graph_cached(g, rt);
+  if (needs_transpose) gt = wrap_graph_cached(gt, rt);
   core::QueryStats run_stats;
   std::uint64_t algo_bytes = 0;
   Timer t;
@@ -535,6 +584,19 @@ int main(int argc, char** argv) {
     return 2;
   }
   const double wall = t.seconds();
+
+  if (const auto& pool = rt.page_cache()) {
+    const device::CacheCounters c = pool->cache_counters();
+    std::printf("cache: %.1f%% hit rate (%llu hits, %llu misses, "
+                "%llu ghost, %llu evictions) [%s x%zu, %.0f MiB]\n",
+                100.0 * c.hit_rate(),
+                static_cast<unsigned long long>(c.hits),
+                static_cast<unsigned long long>(c.misses),
+                static_cast<unsigned long long>(c.ghost_hits),
+                static_cast<unsigned long long>(c.evictions),
+                device::to_string(pool->policy()), pool->shard_count(),
+                static_cast<double>(pool->capacity_bytes()) / (1 << 20));
+  }
 
   int rc = 0;
   if (!stats_json.empty()) {

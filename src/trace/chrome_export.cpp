@@ -42,8 +42,22 @@ void append_rec(std::string& out, const Rec& r, std::uint64_t t0_ns) {
   }
   if (r.ph == 'i') out.append(",\"s\":\"t\"");
   if (r.has_arg) {
-    n = std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg\":%" PRIu64 "}",
-                      r.arg);
+    if (r.name == Name::kCacheHit || r.name == Name::kCacheMiss) {
+      // Shard-attributed cache instants (see trace::cache_arg).
+      const std::uint64_t pages = cache_arg_pages(r.arg);
+      const std::uint32_t shard1 = cache_arg_shard_plus_1(r.arg);
+      if (shard1 != 0) {
+        n = std::snprintf(buf, sizeof(buf),
+                          ",\"args\":{\"pages\":%" PRIu64 ",\"shard\":%u}",
+                          pages, shard1 - 1);
+      } else {
+        n = std::snprintf(buf, sizeof(buf),
+                          ",\"args\":{\"pages\":%" PRIu64 "}", pages);
+      }
+    } else {
+      n = std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg\":%" PRIu64 "}",
+                        r.arg);
+    }
     out.append(buf, static_cast<std::size_t>(n));
   }
   out.push_back('}');

@@ -93,6 +93,23 @@ constexpr const char* category_of(Name n) {
   return "other";
 }
 
+/// Arg packing for kCacheHit/kCacheMiss: low 32 bits = page count, high
+/// 32 bits = shard index + 1 (0 = no shard attribution — e.g. unaligned
+/// pass-through misses recorded outside the pool). chrome_export decodes
+/// this into {"pages": N, "shard": S} args.
+constexpr std::uint64_t cache_arg(std::uint64_t pages,
+                                  std::uint32_t shard_plus_1) {
+  return (pages & 0xffffffffull) |
+         (static_cast<std::uint64_t>(shard_plus_1) << 32);
+}
+constexpr std::uint64_t cache_arg_pages(std::uint64_t arg) {
+  return arg & 0xffffffffull;
+}
+/// Returns shard index + 1; 0 means "unattributed".
+constexpr std::uint32_t cache_arg_shard_plus_1(std::uint64_t arg) {
+  return static_cast<std::uint32_t>(arg >> 32);
+}
+
 struct Event {
   std::uint64_t ts_ns = 0;   ///< Timer::now_ns() at emit (span start for
                              ///< kComplete)

@@ -629,11 +629,14 @@ TEST(IoStats, TimelineClampsPastWindowEnd) {
   std::uint64_t total = std::accumulate(tl.begin(), tl.end(), 0ull);
   EXPECT_EQ(total, stats.total_bytes());
   EXPECT_EQ(total, 600u);
-  // reset() restarts the window and zeroes the overflow count.
+  // reset() restarts the window and zeroes the overflow count. The
+  // follow-up record may itself clamp (the ~65 us window can elapse
+  // before it under sanitizer slowdown), but clamped or not the bytes
+  // land in the ring.
   stats.reset();
   EXPECT_EQ(stats.timeline_overflow(), 0u);
   stats.record_read(42, 0);
-  EXPECT_EQ(stats.timeline_overflow(), 0u);
+  EXPECT_LE(stats.timeline_overflow(), 1u);
   tl = stats.timeline_bytes();
   std::uint64_t after = std::accumulate(tl.begin(), tl.end(), 0ull);
   EXPECT_EQ(after, 42u);
