@@ -9,6 +9,8 @@
 #include "core/bins.h"
 #include "device/simulated_ssd.h"
 #include "format/graph_index.h"
+#include "format/on_disk_graph.h"
+#include "format/page_scan.h"
 #include "graph/generators.h"
 #include "util/mpmc_queue.h"
 #include "util/rng.h"
@@ -113,6 +115,55 @@ void BM_FlatOffsetLookup(benchmark::State& state) {
       static_cast<double>(sizeof(std::uint64_t));
 }
 BENCHMARK(BM_FlatOffsetLookup);
+
+// ------------------------------------------- page scan: flat vs dvarint
+
+/// Full-page scans over a power-law graph's adjacency, every source
+/// active — the scatter worker's hot loop. The bytes_per_edge counter is
+/// what the decode cost buys: fewer on-disk (and cached) bytes per edge.
+void BM_ScanPageFlat(benchmark::State& state) {
+  graph::Csr g = graph::generate_rmat(13, 16, 43);
+  auto odg = format::make_mem_graph(g);
+  std::vector<std::byte> page(kPageSize);
+  std::uint64_t p = 0;
+  for (auto _ : state) {
+    odg.device().read((p % odg.num_pages()) * kPageSize, page);
+    std::uint64_t edges = format::scan_page(
+        odg.index(), odg.page_map(), p % odg.num_pages(), page.data(),
+        [](vertex_t) { return true; },
+        [](vertex_t, vertex_t dst) { benchmark::DoNotOptimize(dst); });
+    benchmark::DoNotOptimize(edges);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(edges));
+    ++p;
+  }
+  state.counters["bytes_per_edge"] = odg.bytes_per_edge();
+}
+BENCHMARK(BM_ScanPageFlat);
+
+void BM_ScanPageDvarint(benchmark::State& state) {
+  graph::Csr g = graph::generate_rmat(13, 16, 43);
+  auto odg =
+      format::make_mem_graph(g, 1, format::AdjacencyEncoding::kDeltaVarint);
+  std::vector<std::byte> page(kPageSize);
+  std::uint64_t p = 0;
+  for (auto _ : state) {
+    odg.device().read((p % odg.num_pages()) * kPageSize, page);
+    std::uint64_t edges = format::scan_page_dvarint(
+        odg.index(), odg.page_map(), p % odg.num_pages(), page.data(),
+        [](vertex_t) { return true; },
+        [](vertex_t, vertex_t dst) {
+          benchmark::DoNotOptimize(dst);
+          return true;
+        });
+    benchmark::DoNotOptimize(edges);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(edges));
+    ++p;
+  }
+  state.counters["bytes_per_edge"] = odg.bytes_per_edge();
+}
+BENCHMARK(BM_ScanPageDvarint);
 
 // ------------------------------------------------------ device model cost
 

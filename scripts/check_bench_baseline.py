@@ -13,6 +13,7 @@ Usage:
   check_bench_baseline.py ... --fig8 fig8.csv     # also gate utilization
   check_bench_baseline.py ... --serving serving.jsonl  # serving sweep gate
   check_bench_baseline.py ... --cache cache.jsonl      # contention micro gate
+  check_bench_baseline.py ... --compression comp.jsonl # dvarint vs flat gate
   check_bench_baseline.py --update bench_micro.json   # reseed micro section
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
@@ -255,6 +256,72 @@ def check_cache(baseline, path):
     return failures
 
 
+def check_compression(baseline, path):
+    """Gates the bench_compression sweep: on the gated graph the dvarint
+    layout must hit the bytes/edge compression ratio, and its mean
+    edges/s across the swept queries must not fall below the flat
+    layout's by more than the speed floor allows (equal cache budget, so
+    compression should win or tie, not lose)."""
+    failures = []
+    section = baseline.get("compression")
+    if not section:
+        return failures
+    rows = load_jsonl(path, "compression")
+    min_ratio = float(section.get("min_ratio", 2.0))
+    min_speed = float(section.get("min_speed_ratio", 1.0))
+    gated = section.get("gated_graph", "r2")
+    by_key = {
+        (r.get("graph"), r.get("query"), r.get("format")): r for r in rows
+    }
+    graphs = sorted({r.get("graph") for r in rows})
+    gated_seen = False
+    for g in graphs:
+        queries = sorted(
+            q
+            for (gg, q, f) in by_key
+            if gg == g and f == "flat" and (g, q, "dvarint") in by_key
+        )
+        if not queries:
+            print(f"MISSING  compression {g}: no flat/dvarint row pair")
+            if g == gated:
+                failures.append(f"compression {g}: gated rows missing")
+            continue
+        flat_bpe = float(by_key[(g, queries[0], "flat")]["bytes_per_edge"])
+        dv_bpe = float(by_key[(g, queries[0], "dvarint")]["bytes_per_edge"])
+        ratio = flat_bpe / dv_bpe if dv_bpe > 0 else 0.0
+        speed_ratios = []
+        for q in queries:
+            flat_eps = float(by_key[(g, q, "flat")]["edges_per_sec"])
+            dv_eps = float(by_key[(g, q, "dvarint")]["edges_per_sec"])
+            if flat_eps > 0:
+                speed_ratios.append(dv_eps / flat_eps)
+        speed = (
+            sum(speed_ratios) / len(speed_ratios) if speed_ratios else 0.0
+        )
+        is_gated = g == gated
+        gated_seen = gated_seen or is_gated
+        ok = not is_gated or (ratio >= min_ratio and speed >= min_speed)
+        print(
+            f"{'OK' if ok else 'FAIL':7s}  compression {g}:"
+            f" {flat_bpe:.2f} -> {dv_bpe:.2f} B/edge ({ratio:.2f}x),"
+            f" mean edges/s ratio {speed:.2f}"
+            f"{' [gated]' if is_gated else ''}"
+        )
+        if is_gated and ratio < min_ratio:
+            failures.append(
+                f"compression {g}: ratio {ratio:.2f}x < {min_ratio:g}x"
+            )
+        if is_gated and speed < min_speed:
+            failures.append(
+                f"compression {g}: edges/s ratio {speed:.2f}"
+                f" < {min_speed:g}"
+            )
+    if not gated_seen:
+        print(f"MISSING  compression {gated}: gated graph absent from run")
+        failures.append(f"compression gated graph {gated} missing")
+    return failures
+
+
 def update_baseline(baseline_path, bench_json):
     baseline = load_json(baseline_path)
     micro = baseline.setdefault("micro", {})
@@ -282,6 +349,10 @@ def main():
         help="bench_cache_contention JSON-rows output to gate as well",
     )
     ap.add_argument(
+        "--compression",
+        help="bench_compression JSON-rows output to gate as well",
+    )
+    ap.add_argument(
         "--update", action="store_true",
         help="reseed the baseline's micro timings from this run",
     )
@@ -300,6 +371,8 @@ def main():
         failures += check_serving(baseline, args.serving)
     if args.cache:
         failures += check_cache(baseline, args.cache)
+    if args.compression:
+        failures += check_compression(baseline, args.compression)
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

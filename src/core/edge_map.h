@@ -166,6 +166,8 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
   // work starts.
   const bool weighted_records =
       g.index().record_bytes() == sizeof(format::WeightedEdgeRecord);
+  const bool dvarint =
+      g.index().encoding() == format::AdjacencyEncoding::kDeltaVarint;
   if (weighted_records) {
     BLAZE_CHECK(detail::WeightedScatter<Program>,
                 "weighted graph requires scatter(src, dst, weight)");
@@ -259,12 +261,27 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
         }
       }
       if constexpr (detail::UnweightedScatter<Program>) {
-        *local_edges += format::scan_page(
-            g.index(), g.page_map(), logical_page, page, active,
-            [&](vertex_t src, vertex_t dst) {
-              if (!prog.cond(dst)) return;
-              apply_update(sbuf, local_records, dst, prog.scatter(src, dst));
-            });
+        if (dvarint) {
+          // Decode fused into the scan: gaps stream straight into the
+          // program with no intermediate decompressed neighbor buffer.
+          *local_edges += format::scan_page_dvarint(
+              g.index(), g.page_map(), logical_page, page, active,
+              [&](vertex_t src, vertex_t dst) {
+                if (prog.cond(dst)) {
+                  apply_update(sbuf, local_records, dst,
+                               prog.scatter(src, dst));
+                }
+                return true;  // push mode never early-exits a list
+              });
+        } else {
+          *local_edges += format::scan_page(
+              g.index(), g.page_map(), logical_page, page, active,
+              [&](vertex_t src, vertex_t dst) {
+                if (!prog.cond(dst)) return;
+                apply_update(sbuf, local_records, dst,
+                             prog.scatter(src, dst));
+              });
+        }
       }
     }
     io_pool.release(buf_id);

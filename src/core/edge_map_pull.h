@@ -69,6 +69,8 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
 
   const format::GraphIndex& index = in_g.index();
   const format::PageVertexMap& pvmap = in_g.page_map();
+  const bool dvarint =
+      index.encoding() == format::AdjacencyEncoding::kDeltaVarint;
   qc.pool().run_on_all([&](std::size_t worker) {
     trace::ScopedQuery worker_scope(qc.trace_id());
     // Pull workers scan and gather in place (no bins): one scatter-side
@@ -100,6 +102,26 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
             kPageSize, meta.valid_bytes - std::uint64_t{j} * kPageSize);
         const std::byte* page =
             data + static_cast<std::size_t>(j) * kPageSize;
+        if (dvarint) {
+          // Fused decode: in-neighbors stream out of the varint bytes
+          // straight into the gather, and returning false from the edge
+          // callback keeps the early exit (stop scanning d's list the
+          // moment cond(d) turns false).
+          local_edges += format::scan_page_dvarint(
+              index, pvmap, logical_page, page,
+              [&](vertex_t d) {
+                return candidates.contains(d) && prog.cond(d);
+              },
+              [&](vertex_t d, vertex_t s) {
+                if (frontier.contains(s)) {
+                  const value_type val = prog.scatter(s, d);
+                  if (prog.gather_atomic(d, val) && opts.output) out.add(d);
+                }
+                return prog.cond(d);  // false: destination satisfied
+              },
+              page_valid);
+          continue;
+        }
         const auto range = pvmap.range(logical_page);
         std::uint64_t off = index.byte_offset(range.begin);
         for (vertex_t d = range.begin; d < range.end; ++d) {

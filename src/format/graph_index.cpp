@@ -2,13 +2,8 @@
 
 namespace blaze::format {
 
-GraphIndex::GraphIndex(std::span<const std::uint32_t> degrees,
-                       std::uint32_t record_bytes)
-    : degrees_(degrees.begin(), degrees.end()), record_bytes_(record_bytes) {
-  BLAZE_CHECK(record_bytes == 4 || record_bytes == 8,
-              "edge records must be 4 or 8 bytes");
-  BLAZE_CHECK(kPageSize % record_bytes == 0,
-              "records must not straddle pages");
+void GraphIndex::build_groups() {
+  group_offsets_.clear();
   group_offsets_.reserve(ceil_div(degrees_.size(), kGroupSize) + 1);
   std::uint64_t off = 0;
   for (std::size_t i = 0; i < degrees_.size(); ++i) {
@@ -17,6 +12,39 @@ GraphIndex::GraphIndex(std::span<const std::uint32_t> degrees,
   }
   if (group_offsets_.empty()) group_offsets_.push_back(0);
   num_edges_ = off;
+}
+
+GraphIndex::GraphIndex(std::span<const std::uint32_t> degrees,
+                       std::uint32_t record_bytes)
+    : degrees_(degrees.begin(), degrees.end()), record_bytes_(record_bytes) {
+  BLAZE_CHECK(record_bytes == 4 || record_bytes == 8,
+              "edge records must be 4 or 8 bytes");
+  BLAZE_CHECK(kPageSize % record_bytes == 0,
+              "records must not straddle pages");
+  build_groups();
+}
+
+GraphIndex::GraphIndex(std::span<const std::uint32_t> degrees,
+                       std::vector<std::uint32_t> enc_lengths,
+                       std::vector<PageCarry> carries)
+    : degrees_(degrees.begin(), degrees.end()),
+      encoding_(AdjacencyEncoding::kDeltaVarint),
+      enc_lengths_(std::move(enc_lengths)),
+      carries_(std::move(carries)) {
+  BLAZE_CHECK(enc_lengths_.size() == degrees_.size(),
+              "one encoded length per vertex");
+  build_groups();
+  enc_group_offsets_.reserve(ceil_div(degrees_.size(), kGroupSize) + 1);
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < enc_lengths_.size(); ++i) {
+    if (i % kGroupSize == 0) enc_group_offsets_.push_back(off);
+    off += enc_lengths_[i];
+  }
+  if (enc_group_offsets_.empty()) enc_group_offsets_.push_back(0);
+  total_enc_bytes_ = off;
+  BLAZE_CHECK(carries_.size() >=
+                  ceil_div<std::uint64_t>(total_enc_bytes_, kPageSize),
+              "one decode carry per adjacency page");
 }
 
 }  // namespace blaze::format

@@ -5,6 +5,15 @@
 // edge_offset(v) is then the group's base offset plus the sum of the
 // preceding degrees inside the group: ~4.5 bytes per vertex instead of the
 // 8 bytes a flat u64 offset array needs.
+//
+// The index also owns the adjacency *encoding* metadata. The flat encoding
+// stores fixed-size records (4-byte destination or 8-byte destination +
+// weight), so byte offsets derive from degrees. The delta+varint encoding
+// stores each sorted neighbor list as varint(first) followed by
+// varint(delta) runs; byte offsets then come from a second per-vertex
+// array of encoded lengths (grouped the same way), and a small per-page
+// carry table lets the scanner decode any page independently even when a
+// varint run straddles the page boundary (see PageCarry).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,24 @@
 
 namespace blaze::format {
 
+/// On-disk adjacency encodings understood by the page scanner.
+enum class AdjacencyEncoding : std::uint8_t {
+  kFlat = 0,        ///< fixed-size records (4 B dst or 8 B dst+weight)
+  kDeltaVarint = 1  ///< sorted, delta-encoded, varint-packed (unweighted)
+};
+
+/// Decoder resume state for a page whose first overlapping vertex began on
+/// an earlier page (delta+varint encoding only). One entry per adjacency
+/// page; meaningful only when the page's first vertex straddles in, which
+/// the scanner detects from the byte offsets. 16 bytes per page.
+struct PageCarry {
+  std::uint32_t partial_acc = 0;   ///< low bits of a varint split across the boundary
+  std::uint32_t prev = 0;          ///< last fully-decoded neighbor before this page
+  std::uint32_t edges_done = 0;    ///< neighbors of the straddling vertex already emitted
+  std::uint32_t partial_shift = 0; ///< bits of partial_acc consumed (0 = clean boundary)
+};
+static_assert(sizeof(PageCarry) == 16);
+
 /// Compact CSR index: per-vertex degree plus indirection offsets.
 class GraphIndex {
  public:
@@ -22,10 +49,18 @@ class GraphIndex {
 
   GraphIndex() = default;
 
-  /// Builds from a degree array. `record_bytes` is the on-disk size of
-  /// one edge record: 4 (bare destination) or 8 (destination + weight).
+  /// Builds a flat-encoding index from a degree array. `record_bytes` is
+  /// the on-disk size of one edge record: 4 (bare destination) or 8
+  /// (destination + weight).
   explicit GraphIndex(std::span<const std::uint32_t> degrees,
                       std::uint32_t record_bytes = sizeof(vertex_t));
+
+  /// Builds a delta+varint index: `enc_lengths[v]` is the encoded byte
+  /// length of v's list and `carries[p]` the decode carry of adjacency
+  /// page p (both produced by encode_dvarint).
+  GraphIndex(std::span<const std::uint32_t> degrees,
+             std::vector<std::uint32_t> enc_lengths,
+             std::vector<PageCarry> carries);
 
   vertex_t num_vertices() const {
     return static_cast<vertex_t>(degrees_.size());
@@ -33,6 +68,8 @@ class GraphIndex {
   std::uint64_t num_edges() const { return num_edges_; }
 
   std::uint32_t degree(vertex_t v) const { return degrees_[v]; }
+
+  AdjacencyEncoding encoding() const { return encoding_; }
 
   /// Edge-array offset (in edges, not bytes) of vertex v's adjacency list.
   std::uint64_t edge_offset(vertex_t v) const {
@@ -42,31 +79,73 @@ class GraphIndex {
     return off;
   }
 
-  /// Bytes of one on-disk edge record.
+  /// Bytes of one on-disk edge record (flat encoding; 4 for dvarint, whose
+  /// records are variable-length — use byte_length()).
   std::uint32_t record_bytes() const { return record_bytes_; }
 
-  /// Byte offset of v's list in the adjacency region.
+  /// Byte offset of v's list in the adjacency region. For the dvarint
+  /// encoding these are *encoded*-byte offsets.
   std::uint64_t byte_offset(vertex_t v) const {
+    if (encoding_ == AdjacencyEncoding::kDeltaVarint) {
+      std::uint64_t off = enc_group_offsets_[v / kGroupSize];
+      std::size_t base = (v / kGroupSize) * kGroupSize;
+      for (std::size_t i = base; i < v; ++i) off += enc_lengths_[i];
+      return off;
+    }
     return edge_offset(v) * record_bytes_;
   }
   std::uint64_t byte_end(vertex_t v) const {
-    return byte_offset(v) + static_cast<std::uint64_t>(degrees_[v]) *
-                                record_bytes_;
+    return byte_offset(v) + byte_length(v);
+  }
+  /// On-disk bytes of v's adjacency list under this index's encoding.
+  std::uint64_t byte_length(vertex_t v) const {
+    if (encoding_ == AdjacencyEncoding::kDeltaVarint) return enc_lengths_[v];
+    return static_cast<std::uint64_t>(degrees_[v]) * record_bytes_;
+  }
+
+  /// Total on-disk adjacency bytes before page padding.
+  std::uint64_t total_adjacency_bytes() const {
+    if (encoding_ == AdjacencyEncoding::kDeltaVarint) return total_enc_bytes_;
+    return num_edges_ * record_bytes_;
+  }
+
+  /// Encoded byte length of v's list (dvarint only).
+  std::uint32_t encoded_length(vertex_t v) const { return enc_lengths_[v]; }
+
+  /// Decode carry of adjacency page `page` (dvarint only).
+  const PageCarry& page_carry(std::uint64_t page) const {
+    return carries_[page];
+  }
+  std::span<const PageCarry> carries() const { return carries_; }
+  std::span<const std::uint32_t> encoded_lengths() const {
+    return enc_lengths_;
   }
 
   /// Bytes of DRAM this index occupies (reported by the memory figure).
   std::uint64_t memory_bytes() const {
     return degrees_.size() * sizeof(std::uint32_t) +
-           group_offsets_.size() * sizeof(std::uint64_t);
+           group_offsets_.size() * sizeof(std::uint64_t) +
+           enc_lengths_.size() * sizeof(std::uint32_t) +
+           enc_group_offsets_.size() * sizeof(std::uint64_t) +
+           carries_.size() * sizeof(PageCarry);
   }
 
   std::span<const std::uint32_t> degrees() const { return degrees_; }
 
  private:
+  void build_groups();
+
   std::vector<std::uint32_t> degrees_;
   std::vector<std::uint64_t> group_offsets_;  // one per kGroupSize vertices
   std::uint64_t num_edges_ = 0;
   std::uint32_t record_bytes_ = sizeof(vertex_t);
+  AdjacencyEncoding encoding_ = AdjacencyEncoding::kFlat;
+
+  // Delta+varint metadata (empty for flat encoding).
+  std::vector<std::uint32_t> enc_lengths_;      // encoded bytes per vertex
+  std::vector<std::uint64_t> enc_group_offsets_;
+  std::vector<PageCarry> carries_;              // one per adjacency page
+  std::uint64_t total_enc_bytes_ = 0;
 };
 
 }  // namespace blaze::format

@@ -6,6 +6,7 @@
 
 #include "device/file_device.h"
 #include "device/mem_device.h"
+#include "format/dvarint.h"
 
 namespace blaze::format {
 
@@ -14,6 +15,7 @@ namespace {
 constexpr std::uint32_t kIndexMagic = 0x425A4749;  // "BZGI"
 constexpr std::uint32_t kIndexVersionUnweighted = 1;
 constexpr std::uint32_t kIndexVersionWeighted = 2;
+constexpr std::uint32_t kIndexVersionDvarint = 3;
 
 std::vector<std::uint32_t> degrees_of(const graph::Csr& g) {
   std::vector<std::uint32_t> degrees(g.num_vertices());
@@ -63,7 +65,8 @@ OnDiskGraph build_on_devices(GraphIndex index, std::vector<std::byte> adj,
 
 void write_index_file(const std::string& path,
                       std::span<const std::uint32_t> degrees,
-                      std::uint64_t num_edges, std::uint32_t version) {
+                      std::uint64_t num_edges, std::uint32_t version,
+                      const GraphIndex* dvarint_index = nullptr) {
   std::ofstream idx(path, std::ios::binary);
   if (!idx) throw std::runtime_error("cannot write " + path);
   std::uint32_t magic = kIndexMagic;
@@ -75,6 +78,21 @@ void write_index_file(const std::string& path,
   idx.write(reinterpret_cast<const char*>(degrees.data()),
             static_cast<std::streamsize>(degrees.size() *
                                          sizeof(std::uint32_t)));
+  if (version == kIndexVersionDvarint) {
+    // v3 extension: per-vertex encoded lengths, then the per-page decode
+    // carry table (count-prefixed).
+    const auto lengths = dvarint_index->encoded_lengths();
+    const auto carries = dvarint_index->carries();
+    const std::uint64_t num_carries = carries.size();
+    idx.write(reinterpret_cast<const char*>(lengths.data()),
+              static_cast<std::streamsize>(lengths.size() *
+                                           sizeof(std::uint32_t)));
+    idx.write(reinterpret_cast<const char*>(&num_carries),
+              sizeof(num_carries));
+    idx.write(reinterpret_cast<const char*>(carries.data()),
+              static_cast<std::streamsize>(carries.size() *
+                                           sizeof(PageCarry)));
+  }
   if (!idx) throw std::runtime_error("short write on index file");
 }
 
@@ -112,18 +130,68 @@ std::vector<std::byte> serialize_adjacency(const graph::WeightedCsr& g) {
   return out;
 }
 
+namespace {
+
+/// Index + padded adjacency bytes for the requested encoding.
+std::pair<GraphIndex, std::vector<std::byte>> build_layout(
+    const graph::Csr& g, AdjacencyEncoding encoding) {
+  if (encoding == AdjacencyEncoding::kDeltaVarint) {
+    DvarintAdjacency enc = encode_dvarint(g);
+    std::vector<std::byte> bytes = std::move(enc.bytes);
+    return {make_dvarint_index(g, enc), std::move(bytes)};
+  }
+  return {GraphIndex(degrees_of(g)), serialize_adjacency(g)};
+}
+
+}  // namespace
+
 OnDiskGraph make_simulated_graph(const graph::Csr& g,
                                  const device::SsdProfile& profile,
                                  std::size_t num_devices,
-                                 std::uint64_t timeline_bucket_ns) {
+                                 std::uint64_t timeline_bucket_ns,
+                                 AdjacencyEncoding encoding) {
+  auto [index, adj] = build_layout(g, encoding);
   return build_on_devices<device::SimulatedSsd>(
-      GraphIndex(degrees_of(g)), serialize_adjacency(g), num_devices,
-      profile, timeline_bucket_ns);
+      std::move(index), std::move(adj), num_devices, profile,
+      timeline_bucket_ns);
 }
 
-OnDiskGraph make_mem_graph(const graph::Csr& g, std::size_t num_devices) {
-  return build_on_devices<device::MemDevice>(
-      GraphIndex(degrees_of(g)), serialize_adjacency(g), num_devices);
+OnDiskGraph make_mem_graph(const graph::Csr& g, std::size_t num_devices,
+                           AdjacencyEncoding encoding) {
+  auto [index, adj] = build_layout(g, encoding);
+  return build_on_devices<device::MemDevice>(std::move(index),
+                                             std::move(adj), num_devices);
+}
+
+graph::Csr decode_to_csr(const OnDiskGraph& g) {
+  const GraphIndex& index = g.index();
+  BLAZE_CHECK(index.record_bytes() == sizeof(vertex_t),
+              "decode_to_csr supports unweighted graphs only");
+  const std::uint64_t total = index.total_adjacency_bytes();
+  std::vector<std::byte> adj(round_up<std::uint64_t>(
+      std::max<std::uint64_t>(total, 1), kPageSize));
+  for (std::uint64_t off = 0; off < adj.size(); off += kPageSize) {
+    g.device().read(off, std::span<std::byte>(adj.data() + off, kPageSize));
+  }
+
+  const vertex_t n = index.num_vertices();
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<vertex_t> neighbors;
+  neighbors.reserve(index.num_edges());
+  for (vertex_t v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + index.degree(v);
+    if (index.degree(v) == 0) continue;
+    const std::byte* data = adj.data() + index.byte_offset(v);
+    if (index.encoding() == AdjacencyEncoding::kDeltaVarint) {
+      auto list = decode_dvarint_list(data, index.encoded_length(v),
+                                      index.degree(v));
+      neighbors.insert(neighbors.end(), list.begin(), list.end());
+    } else {
+      const auto* dsts = reinterpret_cast<const vertex_t*>(data);
+      neighbors.insert(neighbors.end(), dsts, dsts + index.degree(v));
+    }
+  }
+  return graph::Csr(std::move(offsets), std::move(neighbors));
 }
 
 OnDiskGraph make_simulated_graph(const graph::WeightedCsr& g,
@@ -142,8 +210,16 @@ OnDiskGraph make_mem_graph(const graph::WeightedCsr& g,
       serialize_adjacency(g), num_devices);
 }
 
-void write_graph_files(const graph::Csr& g, const std::string& prefix) {
+void write_graph_files(const graph::Csr& g, const std::string& prefix,
+                       AdjacencyEncoding encoding) {
   auto degrees = degrees_of(g);
+  if (encoding == AdjacencyEncoding::kDeltaVarint) {
+    auto [index, adj] = build_layout(g, encoding);
+    write_index_file(prefix + ".gr.index", degrees, g.num_edges(),
+                     kIndexVersionDvarint, &index);
+    write_bytes_file(prefix + ".gr.adj.0", adj);
+    return;
+  }
   write_index_file(prefix + ".gr.index", degrees, g.num_edges(),
                    kIndexVersionUnweighted);
   write_bytes_file(prefix + ".gr.adj.0", serialize_adjacency(g));
@@ -169,7 +245,8 @@ OnDiskGraph load_graph_files(const std::string& index_path,
   idx.read(reinterpret_cast<char*>(&e), sizeof(e));
   if (!idx || magic != kIndexMagic ||
       (version != kIndexVersionUnweighted &&
-       version != kIndexVersionWeighted)) {
+       version != kIndexVersionWeighted &&
+       version != kIndexVersionDvarint)) {
     throw std::runtime_error("bad index file header: " + index_path);
   }
   std::vector<std::uint32_t> degrees(v);
@@ -177,6 +254,33 @@ OnDiskGraph load_graph_files(const std::string& index_path,
            static_cast<std::streamsize>(degrees.size() *
                                         sizeof(std::uint32_t)));
   if (!idx) throw std::runtime_error("truncated index file: " + index_path);
+
+  if (version == kIndexVersionDvarint) {
+    std::vector<std::uint32_t> enc_lengths(v);
+    idx.read(reinterpret_cast<char*>(enc_lengths.data()),
+             static_cast<std::streamsize>(enc_lengths.size() *
+                                          sizeof(std::uint32_t)));
+    std::uint64_t num_carries = 0;
+    idx.read(reinterpret_cast<char*>(&num_carries), sizeof(num_carries));
+    if (!idx || num_carries > (std::uint64_t{1} << 40)) {
+      throw std::runtime_error("truncated index file: " + index_path);
+    }
+    std::vector<PageCarry> carries(num_carries);
+    idx.read(reinterpret_cast<char*>(carries.data()),
+             static_cast<std::streamsize>(carries.size() *
+                                          sizeof(PageCarry)));
+    if (!idx) throw std::runtime_error("truncated index file: " + index_path);
+    GraphIndex index(degrees, std::move(enc_lengths), std::move(carries));
+    if (index.num_edges() != e) {
+      throw std::runtime_error("index degree sum mismatch: " + index_path);
+    }
+    auto dev = std::make_shared<device::FileDevice>(adj_path);
+    if (dev->size() <
+        round_up<std::uint64_t>(index.total_adjacency_bytes(), kPageSize)) {
+      throw std::runtime_error("adjacency file too small: " + adj_path);
+    }
+    return OnDiskGraph(std::move(index), std::move(dev));
+  }
 
   const std::uint32_t record_bytes =
       version == kIndexVersionWeighted ? sizeof(WeightedEdgeRecord)

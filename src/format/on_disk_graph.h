@@ -50,13 +50,23 @@ class OnDiskGraph {
   /// surfaces as io::IoError{kCorruption} instead of silently corrupt
   /// results. The verifier receives *device-local* page indices, so it is
   /// only meaningful for single-device graphs (the chaos tests' shape);
-  /// striped graphs need per-stripe checksums and leave this unset.
-  void set_page_verifier(io::PageVerifier v) { verifier_ = std::move(v); }
+  /// setting it on a RAID-0 striped graph fails fast instead of silently
+  /// verifying nothing (striped graphs need per-stripe checksums).
+  void set_page_verifier(io::PageVerifier v) {
+    BLAZE_CHECK(dynamic_cast<device::Raid0Device*>(dev_.get()) == nullptr,
+                "page verifier on a striped graph would silently verify "
+                "the wrong pages; use per-stripe checksums instead");
+    verifier_ = std::move(v);
+  }
   const io::PageVerifier& page_verifier() const { return verifier_; }
 
-  /// First and last page of vertex v's adjacency bytes. Only meaningful for
-  /// degree > 0.
+  /// First and last page of vertex v's adjacency bytes. Defined only for
+  /// degree > 0 — a zero-degree vertex occupies no bytes, and its
+  /// neighbor's byte offset would alias a page (underflowing to page
+  /// 2^52-1 at byte offset 0), so callers must filter first.
   std::pair<std::uint64_t, std::uint64_t> page_range(vertex_t v) const {
+    BLAZE_CHECK(index_.degree(v) != 0,
+                "page_range is undefined for a degree-0 vertex");
     std::uint64_t b = index_.byte_offset(v);
     std::uint64_t e = index_.byte_end(v);
     return {b / kPageSize, (e - 1) / kPageSize};
@@ -68,10 +78,20 @@ class OnDiskGraph {
   }
 
   /// Total on-disk bytes of the graph (index + adjacency), the denominator
-  /// in the memory-footprint figure.
+  /// in the memory-footprint figure. Encoding-aware: compressed adjacency
+  /// reports its encoded size.
   std::uint64_t input_bytes() const {
     return index_.num_vertices() * sizeof(std::uint32_t) +
-           num_edges() * sizeof(vertex_t);
+           index_.total_adjacency_bytes();
+  }
+
+  /// On-disk adjacency bytes per edge (4.0 for flat unweighted, 8.0 for
+  /// weighted, typically ~1.5-2 for dvarint on power-law graphs).
+  double bytes_per_edge() const {
+    return num_edges() == 0
+               ? 0.0
+               : static_cast<double>(index_.total_adjacency_bytes()) /
+                     static_cast<double>(num_edges());
   }
 
  private:
@@ -98,15 +118,25 @@ std::vector<std::byte> serialize_adjacency(const graph::Csr& g);
 std::vector<std::byte> serialize_adjacency(const graph::WeightedCsr& g);
 
 /// Builds an OnDiskGraph on `num_devices` SimulatedSsds with the given
-/// profile (RAID-0 striped when num_devices > 1).
-OnDiskGraph make_simulated_graph(const graph::Csr& g,
-                                 const device::SsdProfile& profile,
-                                 std::size_t num_devices = 1,
-                                 std::uint64_t timeline_bucket_ns = 0);
+/// profile (RAID-0 striped when num_devices > 1). `encoding` selects the
+/// flat or delta+varint adjacency layout (striping is page-interleaved in
+/// both, so device balance is identical).
+OnDiskGraph make_simulated_graph(
+    const graph::Csr& g, const device::SsdProfile& profile,
+    std::size_t num_devices = 1, std::uint64_t timeline_bucket_ns = 0,
+    AdjacencyEncoding encoding = AdjacencyEncoding::kFlat);
 
 /// Builds an OnDiskGraph backed by plain memory devices (no timing model);
 /// tests use this for fast correctness runs.
-OnDiskGraph make_mem_graph(const graph::Csr& g, std::size_t num_devices = 1);
+OnDiskGraph make_mem_graph(
+    const graph::Csr& g, std::size_t num_devices = 1,
+    AdjacencyEncoding encoding = AdjacencyEncoding::kFlat);
+
+/// Reads the full adjacency region back off the device and decodes it to
+/// an in-memory CSR (flat or dvarint, unweighted only). dvarint lists come
+/// back sorted — the encoding sorts each list. Tools use this to transcode
+/// between formats; tests use it as the round-trip oracle.
+graph::Csr decode_to_csr(const OnDiskGraph& g);
 
 /// Weighted variants (8-byte interleaved records).
 OnDiskGraph make_simulated_graph(const graph::WeightedCsr& g,
@@ -117,8 +147,11 @@ OnDiskGraph make_mem_graph(const graph::WeightedCsr& g,
                            std::size_t num_devices = 1);
 
 /// Writes `<prefix>.gr.index` and `<prefix>.gr.adj.0` (the artifact's file
-/// layout). Throws std::runtime_error on IO failure.
-void write_graph_files(const graph::Csr& g, const std::string& prefix);
+/// layout). Throws std::runtime_error on IO failure. The dvarint encoding
+/// writes a version-3 index carrying the per-vertex encoded lengths and
+/// per-page decode carries alongside the degrees.
+void write_graph_files(const graph::Csr& g, const std::string& prefix,
+                       AdjacencyEncoding encoding = AdjacencyEncoding::kFlat);
 
 /// Weighted file layout: same index plus interleaved-record adjacency; the
 /// index header records the 8-byte record size.

@@ -47,6 +47,65 @@ std::uint64_t scan_page(const GraphIndex& index, const PageVertexMap& pvmap,
   return visited;
 }
 
+/// Delta+varint variant with the decode fused into the scan: streams one
+/// page's varint bytes straight into `edge_fn(src, dst)` with no
+/// intermediate decompressed buffer. A list that straddles into this page
+/// resumes from the page's PageCarry (GraphIndex::page_carry), so pages
+/// decode independently in any order. `edge_fn` returns false to stop
+/// scanning the current vertex's list (the pull path's early exit);
+/// `page_valid` clamps a tail-truncated final page (pull demand reads).
+/// Returns the number of edges decoded.
+template <typename Pred, typename EdgeFn>
+std::uint64_t scan_page_dvarint(const GraphIndex& index,
+                                const PageVertexMap& pvmap,
+                                std::uint64_t logical_page,
+                                const std::byte* page, Pred&& is_active,
+                                EdgeFn&& edge_fn,
+                                std::uint64_t page_valid = kPageSize) {
+  const std::uint64_t page_base = logical_page * kPageSize;
+  const auto range = pvmap.range(logical_page);
+  std::uint64_t off = index.byte_offset(range.begin);
+  std::uint64_t visited = 0;
+  for (vertex_t v = range.begin; v < range.end; ++v) {
+    const std::uint64_t len = index.encoded_length(v);
+    const std::uint64_t vb = off;
+    off += len;
+    const std::uint32_t deg = index.degree(v);
+    if (len == 0 || deg == 0 || !is_active(v)) continue;
+    const std::uint64_t ob = std::max(vb, page_base);
+    const std::uint64_t oe = std::min(vb + len, page_base + page_valid);
+    if (ob >= oe) continue;
+    const std::byte* p = page + (ob - page_base);
+    const std::byte* pe = page + (oe - page_base);
+    std::uint32_t acc = 0, shift = 0, prev = 0, done = 0;
+    if (vb < page_base) {
+      // List started on an earlier page: resume from the boundary
+      // snapshot, including the low bits of a split varint.
+      const PageCarry& c = index.page_carry(logical_page);
+      acc = c.partial_acc;
+      shift = c.partial_shift;
+      prev = c.prev;
+      done = c.edges_done;
+    }
+    while (p < pe && done < deg) {
+      const auto b = static_cast<std::uint32_t>(*p++);
+      acc |= (b & 0x7fu) << shift;
+      shift += 7;
+      if (b & 0x80u) continue;
+      // First neighbor is absolute, the rest are gaps off the running
+      // value (sorted lists; duplicates encode as gap 0).
+      const vertex_t dst = (done == 0) ? acc : prev + acc;
+      prev = dst;
+      acc = 0;
+      shift = 0;
+      ++done;
+      ++visited;
+      if (!edge_fn(v, dst)) break;
+    }
+  }
+  return visited;
+}
+
 /// Weighted-record variant: visits edge_fn(src, dst, weight) over pages of
 /// interleaved WeightedEdgeRecords (8 bytes per edge; never page-split).
 template <typename Pred, typename EdgeFn>

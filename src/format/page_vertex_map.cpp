@@ -3,8 +3,9 @@
 namespace blaze::format {
 
 PageVertexMap::PageVertexMap(const GraphIndex& index) {
-  const std::uint64_t total_bytes =
-      index.num_edges() * index.record_bytes();
+  // byte_length() abstracts the encoding: degree * record size for flat
+  // adjacency, the encoded varint length for dvarint.
+  const std::uint64_t total_bytes = index.total_adjacency_bytes();
   const std::uint64_t pages = ceil_div<std::uint64_t>(total_bytes, kPageSize);
   ranges_.assign(pages, Range{});
   if (pages == 0) return;
@@ -12,11 +13,10 @@ PageVertexMap::PageVertexMap(const GraphIndex& index) {
   // Sweep vertices in order; each non-empty vertex covers a contiguous byte
   // range and therefore a contiguous page range.
   vertex_t n = index.num_vertices();
-  std::uint64_t off = 0;  // running byte offset (avoids edge_offset() calls)
+  std::uint64_t off = 0;  // running byte offset (avoids byte_offset() calls)
   std::vector<bool> begin_set(pages, false);
   for (vertex_t v = 0; v < n; ++v) {
-    std::uint64_t len =
-        static_cast<std::uint64_t>(index.degree(v)) * index.record_bytes();
+    std::uint64_t len = index.byte_length(v);
     if (len != 0) {
       std::uint64_t first = off / kPageSize;
       std::uint64_t last = (off + len - 1) / kPageSize;

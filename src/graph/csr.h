@@ -26,6 +26,17 @@ class Csr {
       : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
     BLAZE_CHECK(!offsets_.empty(), "CSR offsets empty");
     BLAZE_CHECK(offsets_.front() == 0, "CSR offsets must start at 0");
+    // degree() (and every consumer downstream: GraphIndex, scan_page)
+    // carries per-vertex degrees as u32; a vertex whose offset span
+    // exceeds 32 bits would silently scan a truncated list. Fail loudly
+    // here instead. Checked before the total-size consistency check so
+    // an oversized vertex is reported as such.
+    for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+      BLAZE_CHECK(offsets_[v + 1] >= offsets_[v],
+                  "CSR offsets must be non-decreasing");
+      BLAZE_CHECK(offsets_[v + 1] - offsets_[v] <= 0xFFFFFFFFull,
+                  "vertex degree exceeds 32 bits; degree() would truncate");
+    }
     BLAZE_CHECK(offsets_.back() == neighbors_.size(),
                 "CSR offsets/neighbors mismatch");
   }

@@ -15,9 +15,11 @@
 //   blaze-gen -dataset r3 [-shift 2] out_prefix
 //   blaze-gen -input edges.txt out_prefix        # SNAP text edge list
 //   ... -weighted                                # store random weights
+//   ... -format flat|dvarint                     # adjacency encoding
 #include <cstdio>
 #include <string>
 
+#include "format/dvarint.h"
 #include "format/on_disk_graph.h"
 #include "graph/generators.h"
 #include "graph/stats.h"
@@ -36,6 +38,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string prefix = opt.positional()[0];
+
+  const std::string format_name = opt.get_string("format", "flat");
+  format::AdjacencyEncoding encoding = format::AdjacencyEncoding::kFlat;
+  if (format_name == "dvarint") {
+    encoding = format::AdjacencyEncoding::kDeltaVarint;
+  } else if (format_name != "flat") {
+    std::fprintf(stderr, "unknown -format %s (want flat|dvarint)\n",
+                 format_name.c_str());
+    return 2;
+  }
+  if (encoding == format::AdjacencyEncoding::kDeltaVarint &&
+      opt.get_bool("weighted", false)) {
+    std::fprintf(stderr,
+                 "-format dvarint does not support weighted graphs (the "
+                 "8-byte interleaved records stay flat)\n");
+    return 2;
+  }
 
   graph::Csr csr;
   if (opt.has("input")) {
@@ -114,17 +133,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(wst.num_edges));
     return 0;
   }
-  format::write_graph_files(csr, prefix);
+  format::write_graph_files(csr, prefix, encoding);
   // Transpose files use the artifact's .tgr naming.
-  format::write_graph_files(transpose, prefix + ".t");
+  format::write_graph_files(transpose, prefix + ".t", encoding);
   std::rename((prefix + ".t.gr.index").c_str(),
               (prefix + ".tgr.index").c_str());
   std::rename((prefix + ".t.gr.adj.0").c_str(),
               (prefix + ".tgr.adj.0").c_str());
 
   auto st = graph::compute_stats(csr, 2);
-  std::printf("wrote %s.gr.{index,adj.0} and %s.tgr.{index,adj.0}\n",
-              prefix.c_str(), prefix.c_str());
+  std::printf("wrote %s.gr.{index,adj.0} and %s.tgr.{index,adj.0} (%s)\n",
+              prefix.c_str(), prefix.c_str(), format_name.c_str());
+  if (encoding == format::AdjacencyEncoding::kDeltaVarint) {
+    auto enc = format::encode_dvarint(csr);
+    std::printf("dvarint: %.2f bytes/edge (flat: 4.00)\n",
+                csr.num_edges() == 0
+                    ? 0.0
+                    : static_cast<double>(enc.encoded_bytes) /
+                          static_cast<double>(csr.num_edges()));
+  }
   std::printf("|V|=%u |E|=%llu max_deg=%u gini=%.3f diameter>=%u\n",
               st.num_vertices,
               static_cast<unsigned long long>(st.num_edges),

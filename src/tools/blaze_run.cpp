@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -386,6 +387,8 @@ int main(int argc, char** argv) {
         "  -sync               use the CAS-based variant (no binning)\n"
         "  -inIndexFilename F  transpose index (wcc/bc/kcore)\n"
         "  -inAdjFilenames F   transpose adjacency (wcc/bc/kcore)\n"
+        "  --format F          run with adjacency encoding flat|dvarint; "
+        "a graph stored in the other format is transcoded in memory\n"
         "  --cacheMB N         shared page-cache pool budget in MiB "
         "(0 = off, the default)\n"
         "  --cache-policy P    pool eviction policy: s3fifo (default), "
@@ -418,6 +421,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --format: force an adjacency encoding, transcoding the loaded graph in
+  // memory when it was stored in the other one. Weighted files stay flat
+  // (their 8-byte records are never varint-packed).
+  std::optional<format::AdjacencyEncoding> want_encoding;
+  if (opt.has("format")) {
+    const std::string format_name = opt.get_string("format", "flat");
+    if (format_name == "flat") {
+      want_encoding = format::AdjacencyEncoding::kFlat;
+    } else if (format_name == "dvarint") {
+      want_encoding = format::AdjacencyEncoding::kDeltaVarint;
+    } else {
+      std::fprintf(stderr, "unknown --format %s (want flat|dvarint)\n",
+                   format_name.c_str());
+      return 2;
+    }
+    if (g.index().record_bytes() == 8 &&
+        *want_encoding == format::AdjacencyEncoding::kDeltaVarint) {
+      std::fprintf(stderr,
+                   "--format dvarint does not apply to weighted graphs\n");
+      return 2;
+    }
+  }
+  auto transcode = [&](format::OnDiskGraph& graph, const char* label) {
+    if (!want_encoding || graph.index().encoding() == *want_encoding) return;
+    graph = format::make_mem_graph(format::decode_to_csr(graph), 1,
+                                   *want_encoding);
+    std::fprintf(stderr, "transcoded %s to %s\n", label,
+                 *want_encoding == format::AdjacencyEncoding::kDeltaVarint
+                     ? "dvarint"
+                     : "flat");
+  };
+  transcode(g, "graph");
+
   format::OnDiskGraph gt;
   const bool needs_transpose =
       query == "wcc" || query == "bc" || query == "kcore";
@@ -435,6 +471,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error loading transpose: %s\n", e.what());
       return 1;
     }
+    transcode(gt, "transpose");
+  }
+  if (g.index().encoding() == format::AdjacencyEncoding::kDeltaVarint) {
+    std::printf("format: dvarint (%.2f bytes/edge)\n", g.bytes_per_edge());
   }
 
   core::Config cfg;

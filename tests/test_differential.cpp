@@ -259,5 +259,58 @@ TEST_P(DifferentialTest, AlgorithmSuiteMatchesInMemoryOracles) {
   }
 }
 
+// Compressed-format differential: BFS, PageRank, and k-core run on the
+// delta+varint layout and on the flat layout of the same random graph;
+// both must match the in-memory oracle. BFS additionally runs
+// direction-optimized with a zero density threshold so every round pulls
+// through the fused dvarint decoder (the early-exit path).
+TEST_P(DifferentialTest, DvarintMatchesFlatAndOracle) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 4241 + 71);
+  graph::Csr g = random_graph(rng);
+  graph::Csr gt = graph::transpose(g);
+  const vertex_t source =
+      static_cast<vertex_t>(rng.next_below(g.num_vertices()));
+
+  auto want_visited = visited_of(baseline::inmem::bfs_parent(g, source));
+  auto want_core_oracle = baseline::inmem::coreness(g, gt);
+  algorithms::PageRankOptions pr_opts;
+  pr_opts.epsilon = 1e-3;
+  pr_opts.max_iterations = 30;
+  auto want_pr = baseline::inmem::pagerank_delta(
+      g, pr_opts.damping, pr_opts.epsilon, pr_opts.max_iterations);
+
+  for (auto encoding : {format::AdjacencyEncoding::kFlat,
+                        format::AdjacencyEncoding::kDeltaVarint}) {
+    const char* mode =
+        encoding == format::AdjacencyEncoding::kFlat ? "flat" : "dvarint";
+    // Stripe across 2 devices: page-interleaved striping must stay
+    // decode-transparent.
+    auto out_g = format::make_mem_graph(g, 2, encoding);
+    auto in_g = format::make_mem_graph(gt, 2, encoding);
+    core::Runtime rt(testutil::test_config(3, 32));
+
+    EXPECT_EQ(visited_of(algorithms::bfs(rt, out_g, source).parent),
+              want_visited)
+        << mode;
+
+    // threshold |E|/(|E|+1) == 0: every non-empty frontier pulls.
+    auto hybrid = algorithms::bfs_hybrid(rt, out_g, in_g, source,
+                                         g.num_edges() + 1);
+    EXPECT_EQ(visited_of(hybrid.parent), want_visited) << mode << "-hybrid";
+    EXPECT_GT(hybrid.pull_iterations, 0u) << mode << "-hybrid";
+
+    EXPECT_EQ(algorithms::kcore(rt, out_g, in_g).coreness, want_core_oracle)
+        << mode;
+
+    auto rank = algorithms::pagerank(rt, out_g, pr_opts).rank;
+    double err = 0, norm = 1e-12;
+    for (std::size_t v = 0; v < want_pr.size(); ++v) {
+      err += std::fabs(rank[v] - want_pr[v]);
+      norm += std::fabs(want_pr[v]);
+    }
+    EXPECT_LT(err / norm, 1e-3) << mode;
+  }
+}
+
 }  // namespace
 }  // namespace blaze

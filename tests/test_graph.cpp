@@ -60,6 +60,22 @@ TEST(Csr, RejectsOutOfRangeEdges) {
   EXPECT_DEATH(build_csr(3, edges), "out of range");
 }
 
+TEST(Csr, RejectsDegreeWiderThan32Bits) {
+  // degree() returns u32; a vertex whose offset span exceeds 2^32 - 1 used
+  // to truncate silently and scan a fraction of its list. The constructor
+  // must refuse the offsets up front (no 16 GiB neighbor array needed: the
+  // per-vertex width check fires before the total-size consistency check).
+  std::vector<std::uint64_t> offsets = {0, 5'000'000'000ull};
+  EXPECT_DEATH(Csr(std::move(offsets), {}), "truncate");
+}
+
+TEST(Csr, RejectsDecreasingOffsets) {
+  std::vector<std::uint64_t> offsets = {0, 4, 2};
+  std::vector<vertex_t> neighbors(2);
+  EXPECT_DEATH(Csr(std::move(offsets), std::move(neighbors)),
+               "non-decreasing");
+}
+
 TEST(Generators, RmatSizesAndDeterminism) {
   Csr a = generate_rmat(10, 8, 300);
   Csr b = generate_rmat(10, 8, 300);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "core/edge_map.h"
 #include "core/runtime.h"
@@ -86,6 +87,135 @@ TEST(PageLayoutAdversarial, TrailingZeroDegreeVertices) {
   std::vector<std::uint32_t> degrees(100, 13);
   degrees.resize(300, 0);  // 200 sinks after the last stored byte
   expect_exact_cover(degrees);
+}
+
+// ---- Compressed (delta+varint) adversarial layouts ------------------------
+
+/// Decodes every page of a dvarint graph through the fused scanner, pages
+/// visited in the order `pages` (any permutation must work — workers decode
+/// pages independently via the per-page carries), and returns the multiset
+/// of destinations per source.
+std::map<vertex_t, std::multiset<vertex_t>> dvarint_scan_pages(
+    const OnDiskGraph& odg, const std::vector<std::uint64_t>& pages,
+    std::uint64_t* total) {
+  std::map<vertex_t, std::multiset<vertex_t>> got;
+  std::vector<std::byte> page(kPageSize);
+  *total = 0;
+  for (std::uint64_t p : pages) {
+    odg.device().read(p * kPageSize, page);
+    *total += scan_page_dvarint(
+        odg.index(), odg.page_map(), p, page.data(),
+        [](vertex_t) { return true; },
+        [&](vertex_t s, vertex_t d) {
+          got[s].insert(d);
+          return true;
+        });
+  }
+  return got;
+}
+
+/// Builds the dvarint layout of `g` and checks the fused scan reproduces
+/// every list exactly (as a multiset — the encoding sorts each list), in
+/// forward and in reverse page order.
+void expect_dvarint_exact(const graph::Csr& g) {
+  auto odg = make_mem_graph(g, 1, AdjacencyEncoding::kDeltaVarint);
+  std::vector<std::uint64_t> fwd(odg.num_pages());
+  for (std::uint64_t p = 0; p < fwd.size(); ++p) fwd[p] = p;
+  std::vector<std::uint64_t> rev(fwd.rbegin(), fwd.rend());
+  for (const auto& order : {fwd, rev}) {
+    std::uint64_t total = 0;
+    auto got = dvarint_scan_pages(odg, order, &total);
+    EXPECT_EQ(total, g.num_edges());
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      auto nb = g.neighbors(v);
+      std::multiset<vertex_t> want(nb.begin(), nb.end());
+      EXPECT_EQ(got[v], want) << "vertex " << v;
+    }
+  }
+}
+
+TEST(PageLayoutAdversarial, DvarintSmallLists) {
+  expect_dvarint_exact(from_degrees({5, 0, 3, 1, 0, 7}));
+}
+
+TEST(PageLayoutAdversarial, DvarintVarintSplitsPageBoundary) {
+  // Gaps of 16384 need 3-byte varints; 4096 % 3 != 0, so inside a long run
+  // some varint must straddle every page boundary. The carry must snapshot
+  // the split accumulator (partial_shift != 0) for the decode to resume.
+  constexpr std::uint32_t kDeg = 6000;  // ~18 kB encoded, 5 pages
+  std::vector<vertex_t> neighbors(kDeg);
+  for (std::uint32_t k = 0; k < kDeg; ++k) {
+    neighbors[k] = (k + 1) * 16384u;
+  }
+  graph::Csr g({0, kDeg}, neighbors);
+  expect_dvarint_exact(g);
+
+  auto odg = make_mem_graph(g, 1, AdjacencyEncoding::kDeltaVarint);
+  bool saw_split_varint = false;
+  for (std::uint64_t p = 1; p < odg.num_pages(); ++p) {
+    if (odg.index().page_carry(p).partial_shift != 0) {
+      saw_split_varint = true;
+    }
+  }
+  EXPECT_TRUE(saw_split_varint)
+      << "no page boundary split a varint; the carry path went untested";
+}
+
+TEST(PageLayoutAdversarial, DvarintVertexSpansManyPages) {
+  // One list of ~13000 one-byte gaps: > 3 pages of encoded bytes, so two
+  // interior pages decode entirely from carry state.
+  std::vector<std::uint32_t> degrees{5, 13000, 9};
+  graph::Csr g = from_degrees(degrees);
+  auto odg = make_mem_graph(g, 1, AdjacencyEncoding::kDeltaVarint);
+  EXPECT_GE(odg.num_pages(), 3u);
+  expect_dvarint_exact(g);
+}
+
+TEST(PageLayoutAdversarial, DvarintEmptyListsBetweenHuge) {
+  std::vector<std::uint32_t> degrees;
+  for (int i = 0; i < 6; ++i) {
+    degrees.push_back(0);
+    degrees.push_back(static_cast<std::uint32_t>(5000 + i));
+    degrees.push_back(0);
+    degrees.push_back(0);
+    degrees.push_back(1);
+  }
+  expect_dvarint_exact(from_degrees(degrees));
+}
+
+TEST(PageLayoutAdversarial, DvarintDuplicateEdgesGapZero) {
+  // build_csr keeps duplicates; sorted duplicates encode as gap 0 and must
+  // decode back as the same multiset.
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  for (int k = 0; k < 300; ++k) edges.emplace_back(0, 7);
+  edges.emplace_back(0, 3);
+  edges.emplace_back(1, 0);
+  expect_dvarint_exact(graph::build_csr(10, edges));
+}
+
+/// The engine must scatter exactly |E| edges from a dvarint graph too —
+/// including striped across devices (page-interleaved striping is encoding
+/// agnostic).
+TEST(PageLayoutAdversarial, DvarintEngineEdgeCountsMatch) {
+  for (std::size_t devices : {std::size_t{1}, std::size_t{3}}) {
+    graph::Csr g = from_degrees({5, 13000, 0, 9, 4000, 1});
+    auto odg = make_mem_graph(g, devices, AdjacencyEncoding::kDeltaVarint);
+    core::Runtime rt(testutil::test_config());
+    struct NopProgram {
+      using value_type = std::uint32_t;
+      value_type scatter(vertex_t, vertex_t) const { return 0; }
+      bool cond(vertex_t) const { return true; }
+      bool gather(vertex_t, value_type) { return false; }
+      bool gather_atomic(vertex_t, value_type) { return false; }
+    } prog;
+    core::QueryStats stats;
+    core::EdgeMapOptions opts;
+    opts.stats = &stats;
+    core::edge_map(rt, odg, core::VertexSubset::all(g.num_vertices()), prog,
+                   opts);
+    EXPECT_EQ(stats.edges_scattered, g.num_edges()) << devices << " devices";
+    EXPECT_EQ(stats.records_binned, g.num_edges());
+  }
 }
 
 /// The engine must count the same edges the raw scanner sees, on the same
