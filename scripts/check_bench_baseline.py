@@ -14,7 +14,12 @@ Usage:
   check_bench_baseline.py ... --serving serving.jsonl  # serving sweep gate
   check_bench_baseline.py ... --cache cache.jsonl      # contention micro gate
   check_bench_baseline.py ... --compression comp.jsonl # dvarint vs flat gate
+  check_bench_baseline.py ... --async async.jsonl      # async vs BSP gate
   check_bench_baseline.py --update bench_micro.json   # reseed micro section
+
+Every checked row prints an OK/FAIL line with the measured value against
+its threshold, and the run ends with a per-section summary so a failing
+gate never hides the sections that passed.
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
 """
@@ -322,6 +327,54 @@ def check_compression(baseline, path):
     return failures
 
 
+def check_async(baseline, path):
+    """Gates the bench_async sweep: every row must land on the BSP fixed
+    point (matches_bsp), and on the gated power-law graphs the gated
+    query's bytes_ratio (bsp_bytes / async_bytes) must show the priority
+    order converging on fewer total bytes read."""
+    failures = []
+    section = baseline.get("async")
+    if not section:
+        return failures
+    rows = load_jsonl(path, "async")
+    min_ratio = float(section.get("min_bytes_ratio", 1.0))
+    gated_graphs = section.get("gated_graphs", ["r2", "r3"])
+    gated_query = section.get("gated_query", "WCC")
+    require_match = section.get("require_match", True)
+    gated_seen = set()
+    for row in rows:
+        g, q = row.get("graph"), row.get("query")
+        label = f"async {g}/{q}"
+        ratio = float(row.get("bytes_ratio", 0.0))
+        match = bool(row.get("matches_bsp", False))
+        is_gated = g in gated_graphs and q == gated_query
+        if is_gated:
+            gated_seen.add(g)
+        ok = True
+        if require_match and not match:
+            failures.append(f"{label}: async diverged from the BSP fixed point")
+            ok = False
+        if is_gated and ratio < min_ratio:
+            failures.append(
+                f"{label}: bytes ratio {ratio:.3f} < {min_ratio:g}"
+            )
+            ok = False
+        print(
+            f"{'OK' if ok else 'FAIL':7s}  {label}:"
+            f" bytes ratio {ratio:.3f}"
+            f"{f' (gated floor {min_ratio:g})' if is_gated else ''},"
+            f" bsp {int(row.get('bsp_bytes', 0)):d} B"
+            f" vs async {int(row.get('async_bytes', 0)):d} B,"
+            f" rounds {int(row.get('async_rounds', 0)):d}"
+            f" vs iters {int(row.get('bsp_iterations', 0)):d},"
+            f" matches_bsp={str(match).lower()}"
+        )
+    for g in sorted(set(gated_graphs) - gated_seen):
+        print(f"MISSING  async {g}/{gated_query}: gated row absent from run")
+        failures.append(f"async gated row {g}/{gated_query} missing")
+    return failures
+
+
 def update_baseline(baseline_path, bench_json):
     baseline = load_json(baseline_path)
     micro = baseline.setdefault("micro", {})
@@ -353,6 +406,10 @@ def main():
         help="bench_compression JSON-rows output to gate as well",
     )
     ap.add_argument(
+        "--async", dest="async_path",
+        help="bench_async JSON-rows output to gate as well",
+    )
+    ap.add_argument(
         "--update", action="store_true",
         help="reseed the baseline's micro timings from this run",
     )
@@ -364,16 +421,31 @@ def main():
         return 0
 
     baseline = load_json(args.baseline)
-    failures = check_micro(baseline, bench_json)
+    sections = [("micro", check_micro(baseline, bench_json))]
     if args.fig8:
-        failures += check_fig8(baseline, args.fig8)
+        sections.append(("fig8", check_fig8(baseline, args.fig8)))
     if args.serving:
-        failures += check_serving(baseline, args.serving)
+        sections.append(("serving", check_serving(baseline, args.serving)))
     if args.cache:
-        failures += check_cache(baseline, args.cache)
+        sections.append(("cache", check_cache(baseline, args.cache)))
     if args.compression:
-        failures += check_compression(baseline, args.compression)
+        sections.append(
+            ("compression", check_compression(baseline, args.compression))
+        )
+    if args.async_path:
+        sections.append(("async", check_async(baseline, args.async_path)))
 
+    print("\nsection summary:")
+    for name, section_failures in sections:
+        status = "OK" if not section_failures else "FAIL"
+        detail = (
+            "within tolerance"
+            if not section_failures
+            else f"{len(section_failures)} regression(s)"
+        )
+        print(f"{status:7s}  {name}: {detail}")
+
+    failures = [f for _, fs in sections for f in fs]
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for f in failures:

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/runtime.h"
 #include "core/stats.h"
 #include "format/on_disk_graph.h"
@@ -36,8 +37,14 @@ struct SsspResult {
   }
 };
 
-/// Runs Bellman-Ford from `source`; converges in at most |V| rounds (no
-/// negative weights by construction).
+/// Runs SSSP from `source` on the query's own execution context. BSP mode
+/// is frontier Bellman-Ford; ExecutionMode::kAsync routes through the
+/// sched::AsyncRunner bucket queue (delta-stepping flavored: priority =
+/// quantized tentative distance). Both converge to the exact distances.
+SsspResult sssp(core::QueryContext& qc, const format::OnDiskGraph& g,
+                vertex_t source);
+
+/// Single-query convenience: runs on the Runtime's default context.
 SsspResult sssp(core::Runtime& rt, const format::OnDiskGraph& g,
                 vertex_t source);
 
@@ -55,6 +62,11 @@ struct WeightedSsspResult {
 /// on-disk records; build with format::make_*_graph(WeightedCsr)). The
 /// engine streams (dst, weight) records and the program relaxes with the
 /// real weight — no synthesized weights involved.
+WeightedSsspResult sssp_weighted(core::QueryContext& qc,
+                                 const format::OnDiskGraph& g,
+                                 vertex_t source);
+
+/// Single-query convenience: runs on the Runtime's default context.
 WeightedSsspResult sssp_weighted(core::Runtime& rt,
                                  const format::OnDiskGraph& g,
                                  vertex_t source);

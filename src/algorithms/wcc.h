@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/query_context.h"
 #include "core/runtime.h"
 #include "core/stats.h"
 #include "format/on_disk_graph.h"
@@ -27,9 +28,17 @@ struct WccResult {
   }
 };
 
-/// Runs WCC. `out_g` stores out-edges, `in_g` its transpose; both views of
-/// the same input graph must be provided (paper Algorithm 3 runs EdgeMap on
-/// outG and inG each iteration).
+/// Runs WCC on the query's own execution context. `out_g` stores
+/// out-edges, `in_g` its transpose; both views of the same input graph
+/// must be provided (paper Algorithm 3 runs EdgeMap on outG and inG each
+/// iteration). Under ExecutionMode::kAsync, label propagation runs through
+/// the sched::AsyncRunner bucket queue (priority = quantized label, so
+/// small labels flood first); both modes converge to the per-component
+/// minimum vertex id.
+WccResult wcc(core::QueryContext& qc, const format::OnDiskGraph& out_g,
+              const format::OnDiskGraph& in_g);
+
+/// Single-query convenience: runs on the Runtime's default context.
 WccResult wcc(core::Runtime& rt, const format::OnDiskGraph& out_g,
               const format::OnDiskGraph& in_g);
 

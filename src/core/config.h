@@ -13,6 +13,14 @@
 
 namespace blaze::core {
 
+/// How the monotone algorithms drive the engine. kBsp is the classic
+/// barriered loop (one edge_map sweep per iteration); kAsync routes them
+/// through sched::AsyncRunner — a priority bucket queue picks the
+/// highest-residual vertices and only their pages are fetched, no
+/// iteration barrier. Algorithms without an async formulation ignore the
+/// knob and stay BSP.
+enum class ExecutionMode { kBsp, kAsync };
+
 struct Config {
   /// Total computation workers (scatter + gather). IO threads (one per
   /// device) are additional, as in the artifact's `-computeWorkers 16`
@@ -82,6 +90,25 @@ struct Config {
   /// default: EdgeMap's sequential scans flush an LRU's hot set, while the
   /// small/main/ghost queues keep cross-query hot pages resident.
   device::EvictionPolicy cache_policy = device::EvictionPolicy::kS3Fifo;
+
+  /// Execution mode for the monotone algorithms (PageRank-delta, SSSP,
+  /// WCC, k-core): BSP sweeps vs the sched::AsyncRunner priority loop
+  /// (--mode on the CLI).
+  ExecutionMode execution_mode = ExecutionMode::kBsp;
+
+  /// Async-mode convergence epsilon (--epsilon). For PageRank-delta this
+  /// is the per-vertex activation threshold relative to the current rank
+  /// (the same rule the BSP variant uses, so both modes share a fixed
+  /// point) and doubles as the global residual stop. The exact algorithms
+  /// (SSSP/WCC/k-core) terminate on queue drain and ignore it.
+  double async_epsilon = 1e-3;
+
+  /// Bucket count for the async priority queue, including the overflow
+  /// slot (--async-buckets).
+  std::uint32_t async_buckets = 64;
+
+  /// Page budget per async round; 0 = auto (half the IO buffer).
+  std::size_t async_round_pages = 0;
 
   /// Modeled per-update cost of cross-core atomic contention, applied only
   /// in sync_mode. On the paper's 16-core testbed contended CAS lines

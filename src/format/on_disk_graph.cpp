@@ -165,8 +165,12 @@ OnDiskGraph make_mem_graph(const graph::Csr& g, std::size_t num_devices,
 
 graph::Csr decode_to_csr(const OnDiskGraph& g) {
   const GraphIndex& index = g.index();
-  BLAZE_CHECK(index.record_bytes() == sizeof(vertex_t),
-              "decode_to_csr supports unweighted graphs only");
+  if (index.record_bytes() != sizeof(vertex_t)) {
+    throw EncodingError(
+        "decode_to_csr: weighted graphs (8-byte interleaved records) "
+        "cannot be re-encoded; delta+varint packs 4-byte neighbor ids "
+        "only");
+  }
   const std::uint64_t total = index.total_adjacency_bytes();
   std::vector<std::byte> adj(round_up<std::uint64_t>(
       std::max<std::uint64_t>(total, 1), kPageSize));

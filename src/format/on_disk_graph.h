@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,16 @@
 #include "io/page_verify.h"
 
 namespace blaze::format {
+
+/// Thrown when an operation is asked to apply an adjacency encoding the
+/// graph's record layout cannot carry — e.g. transcoding a weighted graph
+/// (8-byte interleaved records) to delta+varint, which only packs 4-byte
+/// neighbor ids. Tools catch this and report it instead of mis-decoding
+/// the records as neighbor lists.
+class EncodingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A graph whose adjacency lives on a block device. This is the object the
 /// out-of-core EdgeMap engine consumes.
@@ -135,7 +146,9 @@ OnDiskGraph make_mem_graph(
 /// Reads the full adjacency region back off the device and decodes it to
 /// an in-memory CSR (flat or dvarint, unweighted only). dvarint lists come
 /// back sorted — the encoding sorts each list. Tools use this to transcode
-/// between formats; tests use it as the round-trip oracle.
+/// between formats; tests use it as the round-trip oracle. Throws
+/// format::EncodingError for weighted graphs: their 8-byte (dst, weight)
+/// records would silently mis-decode as neighbor ids.
 graph::Csr decode_to_csr(const OnDiskGraph& g);
 
 /// Weighted variants (8-byte interleaved records).

@@ -1,0 +1,228 @@
+// sched::AsyncRunner: the asynchronous, priority-driven execution loop.
+//
+// Where the BSP loop streams the whole frontier through edge_map once per
+// iteration and barriers, the AsyncRunner keeps a BucketQueue of vertices
+// ordered by how much unconverged work they carry and repeatedly:
+//
+//   1. pops the highest-priority bucket(s) — up to a page budget — into a
+//      round frontier (only those vertices' pages get fetched, page-first);
+//   2. peeks the *next* bucket and posts its pages as a discard-mode
+//      prefetch through IoPipeline, so the following round's reads overlap
+//      this round's compute (the same warm-up hook pull-mode uses, and the
+//      same ShardedPageCache absorbs both streams);
+//   3. runs the algorithm's round body — an edge_map over the round
+//      frontier whose gather applies an atomics-tolerant monotone update
+//      and re-enqueues destinations whose residual crossed their bucket
+//      threshold;
+//   4. repeats until the queue drains (every per-vertex residual is below
+//      its activation threshold) or an optional global residual probe
+//      falls under epsilon.
+//
+// The runner owns round pacing, prefetch, trace spans (kSchedRound /
+// kSchedResidual) and the sched metrics series; the algorithm supplies
+// only the round body. Priorities are monotone (BucketQueue lazy
+// decrease), which is exactly the contract PageRank-delta, SSSP, WCC and
+// k-core satisfy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/edge_map.h"
+#include "core/query_context.h"
+#include "format/on_disk_graph.h"
+#include "sched/bucket_queue.h"
+#include "sched/sched_metrics.h"
+#include "trace/tracer.h"
+#include "util/concurrent_bitmap.h"
+
+namespace blaze::sched {
+
+struct AsyncOptions {
+  /// Physical buckets (including the overflow slot).
+  std::uint32_t num_buckets = 64;
+  /// Rounds keep popping buckets until their vertices span at least this
+  /// many pages. 0 = derive from the query's IO buffer (half of it), so a
+  /// round roughly fills the pipeline without thrashing the pool.
+  std::size_t round_page_budget = 0;
+  /// Pop exactly one bucket per round. Required when the algorithm's
+  /// correctness depends on processing one priority level at a time
+  /// (k-core peels exact residual levels); off by default so high-diameter
+  /// runs amortize fixed round costs.
+  bool single_bucket_rounds = false;
+  /// Post the next bucket's pages as a discard-mode prefetch while the
+  /// current round computes.
+  bool prefetch_next = true;
+  /// Safety valve; 0 = run to convergence.
+  std::uint64_t max_rounds = 0;
+  /// Optional global termination: when `total_residual` is set and drops
+  /// below `stop_residual`, the run ends even with a non-empty queue.
+  /// (The queue draining — every vertex under its activation threshold —
+  /// is the primary termination; this is the explicit epsilon form.)
+  double stop_residual = 0.0;
+  std::function<double()> total_residual;
+  /// Per-query IO/compute accounting (prefetch stats fold in here too).
+  core::QueryStats* stats = nullptr;
+};
+
+struct AsyncRunStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t popped = 0;        ///< vertices claimed across all rounds
+  std::uint64_t pushes = 0;        ///< queue pushes that changed state
+  std::uint64_t stale_drops = 0;   ///< entries superseded before pop
+  std::uint64_t pages_spanned = 0; ///< sum of popped vertices' page spans
+  std::uint64_t unique_pages = 0;  ///< distinct pages ever spanned
+  double final_residual = 0.0;
+  std::vector<double> residual_curve;  ///< round body's return, per round
+
+  /// Excess of spanned over distinct pages: fetches the priority order
+  /// repeated. The BSP-vs-async total-bytes comparison lives in
+  /// bench_async; this is the per-run view.
+  std::uint64_t page_refetches() const {
+    return pages_spanned > unique_pages ? pages_spanned - unique_pages : 0;
+  }
+};
+
+class AsyncRunner {
+ public:
+  /// `g` is the graph the rounds read (for WCC/k-core, the out-graph; the
+  /// round body may map further graphs). The queue spans its vertex space.
+  AsyncRunner(core::QueryContext& qc, const format::OnDiskGraph& g,
+              AsyncOptions opts = {})
+      : qc_(qc),
+        g_(g),
+        opts_(std::move(opts)),
+        queue_(g.num_vertices(), opts_.num_buckets),
+        touched_(g.num_pages()) {}
+
+  BucketQueue& queue() { return queue_; }
+  const AsyncOptions& options() const { return opts_; }
+
+  /// Body-driven early stop (k-core's max_k bound): the current round
+  /// finishes normally, no further round starts.
+  void request_stop() { stop_ = true; }
+
+  /// Drives rounds until termination. `round` is invoked as
+  /// `double round(const core::VertexSubset& frontier, priority_t level)`
+  /// where `level` is the minimum priority claimed this round; its return
+  /// value feeds the residual curve (algorithm-defined scale: remaining
+  /// residual mass for PageRank, frontier size for the exact algorithms).
+  template <typename RoundFn>
+  AsyncRunStats run(RoundFn&& round) {
+    trace::ScopedQuery trace_scope(qc_.trace_id());
+    const auto* sm = detail::sched_metrics();
+    AsyncRunStats rs;
+    const vertex_t n = g_.num_vertices();
+    const std::size_t budget = page_budget();
+    std::vector<vertex_t> popped;
+    std::vector<vertex_t> peeked;
+    while (!queue_.empty()) {
+      if (opts_.max_rounds != 0 && rs.rounds >= opts_.max_rounds) break;
+      popped.clear();
+      priority_t level = BucketQueue::kNotQueued;
+      std::size_t pages = 0;
+      // Pop the lowest bucket; keep popping until the page budget is met
+      // unless the algorithm needs strict level-at-a-time rounds.
+      do {
+        const std::size_t before = popped.size();
+        auto l = queue_.pop_bucket(popped);
+        if (!l) break;
+        level = std::min(level, *l);
+        for (std::size_t i = before; i < popped.size(); ++i) {
+          pages += span_pages(popped[i], &rs);
+        }
+      } while (!opts_.single_bucket_rounds && pages < budget &&
+               !queue_.empty());
+      if (popped.empty()) break;
+
+      core::VertexSubset frontier(n);
+      for (vertex_t v : popped) frontier.add(v);
+      rs.pages_spanned += pages;
+      rs.popped += popped.size();
+
+      // Warm the next bucket's pages behind this round's demand reads.
+      std::shared_ptr<io::ReadHandle> prefetch;
+      if (opts_.prefetch_next && !queue_.empty()) {
+        peeked.clear();
+        queue_.peek_lowest(peeked);
+        if (!peeked.empty()) {
+          core::VertexSubset cand(n);
+          for (vertex_t v : peeked) cand.add(v);
+          prefetch = core::detail::submit_prefetch(qc_, g_, cand);
+        }
+      }
+
+      double residual = 0.0;
+      try {
+        trace::Span span(trace::Name::kSchedRound, rs.rounds);
+        residual = round(frontier, level);
+      } catch (...) {
+        // A faulted round must not abandon the in-flight prefetch: wait it
+        // out so every pool buffer is reclaimed before the error surfaces.
+        if (prefetch) prefetch->wait();
+        throw;
+      }
+      if (prefetch) {
+        prefetch->wait();
+        if (opts_.stats) opts_.stats->merge(prefetch->stats());
+      }
+
+      ++rs.rounds;
+      rs.residual_curve.push_back(residual);
+      rs.final_residual = residual;
+      trace::instant(trace::Name::kSchedResidual, queue_.size());
+      if (sm) {
+        sm->rounds->inc();
+        sm->popped->add(popped.size());
+        sm->occupancy->set(static_cast<double>(queue_.size()));
+        sm->residual->set(residual);
+      }
+      if (stop_) break;
+      if (opts_.stop_residual > 0.0 && opts_.total_residual &&
+          opts_.total_residual() < opts_.stop_residual) {
+        break;
+      }
+    }
+    rs.pushes = queue_.pushes();
+    rs.stale_drops = queue_.stale_drops();
+    if (sm) {
+      sm->pushes->add(rs.pushes - pushes_reported_);
+      sm->stale_drops->add(rs.stale_drops - stale_reported_);
+      sm->refetches->add(rs.page_refetches());
+    }
+    pushes_reported_ = rs.pushes;
+    stale_reported_ = rs.stale_drops;
+    return rs;
+  }
+
+ private:
+  std::size_t page_budget() const {
+    if (opts_.round_page_budget != 0) return opts_.round_page_budget;
+    const std::size_t io_pages =
+        qc_.config().io_buffer_bytes / kPageSize / 2;
+    return std::max<std::size_t>(64, io_pages);
+  }
+
+  /// Pages `v`'s adjacency spans; counts first-ever touches into
+  /// `rs->unique_pages`.
+  std::size_t span_pages(vertex_t v, AsyncRunStats* rs) {
+    if (g_.degree(v) == 0) return 0;
+    const auto [first, last] = g_.page_range(v);
+    for (std::uint64_t p = first; p <= last; ++p) {
+      if (touched_.set(p)) ++rs->unique_pages;
+    }
+    return static_cast<std::size_t>(last - first + 1);
+  }
+
+  core::QueryContext& qc_;
+  const format::OnDiskGraph& g_;
+  AsyncOptions opts_;
+  BucketQueue queue_;
+  ConcurrentBitmap touched_;
+  bool stop_ = false;
+  std::uint64_t pushes_reported_ = 0;
+  std::uint64_t stale_reported_ = 0;
+};
+
+}  // namespace blaze::sched

@@ -197,11 +197,10 @@ blaze::format::OnDiskGraph wrap_graph_cached(
 
 /// Builds the serving-mode body for one query kind; returns an empty
 /// function for kinds without a QueryContext entry point.
-blaze::serve::QueryFn make_serve_query(const std::string& query,
-                                       const blaze::format::OnDiskGraph& g,
-                                       const blaze::format::OnDiskGraph& gt,
-                                       blaze::vertex_t source,
-                                       std::uint32_t pr_iters) {
+blaze::serve::QueryFn make_serve_query(
+    const std::string& query, const blaze::format::OnDiskGraph& g,
+    const blaze::format::OnDiskGraph& gt, blaze::vertex_t source,
+    const blaze::algorithms::PageRankOptions& pr_opts) {
   using namespace blaze;
   if (query == "bfs") {
     return [&g, source](core::QueryContext& qc) {
@@ -209,10 +208,20 @@ blaze::serve::QueryFn make_serve_query(const std::string& query,
     };
   }
   if (query == "pr") {
-    algorithms::PageRankOptions o;
-    o.max_iterations = pr_iters;
-    return [&g, o](core::QueryContext& qc) {
-      return algorithms::pagerank(qc, g, o).stats;
+    return [&g, pr_opts](core::QueryContext& qc) {
+      return algorithms::pagerank(qc, g, pr_opts).stats;
+    };
+  }
+  if (query == "sssp") {
+    return [&g, source](core::QueryContext& qc) {
+      return g.index().record_bytes() == 8
+                 ? algorithms::sssp_weighted(qc, g, source).stats
+                 : algorithms::sssp(qc, g, source).stats;
+    };
+  }
+  if (query == "wcc") {
+    return [&g, &gt](core::QueryContext& qc) {
+      return algorithms::wcc(qc, g, gt).stats;
     };
   }
   if (query == "kcore") {
@@ -233,13 +242,16 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   const auto clients = static_cast<std::size_t>(opt.get_int("clients", 4));
   const auto per_client =
       static_cast<std::size_t>(opt.get_int("queries", 4));
-  const auto pr_iters =
+  algorithms::PageRankOptions pr_opts;
+  pr_opts.max_iterations =
       static_cast<std::uint32_t>(opt.get_int("maxIterations", 100));
+  pr_opts.epsilon = opt.get_double("epsilon", pr_opts.epsilon);
 
-  if (!make_serve_query(query, g, gt, source, pr_iters)) {
-    std::fprintf(stderr,
-                 "-query %s has no serving mode (use bfs, pr, or kcore)\n",
-                 query.c_str());
+  if (!make_serve_query(query, g, gt, source, pr_opts)) {
+    std::fprintf(
+        stderr,
+        "-query %s has no serving mode (use bfs, pr, sssp, wcc, kcore)\n",
+        query.c_str());
     return 2;
   }
 
@@ -257,7 +269,7 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   // set; the wrapped copies must outlive drain(), hence locals here.
   const format::OnDiskGraph cg = wrap_graph_cached(g, engine.runtime());
   const format::OnDiskGraph cgt = wrap_graph_cached(gt, engine.runtime());
-  serve::QueryFn body = make_serve_query(query, cg, cgt, source, pr_iters);
+  serve::QueryFn body = make_serve_query(query, cg, cgt, source, pr_opts);
   const auto& pool = engine.runtime().page_cache();
   if (pool) engine.observe_cache(pool.get());
   if (engine.metrics_port() != 0) {
@@ -388,7 +400,13 @@ int main(int argc, char** argv) {
         "  -inIndexFilename F  transpose index (wcc/bc/kcore)\n"
         "  -inAdjFilenames F   transpose adjacency (wcc/bc/kcore)\n"
         "  --format F          run with adjacency encoding flat|dvarint; "
-        "a graph stored in the other format is transcoded in memory\n"
+        "a graph stored in the other format is transcoded in memory "
+        "(weighted graphs are flat-only, as in blaze-gen)\n"
+        "  --mode M            execution mode for pr/sssp/wcc/kcore: "
+        "bsp (default) or async (priority bucket queue, no barriers)\n"
+        "  --epsilon E         convergence threshold: PageRank-delta "
+        "activation/termination (default 1e-2)\n"
+        "  --async-buckets N   async priority-queue buckets (default 64)\n"
         "  --cacheMB N         shared page-cache pool budget in MiB "
         "(0 = off, the default)\n"
         "  --cache-policy P    pool eviction policy: s3fifo (default), "
@@ -438,21 +456,37 @@ int main(int argc, char** argv) {
     }
     if (g.index().record_bytes() == 8 &&
         *want_encoding == format::AdjacencyEncoding::kDeltaVarint) {
+      // Same rule blaze-gen enforces at write time: weighted 8-byte
+      // records are flat-only (delta+varint packs 4-byte neighbor ids).
       std::fprintf(stderr,
-                   "--format dvarint does not apply to weighted graphs\n");
+                   "error: --format dvarint does not apply to weighted "
+                   "graphs; their 8-byte (dst, weight) records are "
+                   "flat-only (same check as blaze-gen -weighted)\n");
       return 2;
     }
   }
+  // Returns false (after printing the typed error) when the graph's record
+  // layout cannot carry the requested encoding — the transpose of a
+  // weighted graph hits this even when the main graph was checked above.
   auto transcode = [&](format::OnDiskGraph& graph, const char* label) {
-    if (!want_encoding || graph.index().encoding() == *want_encoding) return;
-    graph = format::make_mem_graph(format::decode_to_csr(graph), 1,
-                                   *want_encoding);
+    if (!want_encoding || graph.index().encoding() == *want_encoding) {
+      return true;
+    }
+    try {
+      graph = format::make_mem_graph(format::decode_to_csr(graph), 1,
+                                     *want_encoding);
+    } catch (const format::EncodingError& e) {
+      std::fprintf(stderr, "error: cannot transcode %s: %s\n", label,
+                   e.what());
+      return false;
+    }
     std::fprintf(stderr, "transcoded %s to %s\n", label,
                  *want_encoding == format::AdjacencyEncoding::kDeltaVarint
                      ? "dvarint"
                      : "flat");
+    return true;
   };
-  transcode(g, "graph");
+  if (!transcode(g, "graph")) return 2;
 
   format::OnDiskGraph gt;
   const bool needs_transpose =
@@ -471,7 +505,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error loading transpose: %s\n", e.what());
       return 1;
     }
-    transcode(gt, "transpose");
+    if (!transcode(gt, "transpose")) return 2;
   }
   if (g.index().encoding() == format::AdjacencyEncoding::kDeltaVarint) {
     std::printf("format: dvarint (%.2f bytes/edge)\n", g.bytes_per_edge());
@@ -485,6 +519,24 @@ int main(int argc, char** argv) {
   cfg.bin_count = static_cast<std::size_t>(opt.get_int("binCount", 1024));
   cfg.scatter_ratio = opt.get_double("binningRatio", 0.5);
   cfg.sync_mode = opt.get_bool("sync", false);
+
+  // Execution mode for the monotone algorithms (pr/sssp/wcc/kcore route
+  // through sched::AsyncRunner under async; everything else ignores it).
+  const std::string mode_name = opt.get_string("mode", "bsp");
+  if (mode_name == "async") {
+    cfg.execution_mode = core::ExecutionMode::kAsync;
+  } else if (mode_name != "bsp") {
+    std::fprintf(stderr, "unknown --mode %s (want bsp|async)\n",
+                 mode_name.c_str());
+    return 2;
+  }
+  cfg.async_epsilon = opt.get_double("epsilon", cfg.async_epsilon);
+  cfg.async_buckets = static_cast<std::uint32_t>(
+      opt.get_int("async-buckets", cfg.async_buckets));
+  if (cfg.execution_mode == core::ExecutionMode::kAsync) {
+    std::printf("mode: async (epsilon %g, %u buckets)\n", cfg.async_epsilon,
+                cfg.async_buckets);
+  }
 
   // Shared page-cache pool knobs (Runtime::page_cache()).
   cfg.cache_bytes =
@@ -578,6 +630,7 @@ int main(int argc, char** argv) {
     algorithms::PageRankOptions o;
     o.max_iterations =
         static_cast<std::uint32_t>(opt.get_int("maxIterations", 100));
+    o.epsilon = opt.get_double("epsilon", o.epsilon);
     auto r = algorithms::pagerank(rt, g, o);
     print_stats("pr", t.seconds(), r.stats);
     std::printf("converged after %u iterations\n", r.iterations);

@@ -45,6 +45,9 @@ enum class Name : std::uint8_t {
   kAdmissionWait,   ///< complete; submit -> session pickup
   kSessionExecute,  ///< one query body on a session thread
   kEngineDrain,     ///< QueryEngine::drain()
+  // sched::AsyncRunner
+  kSchedRound,      ///< one async priority round; arg = round index
+  kSchedResidual,   ///< instant after a round; arg = queue occupancy
   kNumNames
 };
 
@@ -66,6 +69,8 @@ constexpr const char* to_string(Name n) {
     case Name::kAdmissionWait: return "admission_wait";
     case Name::kSessionExecute: return "session_execute";
     case Name::kEngineDrain: return "engine_drain";
+    case Name::kSchedRound: return "sched_round";
+    case Name::kSchedResidual: return "sched_residual";
     case Name::kNumNames: break;
   }
   return "unknown";
@@ -88,6 +93,8 @@ constexpr const char* category_of(Name n) {
     case Name::kAdmissionWait:
     case Name::kSessionExecute:
     case Name::kEngineDrain: return "serve";
+    case Name::kSchedRound:
+    case Name::kSchedResidual: return "sched";
     case Name::kNumNames: break;
   }
   return "other";

@@ -312,5 +312,108 @@ TEST_P(DifferentialTest, DvarintMatchesFlatAndOracle) {
   }
 }
 
+// Async-vs-BSP differential: the four monotone algorithms run through the
+// sched::AsyncRunner priority loop and must land on the BSP fixed point —
+// exactly for SSSP/WCC/k-core (monotone min/peeling has one fixed point),
+// within epsilon-scale tolerance for PageRank-delta (both modes truncate
+// sub-threshold residual, in different orders). Both adjacency encodings
+// are covered, plus one sync-mode (CAS gather) pass to exercise concurrent
+// queue pushes from scatter threads.
+TEST_P(DifferentialTest, AsyncMatchesBspFixedPoint) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 9973 + 101);
+  graph::Csr g = random_graph(rng);
+  graph::Csr gt = graph::transpose(g);
+  const vertex_t source =
+      static_cast<vertex_t>(rng.next_below(g.num_vertices()));
+
+  algorithms::PageRankOptions pr_opts;
+  pr_opts.epsilon = 1e-3;
+  pr_opts.max_iterations = 50;
+
+  auto async_config = [&](bool sync) {
+    auto cfg = testutil::test_config(3, 32);
+    cfg.execution_mode = core::ExecutionMode::kAsync;
+    cfg.sync_mode = sync;
+    return cfg;
+  };
+
+  for (auto encoding : {format::AdjacencyEncoding::kFlat,
+                        format::AdjacencyEncoding::kDeltaVarint}) {
+    const char* label =
+        encoding == format::AdjacencyEncoding::kFlat ? "flat" : "dvarint";
+    auto out_g = format::make_mem_graph(g, 2, encoding);
+    auto in_g = format::make_mem_graph(gt, 2, encoding);
+
+    core::Runtime bsp_rt(testutil::test_config(3, 32));
+    core::Runtime async_rt(async_config(false));
+
+    // SSSP: exact equality with the BSP distances.
+    EXPECT_EQ(algorithms::sssp(async_rt, out_g, source).dist,
+              algorithms::sssp(bsp_rt, out_g, source).dist)
+        << label;
+
+    // WCC: both modes converge to the per-component minimum label.
+    EXPECT_EQ(algorithms::wcc(async_rt, out_g, in_g).ids,
+              algorithms::wcc(bsp_rt, out_g, in_g).ids)
+        << label;
+
+    // k-core: peeling level-at-a-time is exact in both modes.
+    auto bsp_core = algorithms::kcore(bsp_rt, out_g, in_g);
+    auto async_core = algorithms::kcore(async_rt, out_g, in_g);
+    EXPECT_EQ(async_core.coreness, bsp_core.coreness) << label;
+    EXPECT_EQ(async_core.max_core, bsp_core.max_core) << label;
+
+    // And the bounded sweep peels the same truncated shells.
+    EXPECT_EQ(algorithms::kcore(async_rt, out_g, in_g, 2).coreness,
+              algorithms::kcore(bsp_rt, out_g, in_g, 2).coreness)
+        << label;
+
+    // PageRank-delta: same fixed-point family, epsilon-scale differences.
+    auto bsp_rank = algorithms::pagerank(bsp_rt, out_g, pr_opts).rank;
+    auto async_rank = algorithms::pagerank(async_rt, out_g, pr_opts).rank;
+    double err = 0, norm = 1e-12;
+    for (std::size_t v = 0; v < bsp_rank.size(); ++v) {
+      err += std::fabs(async_rank[v] - bsp_rank[v]);
+      norm += std::fabs(bsp_rank[v]);
+    }
+    EXPECT_LT(err / norm, 1e-2) << label;
+  }
+
+  // Stored-weight SSSP (weighted files are flat-only): every tentative
+  // distance is the same sum along the same shortest path in either mode.
+  {
+    auto wg = graph::attach_hash_weights(g);
+    auto w_g = format::make_mem_graph(wg);
+    core::Runtime bsp_rt(testutil::test_config(3, 32));
+    core::Runtime async_rt(async_config(false));
+    auto want = algorithms::sssp_weighted(bsp_rt, w_g, source).dist;
+    auto got = algorithms::sssp_weighted(async_rt, w_g, source).dist;
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      if (std::isinf(want[v])) {
+        EXPECT_TRUE(std::isinf(got[v])) << "weighted vertex " << v;
+      } else {
+        ASSERT_NEAR(got[v], want[v], 1e-4f * (1.0f + want[v]))
+            << "weighted vertex " << v;
+      }
+    }
+  }
+
+  // Sync-mode async: scatter threads apply gather_atomic directly, so
+  // queue pushes race across threads — the atomics-tolerant path.
+  {
+    auto out_g = format::make_mem_graph(g);
+    auto in_g = format::make_mem_graph(gt);
+    core::Runtime bsp_rt(testutil::test_config(3, 32));
+    core::Runtime async_rt(async_config(true));
+    EXPECT_EQ(algorithms::sssp(async_rt, out_g, source).dist,
+              algorithms::sssp(bsp_rt, out_g, source).dist)
+        << "sync-async";
+    EXPECT_EQ(algorithms::kcore(async_rt, out_g, in_g).coreness,
+              algorithms::kcore(bsp_rt, out_g, in_g).coreness)
+        << "sync-async";
+  }
+}
+
 }  // namespace
 }  // namespace blaze

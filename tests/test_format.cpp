@@ -14,6 +14,7 @@
 #include "format/page_vertex_map.h"
 #include "format/partitioner.h"
 #include "graph/generators.h"
+#include "graph/weighted.h"
 
 namespace blaze::format {
 namespace {
@@ -236,6 +237,16 @@ TEST(Dvarint, FileRoundTripV3) {
   expect_same_sorted_lists(decode_to_csr(odg), g);
   std::remove((prefix + ".gr.index").c_str());
   std::remove((prefix + ".gr.adj.0").c_str());
+}
+
+TEST(Dvarint, WeightedGraphDecodeThrowsTypedError) {
+  // Weighted files interleave 8-byte (dst, weight) records; the dvarint
+  // re-encode path only packs 4-byte neighbor ids, so the transcode entry
+  // point must refuse with the typed error blaze-run turns into exit 2.
+  graph::Csr g = graph::generate_rmat(8, 8, 110);
+  auto odg = make_mem_graph(graph::attach_hash_weights(g));
+  ASSERT_EQ(odg.index().record_bytes(), 8u);
+  EXPECT_THROW(decode_to_csr(odg), EncodingError);
 }
 
 TEST(Dvarint, EmptyAndSingletonLists) {

@@ -1,0 +1,439 @@
+// sched::BucketQueue edge cases and AsyncRunner behavior: empty pops,
+// improve-only (lazy-decrease) pushes, stale-entry dropping, the overflow
+// bucket's sliding-window redistribution, concurrent push/pop (the TSan
+// target), plus the runner's round pacing, early stop, and fault handling —
+// transient faults are absorbed with identical results, propagated faults
+// leave the IO buffer pool whole and the Runtime reusable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "algorithms/kcore.h"
+#include "algorithms/sssp.h"
+#include "core/runtime.h"
+#include "device/faulty_device.h"
+#include "device/mem_device.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "io/io_error.h"
+#include "io/io_pipeline.h"
+#include "sched/async_runner.h"
+#include "sched/bucket_queue.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace blaze {
+namespace {
+
+using device::FaultMode;
+using device::FaultyDevice;
+using sched::BucketQueue;
+using sched::priority_t;
+
+// ------------------------------------------------------------ BucketQueue
+
+TEST(BucketQueue, EmptyQueuePopsNothing) {
+  BucketQueue q(64, 8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  std::vector<vertex_t> out;
+  EXPECT_FALSE(q.pop_bucket(out).has_value());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(q.peek_lowest(out), 0u);
+  EXPECT_EQ(q.priority_of(3), BucketQueue::kNotQueued);
+}
+
+TEST(BucketQueue, PopsBucketsInPriorityOrder) {
+  BucketQueue q(100, 8);
+  EXPECT_TRUE(q.push(10, 3));
+  EXPECT_TRUE(q.push(20, 0));
+  EXPECT_TRUE(q.push(30, 3));
+  EXPECT_TRUE(q.push(40, 5));
+  EXPECT_EQ(q.size(), 4u);
+
+  std::vector<vertex_t> out;
+  auto level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 0u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{20}));
+
+  out.clear();
+  level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 3u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<vertex_t>{10, 30}));
+
+  out.clear();
+  level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 5u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{40}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop_bucket(out).has_value());
+}
+
+TEST(BucketQueue, WorsePushAfterEnqueueIsIgnored) {
+  BucketQueue q(8, 8);
+  EXPECT_TRUE(q.push(1, 2));
+  // Raising a queued vertex's priority is a no-op: the queued entry at the
+  // better level already covers the work.
+  EXPECT_FALSE(q.push(1, 5));
+  EXPECT_FALSE(q.push(1, 2));  // equal is covered too
+  EXPECT_EQ(q.priority_of(1), 2u);
+  EXPECT_EQ(q.size(), 1u);
+
+  std::vector<vertex_t> out;
+  auto level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 2u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{1}));
+  EXPECT_FALSE(q.pop_bucket(out).has_value());
+
+  // Once claimed, the vertex can be enqueued again at any level.
+  EXPECT_TRUE(q.push(1, 5));
+  EXPECT_EQ(q.priority_of(1), 5u);
+}
+
+TEST(BucketQueue, ImprovedPushDeliversOnceAndDropsTheStaleEntry) {
+  BucketQueue q(8, 8);
+  EXPECT_TRUE(q.push(1, 6));
+  EXPECT_TRUE(q.push(1, 1));  // lazy decrease: second entry, record = 1
+  EXPECT_EQ(q.size(), 1u);    // still one distinct vertex
+  EXPECT_EQ(q.priority_of(1), 1u);
+
+  std::vector<vertex_t> out;
+  auto level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 1u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{1}));
+
+  // The entry parked at level 6 is provably stale and dropped at pop.
+  out.clear();
+  EXPECT_FALSE(q.pop_bucket(out).has_value());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(q.stale_drops(), 1u);
+}
+
+TEST(BucketQueue, OverflowBucketRedistributesInOrder) {
+  // 4 slots: regular levels 0..2, overflow at slot 3. Everything pushed
+  // here parks in the overflow and must come back out in priority order
+  // via base sliding + redistribution.
+  BucketQueue q(1000, 4);
+  EXPECT_TRUE(q.push(1, 900));
+  EXPECT_TRUE(q.push(2, 40));
+  EXPECT_TRUE(q.push(3, 41));
+  EXPECT_TRUE(q.push(4, 500));
+  EXPECT_EQ(q.base(), 0u);
+
+  std::vector<vertex_t> out;
+  auto level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 40u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{2}));
+  EXPECT_EQ(q.base(), 40u);  // window slid to the minimum live priority
+
+  out.clear();
+  level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 41u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{3}));
+
+  out.clear();
+  level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 500u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{4}));
+  EXPECT_EQ(q.base(), 500u);
+
+  out.clear();
+  level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 900u);
+  EXPECT_EQ(out, (std::vector<vertex_t>{1}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, PushBelowBaseClampsToLowestSlotAndPopsFirst) {
+  BucketQueue q(100, 4);
+  q.push(1, 80);
+  std::vector<vertex_t> out;
+  ASSERT_TRUE(q.pop_bucket(out).has_value());  // slides base to 80
+  EXPECT_EQ(q.base(), 80u);
+
+  q.push(2, 90);
+  q.push(3, 5);  // below the window base: clamps to slot 0
+  out.clear();
+  auto level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 5u);  // the clamped entry still pops first
+  EXPECT_EQ(out, (std::vector<vertex_t>{3}));
+}
+
+TEST(BucketQueue, PeekLowestDoesNotClaim) {
+  BucketQueue q(100, 8);
+  q.push(7, 2);
+  q.push(8, 2);
+  q.push(9, 4);
+
+  std::vector<vertex_t> peeked;
+  EXPECT_EQ(q.peek_lowest(peeked), 2u);
+  std::sort(peeked.begin(), peeked.end());
+  EXPECT_EQ(peeked, (std::vector<vertex_t>{7, 8}));
+  EXPECT_EQ(q.size(), 3u);  // nothing claimed
+  EXPECT_EQ(q.priority_of(7), 2u);
+
+  std::vector<vertex_t> out;
+  auto level = q.pop_bucket(out);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 2u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<vertex_t>{7, 8}));
+}
+
+TEST(BucketQueue, ClearResetsEverything) {
+  BucketQueue q(100, 4);
+  q.push(1, 3);
+  q.push(2, 99);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.priority_of(1), BucketQueue::kNotQueued);
+  EXPECT_EQ(q.base(), 0u);
+  std::vector<vertex_t> out;
+  EXPECT_FALSE(q.pop_bucket(out).has_value());
+  // Usable again after clear.
+  EXPECT_TRUE(q.push(1, 0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BucketQueue, ResidualPriorityQuantizesByHalving) {
+  using sched::residual_priority;
+  EXPECT_EQ(residual_priority(2.0), 0u);
+  EXPECT_EQ(residual_priority(1.0), 0u);
+  EXPECT_EQ(residual_priority(0.75), 0u);   // [0.5, 1) -> level 0
+  EXPECT_EQ(residual_priority(0.3), 1u);    // [0.25, 0.5) -> level 1
+  EXPECT_EQ(residual_priority(0.125), 2u);  // [0.125, 0.25) -> level 2
+  EXPECT_EQ(residual_priority(0.0), BucketQueue::kNotQueued - 1);
+  EXPECT_EQ(residual_priority(-1.0), BucketQueue::kNotQueued - 1);
+  // Monotone: larger residual never lands in a later bucket.
+  double prev = residual_priority(1.0);
+  for (double r = 0.5; r > 1e-12; r /= 1.7) {
+    const double level = residual_priority(r);
+    EXPECT_GE(level, prev) << r;
+    prev = level;
+  }
+}
+
+TEST(BucketQueue, ConcurrentPushPopDeliversEveryVertexOnce) {
+  // The TSan target: multiple producers push improving priorities while
+  // the single consumer pops. Every vertex must be delivered at least
+  // once, never concurrently double-claimed, and the queue must drain.
+  constexpr vertex_t kN = 4096;
+  constexpr int kProducers = 4;
+  BucketQueue q(kN, 16);
+
+  std::atomic<bool> start{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      Xoshiro256 rng(1000 + t);
+      // Each producer pushes every vertex a few times with decreasing
+      // priorities, interleaved with the other producers and the consumer.
+      for (int pass = 0; pass < 3; ++pass) {
+        for (vertex_t v = t; v < kN; v += kProducers) {
+          const priority_t p =
+              static_cast<priority_t>((v % 40) + (2 - pass) * 50 +
+                                      rng.next_below(10));
+          q.push(v, p);
+        }
+      }
+    });
+  }
+
+  std::vector<char> seen(kN, 0);
+  std::uint64_t delivered = 0;
+  std::uint64_t covered = 0;
+  start.store(true, std::memory_order_release);
+
+  std::vector<vertex_t> out;
+  auto consume = [&] {
+    for (vertex_t v : out) {
+      ++delivered;
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++covered;
+      }
+    }
+    out.clear();
+  };
+  // Drain concurrently with the producers...
+  while (covered < kN) {
+    if (q.pop_bucket(out)) {
+      consume();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : producers) t.join();
+  // ...then drain whatever the tail of the producers left behind.
+  while (q.pop_bucket(out)) consume();
+
+  EXPECT_EQ(covered, kN);
+  EXPECT_GE(delivered, static_cast<std::uint64_t>(kN));
+  EXPECT_TRUE(q.empty());
+  for (vertex_t v = 0; v < kN; ++v) {
+    EXPECT_EQ(q.priority_of(v), BucketQueue::kNotQueued) << v;
+  }
+  // Deliveries + stale drops account for every state-changing push.
+  EXPECT_EQ(delivered + q.stale_drops(), q.pushes());
+}
+
+// ------------------------------------------------------------ AsyncRunner
+
+TEST(AsyncRunner, SingleBucketRoundsProcessLevelsInOrder) {
+  graph::Csr g = graph::generate_uniform(256, 1024, 42);
+  core::Runtime rt(testutil::test_config());
+  auto odg = format::make_mem_graph(g);
+  auto& qc = rt.default_context();
+
+  sched::AsyncOptions opts;
+  opts.num_buckets = 8;
+  opts.single_bucket_rounds = true;
+  opts.prefetch_next = false;
+  sched::AsyncRunner runner(qc, odg, opts);
+  const vertex_t n = g.num_vertices();
+  for (vertex_t v = 0; v < n; ++v) runner.queue().push(v, v % 5);
+
+  std::vector<priority_t> levels;
+  std::uint64_t seen = 0;
+  auto rs = runner.run([&](const core::VertexSubset& frontier,
+                           priority_t level) {
+    levels.push_back(level);
+    seen += frontier.count();
+    return static_cast<double>(frontier.count());
+  });
+
+  EXPECT_EQ(seen, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(rs.popped, static_cast<std::uint64_t>(n));
+  ASSERT_EQ(levels.size(), 5u);  // one round per distinct level
+  EXPECT_TRUE(std::is_sorted(levels.begin(), levels.end()));
+  EXPECT_EQ(rs.rounds, levels.size());
+  EXPECT_EQ(rs.residual_curve.size(), rs.rounds);
+  EXPECT_GT(rs.unique_pages, 0u);
+  EXPECT_GE(rs.pages_spanned, rs.unique_pages);
+}
+
+TEST(AsyncRunner, MaxRoundsAndRequestStopEndTheRun) {
+  graph::Csr g = graph::generate_uniform(128, 512, 43);
+  core::Runtime rt(testutil::test_config());
+  auto odg = format::make_mem_graph(g);
+  auto& qc = rt.default_context();
+  const vertex_t n = g.num_vertices();
+
+  {
+    sched::AsyncOptions opts;
+    opts.single_bucket_rounds = true;
+    opts.max_rounds = 2;
+    sched::AsyncRunner runner(qc, odg, opts);
+    for (vertex_t v = 0; v < n; ++v) runner.queue().push(v, v % 6);
+    auto rs = runner.run([&](const core::VertexSubset& f, priority_t) {
+      return static_cast<double>(f.count());
+    });
+    EXPECT_EQ(rs.rounds, 2u);
+    EXPECT_FALSE(runner.queue().empty());  // work intentionally left behind
+  }
+  {
+    sched::AsyncOptions opts;
+    opts.single_bucket_rounds = true;
+    sched::AsyncRunner runner(qc, odg, opts);
+    for (vertex_t v = 0; v < n; ++v) runner.queue().push(v, v % 6);
+    auto rs = runner.run([&](const core::VertexSubset& f, priority_t) {
+      runner.request_stop();  // stop after the first round, mid-queue
+      return static_cast<double>(f.count());
+    });
+    EXPECT_EQ(rs.rounds, 1u);
+  }
+}
+
+// ------------------------------------------------- faults & buffer safety
+
+/// Out-graph behind a FaultyDevice (same shape as test_fault_tolerance).
+format::OnDiskGraph faulty_graph(
+    const graph::Csr& g, std::shared_ptr<FaultyDevice>* out,
+    std::function<bool(std::uint64_t, std::uint64_t)> should_fail,
+    FaultMode mode, std::uint64_t transient_budget = 1) {
+  std::vector<std::byte> adj = format::serialize_adjacency(g);
+  auto inner = std::make_shared<device::MemDevice>("m", std::move(adj));
+  auto faulty = std::make_shared<FaultyDevice>(
+      inner, std::move(should_fail), mode, transient_budget);
+  if (out) *out = faulty;
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  return format::OnDiskGraph(format::GraphIndex(degrees), faulty);
+}
+
+TEST(AsyncRunner, AsyncSsspSurvivesTransientFaultsWithIdenticalResult) {
+  graph::Csr g = graph::generate_rmat(10, 8, 816);
+  std::shared_ptr<FaultyDevice> faulty;
+  auto odg = faulty_graph(g, &faulty,
+                          [](std::uint64_t, std::uint64_t) { return true; },
+                          FaultMode::kTransient, /*transient_budget=*/3);
+  auto clean = format::make_mem_graph(g);
+
+  auto cfg = testutil::test_config();
+  cfg.execution_mode = core::ExecutionMode::kAsync;
+  core::Runtime async_rt(cfg);
+  core::Runtime bsp_rt(testutil::test_config());
+
+  auto want = algorithms::sssp(bsp_rt, clean, 1).dist;
+  auto got = algorithms::sssp(async_rt, odg, 1);
+  EXPECT_EQ(got.dist, want);
+  EXPECT_EQ(got.stats.failed_requests, 0u);
+  EXPECT_TRUE(got.stats.experienced_faults());
+  EXPECT_EQ(faulty->injected_failures(), 3u);
+
+  async_rt.io_pipeline().quiesce();
+  EXPECT_EQ(async_rt.io_pool().available(), async_rt.io_pool().num_buffers());
+}
+
+TEST(AsyncRunner, PropagatedFaultLeavesPoolWholeAndRuntimeReusable) {
+  // Permanent faults mid-run: the async loop (with its overlapped next-
+  // bucket prefetch in flight) must reclaim every pool buffer on the way
+  // out, and the same Runtime must then run a clean async query correctly.
+  graph::Csr g = graph::generate_rmat(10, 8, 817);
+  std::shared_ptr<FaultyDevice> faulty;
+  auto odg = faulty_graph(
+      g, &faulty,
+      [](std::uint64_t off, std::uint64_t len) {
+        return off < 3 * kPageSize && off + len > 2 * kPageSize;
+      },
+      FaultMode::kPermanent);
+
+  auto cfg = testutil::test_config();
+  cfg.execution_mode = core::ExecutionMode::kAsync;
+  core::Runtime rt(cfg);
+  EXPECT_THROW(algorithms::sssp(rt, odg, 1), io::IoError);
+  EXPECT_GE(faulty->injected_failures(), 1u);
+
+  rt.io_pipeline().quiesce();
+  EXPECT_EQ(rt.io_pool().available(), rt.io_pool().num_buffers());
+
+  // Same runtime, clean graph: the async k-core (out+in maps, exact
+  // levels) still matches BSP.
+  auto clean = format::make_mem_graph(g);
+  graph::Csr gt = graph::transpose(g);
+  auto clean_t = format::make_mem_graph(gt);
+  core::Runtime bsp_rt(testutil::test_config());
+  EXPECT_EQ(algorithms::kcore(rt, clean, clean_t).coreness,
+            algorithms::kcore(bsp_rt, clean, clean_t).coreness);
+  EXPECT_EQ(rt.io_pool().available(), rt.io_pool().num_buffers());
+}
+
+}  // namespace
+}  // namespace blaze

@@ -174,6 +174,63 @@ TEST_F(ToolsTest, ServingModeWithTraceReportsCounters) {
   std::remove(trace.c_str());
 }
 
+TEST_F(ToolsTest, AsyncModeRunsAndReports) {
+  ASSERT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query pr -computeWorkers 2 --mode async --epsilon 1e-3 " +
+                prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
+            0)
+      << output();
+  EXPECT_NE(output().find("mode: async"), std::string::npos) << output();
+
+  ASSERT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query sssp -computeWorkers 2 --mode async -startNode 0 " +
+                prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
+            0)
+      << output();
+}
+
+TEST_F(ToolsTest, UnknownModeRejected) {
+  EXPECT_NE(run(std::string(BLAZE_RUN_PATH) + " -query pr --mode nope " +
+                prefix_ + ".gr.index " + prefix_ + ".gr.adj.0"),
+            0);
+  EXPECT_NE(output().find("--mode"), std::string::npos) << output();
+}
+
+TEST_F(ToolsTest, WeightedGraphRejectsDvarintTranscode) {
+  // Same rule blaze-gen enforces at write time: weighted 8-byte records
+  // are flat-only, so asking blaze-run to transcode must fail cleanly
+  // (typed error -> exit 2) instead of producing a corrupt in-memory copy.
+  const std::string wprefix = "/tmp/blaze_tools_wgraph";
+  ASSERT_EQ(run(std::string(BLAZE_GEN_PATH) +
+                " -type rmat -scale 10 -edgeFactor 8 -seed 7 -weighted " +
+                wprefix),
+            0)
+      << output();
+  EXPECT_NE(run(std::string(BLAZE_RUN_PATH) +
+                " -query sssp -computeWorkers 2 --format dvarint " + wprefix +
+                ".gr.index " + wprefix + ".gr.adj.0"),
+            0);
+  const std::string out = output();
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+  EXPECT_NE(out.find("dvarint"), std::string::npos) << out;
+  EXPECT_NE(out.find("weighted"), std::string::npos) << out;
+  // The same weighted graph still runs flat, in both execution modes.
+  EXPECT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query sssp -computeWorkers 2 -startNode 0 " + wprefix +
+                ".gr.index " + wprefix + ".gr.adj.0"),
+            0)
+      << output();
+  EXPECT_EQ(run(std::string(BLAZE_RUN_PATH) +
+                " -query sssp -computeWorkers 2 --mode async -startNode 0 " +
+                wprefix + ".gr.index " + wprefix + ".gr.adj.0"),
+            0)
+      << output();
+  for (const char* suffix :
+       {".gr.index", ".gr.adj.0", ".tgr.index", ".tgr.adj.0"}) {
+    std::remove((wprefix + suffix).c_str());
+  }
+}
+
 TEST_F(ToolsTest, MissingGraphFileFailsCleanly) {
   EXPECT_NE(run(std::string(BLAZE_RUN_PATH) +
                 " -query bfs /nonexistent.idx /nonexistent.adj"),
