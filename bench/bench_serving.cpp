@@ -33,12 +33,30 @@
 //   BLAZE_BENCH_METRICS_MS   sampler interval, ms (default 10)
 //   BLAZE_BENCH_METRICS_PORT scrape endpoint port (default off; 0 =
 //                            ephemeral)
+//
+// Open-loop mode (BLAZE_BENCH_OPENLOOP=1) replaces the closed-loop sweep
+// with the multi-tenant catalog serving shape: two resident graphs behind
+// one GraphCatalog, three weighted tenants (one quota-capped), and a
+// seeded Poisson arrival process that submits WITHOUT waiting — arrivals
+// the engine cannot admit are dropped and counted, exactly like a real
+// front door. The row reports achieved throughput, p50/p95 against an SLO,
+// and the cross-query fusion ratio (K=8 same-source BFS fused into one
+// batch vs one BFS, demand bytes) for the check_bench_baseline.py
+// --openloop gate. Extra knobs:
+//   BLAZE_BENCH_OPENLOOP          1 = run the open-loop pass instead
+//   BLAZE_BENCH_ARRIVALS          total arrivals (default 96)
+//   BLAZE_BENCH_RATE_QPS          Poisson arrival rate (default 150)
+//   BLAZE_BENCH_SLO_MS            p95 SLO in ms (default 10000)
+//   BLAZE_BENCH_SEED              arrival-process seed (default 42)
+//   BLAZE_BENCH_OPENLOOP_INFLIGHT concurrent sessions (default 4)
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,7 +66,9 @@
 #include "device/cached_device.h"
 #include "metrics/export.h"
 #include "metrics/metrics.h"
+#include "serve/graph_catalog.h"
 #include "serve/query_engine.h"
+#include "serve/query_fusion.h"
 #include "trace/chrome_export.h"
 #include "trace/tracer.h"
 
@@ -130,9 +150,172 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
+/// Open-loop catalog serving: seeded Poisson arrivals over two resident
+/// graphs and three weighted tenants, plus the fused-BFS IO ratio. One
+/// "serving_openloop" JSON row; returns the process exit code.
+int run_openloop() {
+  const auto arrivals =
+      static_cast<std::size_t>(env_long("BLAZE_BENCH_ARRIVALS", 96));
+  const double rate_qps =
+      static_cast<double>(env_long("BLAZE_BENCH_RATE_QPS", 150));
+  const double slo_ms =
+      static_cast<double>(env_long("BLAZE_BENCH_SLO_MS", 10000));
+  const auto seed =
+      static_cast<std::uint64_t>(env_long("BLAZE_BENCH_SEED", 42));
+  const auto inflight = static_cast<std::size_t>(
+      env_long("BLAZE_BENCH_OPENLOOP_INFLIGHT", 4));
+  const auto profile = bench_optane();
+  const auto& main_ds = dataset("r2");
+  const auto& alt_ds = dataset("r3");
+
+  auto main_base = format::make_simulated_graph(main_ds.csr, profile);
+  auto alt_base = format::make_simulated_graph(alt_ds.csr, profile);
+  const auto cache_div =
+      static_cast<std::size_t>(env_long("BLAZE_BENCH_CACHE_DIV", 4));
+  const std::size_t cache_bytes =
+      (main_base.input_bytes() + alt_base.input_bytes()) * 2 /
+      (cache_div == 0 ? 1 : cache_div);
+
+  // Ground truth per resident graph: BFS-from-0 reachable set size.
+  std::size_t want_reached[2];
+  {
+    core::Runtime rt(bench_config(main_base));
+    want_reached[0] =
+        reached_count(algorithms::bfs(rt, main_base, 0).parent);
+    want_reached[1] = reached_count(algorithms::bfs(rt, alt_base, 0).parent);
+  }
+
+  serve::EngineOptions opts;
+  opts.max_inflight_queries = inflight;
+  opts.max_queue_depth = arrivals;  // overload drops are quota's job here
+  auto serve_cfg = bench_config(main_base);
+  serve_cfg.cache_bytes = cache_bytes;
+  serve::QueryEngine engine(serve_cfg, opts);
+  serve::GraphCatalog catalog(engine.runtime());
+  catalog.open("main", std::move(main_base));
+  catalog.open("alt", std::move(alt_base));
+  engine.attach_catalog(&catalog);
+
+  // Three tenants: a heavy paid tier, a default tier, and a quota-capped
+  // free tier whose burst the engine must bounce without hurting the rest.
+  serve::TenantOptions gold, silver, bronze;
+  gold.weight = 3.0;
+  silver.weight = 1.0;
+  bronze.weight = 1.0;
+  bronze.max_queued = std::max<std::size_t>(2, arrivals / 16);
+  engine.register_tenant("gold", gold);
+  engine.register_tenant("silver", silver);
+  engine.register_tenant("bronze", bronze);
+  const char* tenant_names[3] = {"gold", "silver", "bronze"};
+  const char* graph_names[2] = {"main", "alt"};
+
+  std::atomic<bool> mismatch{false};
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(rate_qps > 0 ? rate_qps : 1.0);
+
+  std::uint64_t quota_dropped = 0, overload_dropped = 0;
+  std::vector<std::shared_ptr<serve::QueryTicket>> tickets;
+  tickets.reserve(arrivals);
+  Timer wall;
+  for (std::size_t i = 0; i < arrivals; ++i) {
+    const int gi = static_cast<int>(i % 2);
+    serve::QuerySpec spec;
+    spec.graph = graph_names[gi];
+    spec.tenant = tenant_names[i % 3];
+    spec.label = std::string("bfs/") + spec.tenant;
+    const std::size_t want = want_reached[gi];
+    spec.run = [want, &mismatch](core::QueryContext& qc) {
+      auto r = algorithms::bfs(qc, *qc.graph(), 0);
+      if (reached_count(r.parent) != want) mismatch = true;
+      return r.stats;
+    };
+    try {
+      tickets.push_back(engine.submit(spec));
+    } catch (const serve::ServeError& e) {
+      // Open loop: an arrival the engine cannot admit is dropped and
+      // counted, never retried — the arrival process doesn't slow down
+      // because the server is busy.
+      if (e.kind() == serve::RejectKind::kQuotaExceeded) {
+        ++quota_dropped;
+      } else {
+        ++overload_dropped;
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(gap(rng)));
+  }
+  for (const auto& t : tickets) t->wait();
+  const double wall_s = wall.seconds();
+  const auto stats = engine.stats();
+
+  // Budget invariant at steady state: declared per-graph cache budgets
+  // sum EXACTLY to the configured pool budget.
+  std::uint64_t budget_sum = 0;
+  for (const auto& row : catalog.snapshot()) {
+    budget_sum += row.cache_budget_bytes;
+  }
+  const bool budget_sum_ok = budget_sum == cache_bytes;
+  engine.drain();
+
+  // Fusion ratio on a raw (uncached) graph so bytes_read is pure demand
+  // IO: K=8 same-source BFS fused into one batch vs a single BFS.
+  auto fused_g = format::make_simulated_graph(main_ds.csr, profile);
+  core::Runtime fused_rt(bench_config(fused_g));
+  serve::FusedQuerySpec fspec;
+  fspec.kind = serve::FusedQuerySpec::Kind::kBfs;
+  fspec.source = 0;
+  core::QueryStats one_stats, batch_stats;
+  const auto solo = serve::run_fused(fused_rt.default_context(), fused_g,
+                                     {fspec}, &one_stats);
+  const auto fused = serve::run_fused(
+      fused_rt.default_context(), fused_g,
+      std::vector<serve::FusedQuerySpec>(8, fspec), &batch_stats);
+  for (const auto& r : fused) {
+    if (r.bfs_dist != solo[0].bfs_dist) mismatch = true;
+  }
+  const double fused_ratio =
+      one_stats.bytes_read > 0
+          ? static_cast<double>(batch_stats.bytes_read) /
+                static_cast<double>(one_stats.bytes_read)
+          : 0.0;
+
+  const double p95 = stats.p95_ms();
+  std::printf(
+      "{\"bench\":\"serving_openloop\",\"graphs\":2,\"tenants\":3,"
+      "\"arrivals\":%zu,\"rate_qps\":%.1f,\"seed\":%llu,\"sessions\":%zu,"
+      "\"cache_mib\":%.1f,\"admitted\":%llu,\"completed\":%llu,"
+      "\"failed\":%llu,\"expired\":%llu,\"quota_dropped\":%llu,"
+      "\"overload_dropped\":%llu,\"quota_rejected\":%llu,"
+      "\"wall_s\":%.3f,\"achieved_qps\":%.2f,\"p50_ms\":%.2f,"
+      "\"p95_ms\":%.2f,\"slo_ms\":%.1f,\"p95_within_slo\":%s,"
+      "\"fused_k\":8,\"fused_single_bytes\":%llu,"
+      "\"fused_batch_bytes\":%llu,\"fused_bytes_ratio\":%.4f,"
+      "\"budget_sum_ok\":%s,\"results_match\":%s}\n",
+      arrivals, rate_qps, static_cast<unsigned long long>(seed), inflight,
+      static_cast<double>(cache_bytes) / (1 << 20),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(quota_dropped),
+      static_cast<unsigned long long>(overload_dropped),
+      static_cast<unsigned long long>(stats.quota_rejected), wall_s,
+      wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0.0,
+      stats.p50_ms(), p95, slo_ms, p95 <= slo_ms ? "true" : "false",
+      static_cast<unsigned long long>(one_stats.bytes_read),
+      static_cast<unsigned long long>(batch_stats.bytes_read), fused_ratio,
+      budget_sum_ok ? "true" : "false",
+      !mismatch.load() ? "true" : "false");
+  std::fflush(stdout);
+  return !mismatch.load() && budget_sum_ok && stats.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
+  if (env_long("BLAZE_BENCH_OPENLOOP", 0) != 0) {
+    return run_openloop();
+  }
   const auto per_client =
       static_cast<std::size_t>(env_long("BLAZE_BENCH_QUERIES", 3));
   const auto profile = bench_optane();

@@ -12,6 +12,7 @@ Usage:
   check_bench_baseline.py --baseline BENCH_BASELINE.json bench_micro.json
   check_bench_baseline.py ... --fig8 fig8.csv     # also gate utilization
   check_bench_baseline.py ... --serving serving.jsonl  # serving sweep gate
+  check_bench_baseline.py ... --openloop openloop.jsonl # open-loop + fusion gate
   check_bench_baseline.py ... --cache cache.jsonl      # contention micro gate
   check_bench_baseline.py ... --compression comp.jsonl # dvarint vs flat gate
   check_bench_baseline.py ... --async async.jsonl      # async vs BSP gate
@@ -197,6 +198,78 @@ def check_serving(baseline, path):
                 f"serving c={clients}: s3fifo hit rate {s3_rate:.3f}"
                 f" < lru {lru_rate:.3f} - {margin:g}"
             )
+    return failures
+
+
+def check_openloop(baseline, path):
+    """Gates the bench_serving open-loop row (BLAZE_BENCH_OPENLOOP=1):
+    every admitted arrival must be accounted for and reproduce the
+    reference, the catalog's budget-sum invariant must hold, and the
+    headline fusion claim — K=8 same-source BFS fused into one batch
+    demands < max_fused_bytes_ratio (default 2x) the IO bytes of one BFS.
+    The p95-vs-SLO comparison is informational unless require_slo is set
+    (shared CI runners make wall-clock latency a noisy gate)."""
+    failures = []
+    section = baseline.get("serving_openloop")
+    if not section:
+        return failures
+    rows = load_jsonl(path, "serving_openloop")
+    max_ratio = float(section.get("max_fused_bytes_ratio", 2.0))
+    min_completed_fraction = float(section.get("min_completed_fraction", 0.5))
+    for row in rows:
+        label = f"openloop a={row.get('arrivals')}@{row.get('rate_qps')}qps"
+        ok = True
+        if section.get("require_match", True) and not row.get(
+            "results_match", False
+        ):
+            failures.append(f"{label}: results_match is false")
+            ok = False
+        if not row.get("budget_sum_ok", False):
+            failures.append(f"{label}: catalog budget-sum invariant broken")
+            ok = False
+        admitted = int(row.get("admitted", 0))
+        accounted = (
+            int(row.get("completed", 0))
+            + int(row.get("failed", 0))
+            + int(row.get("expired", 0))
+        )
+        if admitted != accounted:
+            failures.append(
+                f"{label}: admitted {admitted} != completed+failed+expired"
+                f" {accounted}"
+            )
+            ok = False
+        if int(row.get("failed", 0)) != 0:
+            failures.append(f"{label}: {row.get('failed')} queries failed")
+            ok = False
+        arrivals = int(row.get("arrivals", 0))
+        completed = int(row.get("completed", 0))
+        if arrivals > 0 and completed < arrivals * min_completed_fraction:
+            failures.append(
+                f"{label}: only {completed}/{arrivals} arrivals completed"
+                f" (floor {min_completed_fraction:g})"
+            )
+            ok = False
+        ratio = float(row.get("fused_bytes_ratio", 0.0))
+        if ratio <= 0.0 or ratio >= max_ratio:
+            failures.append(
+                f"{label}: fused bytes ratio {ratio:.3f} not in"
+                f" (0, {max_ratio:g})"
+            )
+            ok = False
+        p95 = float(row.get("p95_ms", 0.0))
+        slo = float(row.get("slo_ms", 0.0))
+        slo_ok = bool(row.get("p95_within_slo", False))
+        if section.get("require_slo", False) and not slo_ok:
+            failures.append(f"{label}: p95 {p95:.1f} ms > SLO {slo:.1f} ms")
+            ok = False
+        print(
+            f"{'OK' if ok else 'FAIL':7s}  {label}:"
+            f" completed {completed}/{arrivals},"
+            f" quota dropped {int(row.get('quota_dropped', 0))},"
+            f" p95 {p95:.1f} ms (SLO {slo:.0f}{'' if slo_ok else ', MISSED'}),"
+            f" fused x{ratio:.3f} (< {max_ratio:g})"
+        )
     return failures
 
 
@@ -398,6 +471,10 @@ def main():
         "--serving", help="bench_serving JSON-rows output to gate as well"
     )
     ap.add_argument(
+        "--openloop",
+        help="bench_serving open-loop JSON-rows output to gate as well",
+    )
+    ap.add_argument(
         "--cache",
         help="bench_cache_contention JSON-rows output to gate as well",
     )
@@ -426,6 +503,10 @@ def main():
         sections.append(("fig8", check_fig8(baseline, args.fig8)))
     if args.serving:
         sections.append(("serving", check_serving(baseline, args.serving)))
+    if args.openloop:
+        sections.append(
+            ("serving_openloop", check_openloop(baseline, args.openloop))
+        )
     if args.cache:
         sections.append(("cache", check_cache(baseline, args.cache)))
     if args.compression:

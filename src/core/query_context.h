@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/bins.h"
@@ -27,6 +28,10 @@
 #include "io/io_pipeline.h"
 #include "trace/tracer.h"
 #include "util/thread_pool.h"
+
+namespace blaze::format {
+class OnDiskGraph;  // the handle a catalog query pins (see graph())
+}
 
 namespace blaze::core {
 
@@ -69,6 +74,24 @@ class QueryContext {
   /// query, not one per session.
   trace::QueryId trace_id() const { return trace_id_; }
   void set_trace_id(trace::QueryId id) { trace_id_ = id; }
+
+  /// The tenant the running query belongs to; empty outside multi-tenant
+  /// serving. Stamped by serve::QueryEngine per admitted query (like the
+  /// trace id) so algorithms and adapters can attribute work without the
+  /// engine threading a second channel through every call.
+  const std::string& tenant() const { return tenant_; }
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+
+  /// The catalog graph the running query was admitted against; null for
+  /// direct (non-catalog) execution. The shared_ptr pins the graph: a
+  /// concurrent GraphCatalog::close() of it cannot free the index/device
+  /// under a query that already holds the handle.
+  const std::shared_ptr<const format::OnDiskGraph>& graph() const {
+    return graph_;
+  }
+  void set_graph(std::shared_ptr<const format::OnDiskGraph> g) {
+    graph_ = std::move(g);
+  }
 
   /// Bin space, (re)created lazily from the config and reset between
   /// EdgeMap executions.
@@ -136,6 +159,8 @@ class QueryContext {
   Config cfg_;
   io::IoPipeline* pipeline_;
   trace::QueryId trace_id_ = trace::next_query_id();
+  std::string tenant_;
+  std::shared_ptr<const format::OnDiskGraph> graph_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< null when the pool is borrowed
   ThreadPool* pool_;
   std::unique_ptr<BinSet> bins_;

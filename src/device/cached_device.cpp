@@ -52,6 +52,15 @@ CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
       base_(pool_->register_device(inner_->name())),
       stats_(0) {}
 
+CachedDevice::CachedDevice(std::shared_ptr<BlockDevice> inner,
+                           std::shared_ptr<ShardedPageCache> pool,
+                           const std::string& namespace_name)
+    : name_(namespace_name + "+cache"),
+      inner_(std::move(inner)),
+      pool_(std::move(pool)),
+      base_(pool_->register_device(namespace_name)),
+      stats_(0) {}
+
 void CachedDevice::bind_metrics() {
   if (!metrics_bindings_.empty()) return;
   metrics::Registry& reg = metrics::Registry::instance();

@@ -45,6 +45,14 @@ class CachedDevice : public BlockDevice, public CacheStatsSource {
   CachedDevice(std::shared_ptr<BlockDevice> inner,
                std::shared_ptr<ShardedPageCache> pool);
 
+  /// Shared-pool adapter registering under an explicit namespace label
+  /// instead of the inner device's name — serve::GraphCatalog names each
+  /// graph's namespace "graph/<name>" so the pool's per-namespace
+  /// occupancy reads as a per-graph breakdown.
+  CachedDevice(std::shared_ptr<BlockDevice> inner,
+               std::shared_ptr<ShardedPageCache> pool,
+               const std::string& namespace_name);
+
   const std::string& name() const override { return name_; }
   std::uint64_t size() const override { return inner_->size(); }
 

@@ -392,11 +392,17 @@ bool CacheShard::fill_locked(std::uint64_t key, const std::byte* data) {
     } else {
       slot = policy_->victim();
       if (slot == kNil) return false;
-      map_.erase(slot_key_[slot]);
+      const std::uint64_t victim_key = slot_key_[slot];
+      map_.erase(victim_key);
+      if (auto ns = ns_resident_.find(victim_key >> kNamespaceShift);
+          ns != ns_resident_.end() && --ns->second == 0) {
+        ns_resident_.erase(ns);
+      }
       evictions_.fetch_add(1, std::memory_order_relaxed);
     }
     slot_key_[slot] = key;
     map_[key] = slot;
+    ++ns_resident_[key >> kNamespaceShift];
     ghost_hit = policy_->inserted(slot, key);
     if (ghost_hit) ghost_hits_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -439,6 +445,12 @@ CacheCounters CacheShard::counters() const {
   return c;
 }
 
+void CacheShard::add_resident_by_namespace(
+    std::unordered_map<std::uint64_t, std::uint64_t>& acc) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [ns, pages] : ns_resident_) acc[ns] += pages;
+}
+
 std::size_t CacheShard::resident_pages() const {
   std::lock_guard lock(mu_);
   return map_.size();
@@ -472,11 +484,30 @@ ShardedPageCache::ShardedPageCache(PageCacheOptions opts)
   capacity_pages_ = per_shard * n;
 }
 
-std::uint64_t ShardedPageCache::register_device(const std::string&) {
+std::uint64_t ShardedPageCache::register_device(
+    const std::string& device_name) {
   std::lock_guard lock(devices_mu_);
   // 2^48 pages = 1 EiB per device: namespaces can never overlap in
   // practice, and the group/shard hash sees distinct high bits per device.
-  return (next_device_++) << 48;
+  device_names_.push_back(device_name);
+  return (next_device_++) << kNamespaceShift;
+}
+
+std::vector<ShardedPageCache::NamespaceUsage>
+ShardedPageCache::namespace_usage() const {
+  std::unordered_map<std::uint64_t, std::uint64_t> acc;
+  for (const auto& s : shards_) s->add_resident_by_namespace(acc);
+  std::vector<NamespaceUsage> out;
+  std::lock_guard lock(devices_mu_);
+  out.reserve(device_names_.size());
+  for (std::uint64_t id = 0; id < next_device_; ++id) {
+    NamespaceUsage u;
+    u.base = id << kNamespaceShift;
+    u.name = device_names_[id];
+    if (auto it = acc.find(id); it != acc.end()) u.resident_pages = it->second;
+    out.push_back(std::move(u));
+  }
+  return out;
 }
 
 std::uint32_t ShardedPageCache::shard_of(std::uint64_t key) const {

@@ -111,6 +111,11 @@ std::unique_ptr<CachePolicy> make_cache_policy(EvictionPolicy policy,
 /// boundary, i.e. touches at most two shards.
 inline constexpr std::uint64_t kShardGroupPages = 4;
 
+/// Key layout: the high 16 bits of a pool key are the owning device's
+/// namespace id (ShardedPageCache::register_device), the low 48 its
+/// device-local page number.
+inline constexpr unsigned kNamespaceShift = 48;
+
 /// One cache shard: storage slots, page table, in-flight dedup registry,
 /// eviction policy, and counters, all guarded by one shard-local mutex.
 /// Exposed (rather than buried in ShardedPageCache) so the policy unit
@@ -178,6 +183,13 @@ class CacheShard {
   /// Resident pages right now (test/diagnostic; takes the shard lock).
   std::size_t resident_pages() const;
 
+  /// Accumulates this shard's resident pages per key namespace
+  /// (key >> kNamespaceShift) into `acc` (takes the shard lock). The pool
+  /// sums these across shards so the catalog can see which graph actually
+  /// occupies the shared budget.
+  void add_resident_by_namespace(
+      std::unordered_map<std::uint64_t, std::uint64_t>& acc) const;
+
  private:
   static constexpr std::size_t kNil = ~std::size_t{0};
 
@@ -204,6 +216,9 @@ class CacheShard {
   std::unordered_map<std::uint64_t, std::uint32_t> inflight_;  // key -> refs
   std::vector<std::uint64_t> slot_key_;                 // slot -> key
   std::vector<std::size_t> free_slots_;
+  /// Resident pages per key namespace (key >> kNamespaceShift), kept
+  /// exactly in sync with map_ by fill_locked (insert / evict).
+  std::unordered_map<std::uint64_t, std::uint64_t> ns_resident_;
 
   // Counters are atomic (relaxed): monitoring threads read them while
   // sessions update under mu_, and TSan must stay clean.
@@ -230,6 +245,20 @@ class ShardedPageCache : public CacheStatsSource {
   /// callers add it to device-local page numbers to form pool keys. Pages
   /// of different registered devices can never collide.
   std::uint64_t register_device(const std::string& device_name);
+
+  /// One registered namespace's current footprint in the pool.
+  struct NamespaceUsage {
+    std::uint64_t base = 0;  ///< register_device() return value
+    std::string name;        ///< the name it registered under
+    std::uint64_t resident_pages = 0;
+    std::uint64_t resident_bytes() const { return resident_pages * kPageSize; }
+  };
+
+  /// Per-namespace occupancy right now, registration order (walks every
+  /// shard under its lock; monitoring-path cost, not hot-path). Namespaces
+  /// whose pages were all evicted report 0, not absence — the catalog's
+  /// occupancy reconciliation depends on seeing every registrant.
+  std::vector<NamespaceUsage> namespace_usage() const;
 
   // --- Miss-dedup protocol over pool keys (run = consecutive keys; at
   // --- most kMaxMergePages, so at most two shards are involved).
@@ -282,8 +311,9 @@ class ShardedPageCache : public CacheStatsSource {
   std::size_t capacity_pages_ = 0;
   std::vector<std::unique_ptr<CacheShard>> shards_;
 
-  std::mutex devices_mu_;
-  std::uint64_t next_device_ = 0;  ///< guarded by devices_mu_
+  mutable std::mutex devices_mu_;
+  std::uint64_t next_device_ = 0;            ///< guarded by devices_mu_
+  std::vector<std::string> device_names_;    ///< guarded by devices_mu_
 
   metrics::BindingSet metrics_bindings_;
 

@@ -1,0 +1,275 @@
+#include "serve/graph_catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "device/cached_device.h"
+#include "trace/tracer.h"
+
+namespace blaze::serve {
+
+GraphCatalog::GraphCatalog(core::Runtime& rt) : rt_(&rt) {
+  // Per-graph declared-budget gauges. Registered before any caller can
+  // hold mu_ through a registry snapshot (metrics.h lock rules): the
+  // callback takes mu_, so the catalog itself never calls the registry
+  // while holding mu_.
+  if (metrics::enabled()) {
+    metrics::Registry& reg = metrics::Registry::instance();
+    metrics_bindings_.add(reg.callback(
+        "blaze_catalog_graphs", {}, metrics::Kind::kGauge, [this] {
+          std::lock_guard lock(mu_);
+          std::size_t open = 0;
+          for (const Entry& e : entries_) open += e.closing ? 0 : 1;
+          return static_cast<double>(open);
+        }));
+    metrics_bindings_.add(reg.callback(
+        "blaze_catalog_budget_bytes", {}, metrics::Kind::kGauge, [this] {
+          std::lock_guard lock(mu_);
+          std::uint64_t total = 0;
+          for (const Entry& e : entries_) total += e.cache_budget;
+          return static_cast<double>(total);
+        }));
+  }
+}
+
+GraphCatalog::~GraphCatalog() { metrics_bindings_.clear(); }
+
+GraphCatalog::Entry* GraphCatalog::find_locked(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (!e.closing && e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const GraphCatalog::Entry* GraphCatalog::find_locked(
+    const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (!e.closing && e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void GraphCatalog::open(const std::string& name, format::OnDiskGraph g) {
+  // Wrap the adjacency device through the shared pool under a per-graph
+  // namespace, outside mu_ (register_device takes the pool's own lock).
+  std::shared_ptr<const format::OnDiskGraph> resident;
+  const auto& pool = rt_->page_cache();
+  if (pool && g.device_ptr()) {
+    auto wrapped = std::make_shared<device::CachedDevice>(
+        g.device_ptr(), pool, "graph/" + name);
+    format::OnDiskGraph cached(g.index(), std::move(wrapped));
+    if (g.page_verifier()) cached.set_page_verifier(g.page_verifier());
+    resident =
+        std::make_shared<const format::OnDiskGraph>(std::move(cached));
+  } else {
+    resident = std::make_shared<const format::OnDiskGraph>(std::move(g));
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (find_locked(name) != nullptr) {
+      throw std::invalid_argument("catalog: graph '" + name +
+                                  "' is already resident");
+    }
+    // Reap closed entries whose last query handle has dropped.
+    std::erase_if(entries_, [](const Entry& e) {
+      return e.closing && e.graph.use_count() == 1;
+    });
+    Entry e;
+    e.name = name;
+    e.graph = std::move(resident);
+    entries_.push_back(std::move(e));
+    rebalance_locked();
+  }
+  trace::instant(trace::Name::kCatalogOpen, 0);
+}
+
+void GraphCatalog::open_files(const std::string& name,
+                              const std::string& index_path,
+                              const std::string& adj_path) {
+  open(name, format::load_graph_files(index_path, adj_path));
+}
+
+void GraphCatalog::close(const std::string& name) {
+  {
+    std::lock_guard lock(mu_);
+    Entry* e = find_locked(name);
+    if (e == nullptr) {
+      throw std::invalid_argument("catalog: graph '" + name +
+                                  "' is not resident");
+    }
+    // Unlist now; the freed budget moves to the survivors immediately.
+    // The entry itself lingers (budget 0) until every in-flight query
+    // drops its handle, then the next open/close/rebalance reaps it.
+    e->closing = true;
+    e->cache_budget = 0;
+    e->arena_budget = 0;
+    std::erase_if(entries_, [](const Entry& en) {
+      return en.closing && en.graph.use_count() == 1;
+    });
+    rebalance_locked();
+  }
+  trace::instant(trace::Name::kCatalogClose, 0);
+}
+
+std::shared_ptr<const format::OnDiskGraph> GraphCatalog::lookup(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const Entry* e = find_locked(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("catalog: graph '" + name +
+                                "' is not resident");
+  }
+  return e->graph;
+}
+
+bool GraphCatalog::contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return find_locked(name) != nullptr;
+}
+
+std::size_t GraphCatalog::size() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const Entry& e : entries_) n += e.closing ? 0 : 1;
+  return n;
+}
+
+void GraphCatalog::note_query(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (Entry* e = find_locked(name)) {
+    ++e->queries;
+    ++e->recent;
+  }
+}
+
+void GraphCatalog::rebalance_locked() {
+  // Use-weighted largest-remainder apportionment. Every open graph gets
+  // weight 1 + recent_queries: the +1 floor keeps an idle graph warm
+  // enough to answer its first query without a cold start, while a hot
+  // graph's share grows with its traffic. Largest-remainder (Hamilton)
+  // distributes the integer remainder bytes, so the shares sum EXACTLY
+  // to the budget — the invariant the catalog tests pin.
+  std::vector<Entry*> open;
+  for (Entry& e : entries_) {
+    if (!e.closing) open.push_back(&e);
+  }
+  if (open.empty()) return;
+  double total_weight = 0;
+  for (const Entry* e : open) {
+    total_weight += 1.0 + static_cast<double>(e->recent);
+  }
+  const core::Config& cfg = rt_->config();
+  auto apportion = [&](std::uint64_t budget,
+                       std::uint64_t Entry::* field) {
+    std::uint64_t assigned = 0;
+    std::vector<std::pair<double, Entry*>> remainders;
+    remainders.reserve(open.size());
+    for (Entry* e : open) {
+      const double w = 1.0 + static_cast<double>(e->recent);
+      const double exact =
+          static_cast<double>(budget) * (w / total_weight);
+      const auto floor_bytes = static_cast<std::uint64_t>(exact);
+      e->*field = floor_bytes;
+      assigned += floor_bytes;
+      remainders.emplace_back(exact - static_cast<double>(floor_bytes), e);
+    }
+    // Hand the leftover bytes to the largest fractional remainders,
+    // open-order ties stable so the result is deterministic.
+    std::stable_sort(remainders.begin(), remainders.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    std::uint64_t leftover = budget - assigned;
+    for (auto& [frac, e] : remainders) {
+      if (leftover == 0) break;
+      e->*field += 1;
+      --leftover;
+    }
+  };
+  apportion(cfg.cache_bytes, &Entry::cache_budget);
+  apportion(cfg.bin_space_bytes + cfg.io_buffer_bytes, &Entry::arena_budget);
+  trace::instant(trace::Name::kCatalogRebalance, open.size());
+}
+
+void GraphCatalog::rebalance() {
+  std::lock_guard lock(mu_);
+  std::erase_if(entries_, [](const Entry& e) {
+    return e.closing && e.graph.use_count() == 1;
+  });
+  rebalance_locked();
+  for (Entry& e : entries_) e.recent = 0;
+}
+
+std::size_t GraphCatalog::evict_idle() {
+  std::vector<std::string> idle;
+  {
+    std::lock_guard lock(mu_);
+    for (const Entry& e : entries_) {
+      if (!e.closing && e.recent == 0) idle.push_back(e.name);
+    }
+  }
+  for (const std::string& name : idle) close(name);
+  return idle.size();
+}
+
+std::uint64_t GraphCatalog::cache_budget_of(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const Entry* e = find_locked(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("catalog: graph '" + name +
+                                "' is not resident");
+  }
+  return e->cache_budget;
+}
+
+std::uint64_t GraphCatalog::total_cache_budget() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.cache_budget;
+  return total;
+}
+
+std::uint64_t GraphCatalog::total_arena_budget() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.arena_budget;
+  return total;
+}
+
+std::vector<CatalogEntryInfo> GraphCatalog::snapshot() const {
+  // Realized occupancy first (pool walk takes shard locks; keep it
+  // outside mu_).
+  std::vector<device::ShardedPageCache::NamespaceUsage> usage;
+  if (const auto& pool = rt_->page_cache()) usage = pool->namespace_usage();
+  std::lock_guard lock(mu_);
+  std::vector<CatalogEntryInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    CatalogEntryInfo info;
+    info.name = e.name;
+    info.cache_budget_bytes = e.cache_budget;
+    info.arena_budget_bytes = e.arena_budget;
+    info.queries = e.queries;
+    info.recent_queries = e.recent;
+    info.metadata_bytes = e.graph ? e.graph->metadata_bytes() : 0;
+    info.closing = e.closing;
+    for (const auto& u : usage) {
+      if (u.name == "graph/" + e.name) {
+        info.resident_bytes = u.resident_bytes();
+        break;
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<device::ShardedPageCache::NamespaceUsage>
+GraphCatalog::namespace_usage() const {
+  const auto& pool = rt_->page_cache();
+  if (!pool) return {};
+  return pool->namespace_usage();
+}
+
+}  // namespace blaze::serve

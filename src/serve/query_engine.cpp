@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "serve/graph_catalog.h"
 #include "util/timer.h"
 
 namespace blaze::serve {
@@ -50,6 +51,7 @@ QueryEngine::QueryEngine(core::Config config, EngineOptions opts)
   metrics::Registry& reg = metrics::Registry::instance();
   metrics_.admitted = reg.counter("blaze_serve_admitted_total");
   metrics_.rejected = reg.counter("blaze_serve_rejected_total");
+  metrics_.quota_rejected = reg.counter("blaze_serve_quota_rejected_total");
   metrics_.completed = reg.counter("blaze_serve_completed_total");
   metrics_.failed = reg.counter("blaze_serve_failed_total");
   metrics_.expired = reg.counter("blaze_serve_expired_total");
@@ -58,7 +60,7 @@ QueryEngine::QueryEngine(core::Config config, EngineOptions opts)
       reg.callback("blaze_serve_queue_depth", {}, metrics::Kind::kGauge,
                    [this] {
                      std::lock_guard lock(mu_);
-                     return static_cast<double>(queue_.size());
+                     return static_cast<double>(sched_.size());
                    }));
   metrics_bindings_.add(
       reg.callback("blaze_serve_running", {}, metrics::Kind::kGauge,
@@ -92,8 +94,57 @@ QueryEngine::~QueryEngine() {
   metrics_bindings_.clear();
 }
 
+QueryEngine::TenantMetrics& QueryEngine::tenant_metrics(
+    const std::string& tenant) {
+  std::lock_guard lock(tenant_metrics_mu_);
+  auto it = tenant_metrics_.find(tenant);
+  if (it == tenant_metrics_.end()) {
+    metrics::Registry& reg = metrics::Registry::instance();
+    const metrics::Labels labels{
+        {"tenant", tenant.empty() ? "default" : tenant}};
+    TenantMetrics tm;
+    tm.admitted = reg.counter("blaze_serve_tenant_admitted_total", labels);
+    tm.served = reg.counter("blaze_serve_tenant_served_total", labels);
+    tm.quota_rejected =
+        reg.counter("blaze_serve_tenant_quota_rejected_total", labels);
+    it = tenant_metrics_.emplace(tenant, tm).first;
+  }
+  return it->second;
+}
+
+void QueryEngine::register_tenant(const std::string& name,
+                                  TenantOptions opts) {
+  tenant_metrics(name);  // registry work strictly before mu_
+  std::lock_guard lock(mu_);
+  sched_.register_tenant(name, opts);
+}
+
+void QueryEngine::attach_catalog(GraphCatalog* catalog) {
+  std::lock_guard lock(mu_);
+  catalog_ = catalog;
+}
+
 std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
   auto ticket = std::shared_ptr<QueryTicket>(new QueryTicket(spec.label));
+  // Registry + catalog work happens before the queue lock: the catalog
+  // resolution pins the graph, so a close() racing this submit either
+  // sees the query not yet admitted or finds the handle already taken.
+  TenantMetrics& tm = tenant_metrics(spec.tenant);
+  std::shared_ptr<const format::OnDiskGraph> graph;
+  if (!spec.graph.empty()) {
+    GraphCatalog* cat;
+    {
+      std::lock_guard lock(mu_);
+      cat = catalog_;
+    }
+    if (cat == nullptr) {
+      throw std::invalid_argument(
+          "query '" + spec.label + "' names graph '" + spec.graph +
+          "' but no catalog is attached");
+    }
+    graph = cat->lookup(spec.graph);  // throws for unknown graphs
+    cat->note_query(spec.graph);
+  }
   {
     std::lock_guard lock(mu_);
     if (draining_) {
@@ -104,7 +155,7 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
                        "engine is draining; query '" + spec.label +
                            "' not admitted");
     }
-    if (queue_.size() >= opts_.max_queue_depth) {
+    if (sched_.size() >= opts_.max_queue_depth) {
       std::lock_guard slock(stats_mu_);
       ++stats_.rejected;
       metrics_.rejected->inc();
@@ -113,6 +164,22 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
                            std::to_string(opts_.max_queue_depth) +
                            " queued); query '" + spec.label +
                            "' not admitted");
+    }
+    const std::uint64_t id = next_entry_id_++;
+    if (sched_.push(spec.tenant, id, spec.priority) ==
+        TenantScheduler::Push::kQuota) {
+      trace::instant(trace::Name::kQuotaReject, 0);
+      tm.quota_rejected->inc();
+      std::lock_guard slock(stats_mu_);
+      ++stats_.rejected;
+      ++stats_.quota_rejected;
+      metrics_.rejected->inc();
+      metrics_.quota_rejected->inc();
+      throw ServeError(RejectKind::kQuotaExceeded,
+                       "tenant '" +
+                           (spec.tenant.empty() ? "default" : spec.tenant) +
+                           "' is at its admission quota; query '" +
+                           spec.label + "' not admitted");
     }
     Entry entry;
     entry.submit_ns = Timer::now_ns();
@@ -124,15 +191,32 @@ std::shared_ptr<QueryTicket> QueryEngine::submit(QuerySpec spec) {
             : 0;
     entry.spec = std::move(spec);
     entry.ticket = ticket;
-    queue_.push_back(std::move(entry));
+    entry.graph = std::move(graph);
+    pending_.emplace(id, std::move(entry));
     {
       std::lock_guard slock(stats_mu_);
       ++stats_.admitted;
     }
     metrics_.admitted->inc();
+    tm.admitted->inc();
   }
   work_cv_.notify_one();
   return ticket;
+}
+
+std::shared_ptr<QueryTicket> QueryEngine::submit_fused(
+    QuerySpec base, std::vector<FusedQuerySpec> specs,
+    std::shared_ptr<std::vector<FusedResult>> results) {
+  BLAZE_CHECK(!base.graph.empty(),
+              "submit_fused needs a catalog graph to fuse against");
+  BLAZE_CHECK(results != nullptr, "submit_fused needs a results sink");
+  base.run = [specs = std::move(specs),
+              results = std::move(results)](core::QueryContext& ctx) {
+    core::QueryStats batch;
+    *results = run_fused(ctx, *ctx.graph(), specs, &batch);
+    return batch;
+  };
+  return submit(std::move(base));
 }
 
 void QueryEngine::session_main(std::size_t slot) {
@@ -144,18 +228,17 @@ void QueryEngine::session_main(std::size_t slot) {
     Entry entry;
     {
       std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to run
-      // Highest priority first; FIFO among equals (stable: the scan keeps
-      // the earliest of the best priority).
-      auto best = queue_.begin();
-      for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
-        if (it->spec.priority > best->spec.priority) best = it;
-      }
-      entry = std::move(*best);
-      queue_.erase(best);
+      work_cv_.wait(lock, [&] { return stop_ || !sched_.empty(); });
+      if (sched_.empty()) return;  // stop_ set and nothing left to run
+      // Cross-tenant DRR picks the tenant; priority (FIFO within a
+      // level) picks the query inside it.
+      const auto id = sched_.pop();
+      auto it = pending_.find(*id);
+      entry = std::move(it->second);
+      pending_.erase(it);
       ++running_;
     }
+    tenant_metrics(entry.spec.tenant).served->inc();
     execute(entry, ctx);
     {
       std::lock_guard lock(mu_);
@@ -189,6 +272,7 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
       record_latency(lat);
       record_slow_locked(entry, lat, QueryState::kExpired);
     }
+    entry.graph.reset();
     entry.ticket->finish(
         QueryState::kExpired, {},
         std::make_exception_ptr(ServeError(
@@ -204,11 +288,20 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
   // and the time it sat queued becomes a retroactive admission-wait span.
   trace::ScopedQuery trace_scope(entry.query_id);
   ctx.set_trace_id(entry.query_id);
+  // Tenant + catalog-graph attribution for the query body. The context's
+  // handle is an ADDITIONAL pin for the duration of the run; both it and
+  // the entry's pin drop before the ticket's waiter can observe the
+  // terminal state's successor operations (e.g. re-open of the name).
+  ctx.set_tenant(entry.spec.tenant);
+  ctx.set_graph(entry.graph);
   trace::complete(trace::Name::kAdmissionWait, entry.submit_ns,
                   start_ns - entry.submit_ns, 0, entry.query_id);
   trace::Span exec_span(trace::Name::kSessionExecute);
   try {
     core::QueryStats qs = entry.spec.run(ctx);
+    ctx.set_graph(nullptr);
+    ctx.set_tenant({});
+    entry.graph.reset();  // pin drops before the ticket turns terminal
     const double lat = elapsed_s();
     {
       std::lock_guard slock(stats_mu_);
@@ -220,6 +313,9 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     }
     entry.ticket->finish(QueryState::kDone, qs, nullptr, lat);
   } catch (...) {
+    ctx.set_graph(nullptr);
+    ctx.set_tenant({});
+    entry.graph.reset();
     const double lat = elapsed_s();
     {
       std::lock_guard slock(stats_mu_);
@@ -251,7 +347,7 @@ void QueryEngine::drain() {
   {
     std::unique_lock lock(mu_);
     draining_ = true;
-    drain_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+    drain_cv_.wait(lock, [&] { return sched_.empty() && running_ == 0; });
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -263,6 +359,11 @@ EngineStats QueryEngine::stats() const {
   {
     std::lock_guard lock(stats_mu_);
     out = stats_;
+  }
+  {
+    // Separate (never nested) critical section: mu_ guards the scheduler.
+    std::lock_guard lock(mu_);
+    out.tenants = sched_.stats();
   }
   if (cache_ != nullptr) {
     const device::CacheCounters c = cache_->cache_counters();
@@ -288,7 +389,7 @@ bool QueryEngine::io_pools_full() {
 
 std::size_t QueryEngine::in_flight() const {
   std::lock_guard lock(mu_);
-  return queue_.size() + running_;
+  return sched_.size() + running_;
 }
 
 }  // namespace blaze::serve

@@ -16,10 +16,24 @@
 //
 // Admission is explicit and typed, in the style of the io::IoError
 // taxonomy: a full queue raises ServeError{kOverloaded} (back off and
-// resubmit), a draining engine raises kShuttingDown, and a query whose
-// deadline lapses while queued completes as kExpired with
-// ServeError{kDeadlineExpired} recorded on its ticket. Among queued
-// queries, higher priority runs first (FIFO within a priority level).
+// resubmit), a draining engine raises kShuttingDown, a tenant over its
+// admission quota raises kQuotaExceeded, and a query whose deadline
+// lapses while queued completes as kExpired with
+// ServeError{kDeadlineExpired} recorded on its ticket.
+//
+// Multi-tenant scheduling: every query belongs to a tenant (the empty
+// name is the default tenant, so single-principal callers see the
+// original behaviour unchanged). Cross-tenant dispatch order is deficit
+// round-robin over registered weights (serve::TenantScheduler); priority
+// keeps its meaning *within* a tenant (higher first, FIFO within a
+// level) — a tenant cannot starve the ring by inflating its priorities.
+//
+// Multi-graph serving: attach_catalog() points the engine at a
+// serve::GraphCatalog; a QuerySpec naming a catalog graph is resolved at
+// admission to a pinning handle, stamped into the session's QueryContext
+// (ctx.graph() / ctx.tenant()) for the query body, and released when the
+// query finishes — so a concurrent catalog close() of that graph never
+// frees storage under a running query.
 //
 // Statistics aggregate bottom-up exactly like the fault counters of the IO
 // pipeline: each query's core::QueryStats (which embeds io::PipelineStats,
@@ -34,6 +48,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -43,7 +58,9 @@
 #include "metrics/http_export.h"
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
+#include "serve/query_fusion.h"
 #include "serve/serve_error.h"
+#include "serve/tenant_sched.h"
 #include "trace/tracer.h"
 #include "util/histogram.h"
 
@@ -94,9 +111,13 @@ using QueryFn = std::function<core::QueryStats(core::QueryContext&)>;
 struct QuerySpec {
   QueryFn run;
   std::string label;      ///< for logs and per-query reporting
-  int priority = 0;       ///< higher runs earlier; FIFO within a level
+  int priority = 0;       ///< higher runs earlier within the tenant;
+                          ///< FIFO within a level
   double deadline_s = 0;  ///< from submission; 0 = none. A query still
                           ///< queued past its deadline never runs.
+  std::string tenant;     ///< fair-queueing principal; "" = default tenant
+  std::string graph;      ///< catalog graph to resolve and pin; "" = none
+                          ///< (requires attach_catalog when set)
 };
 
 enum class QueryState : std::uint8_t {
@@ -199,7 +220,9 @@ struct SlowQuery {
 /// Engine-level aggregate statistics (one snapshot; see QueryEngine::stats).
 struct EngineStats {
   std::uint64_t admitted = 0;
-  std::uint64_t rejected = 0;  ///< kOverloaded + kShuttingDown submissions
+  std::uint64_t rejected = 0;  ///< kOverloaded + kShuttingDown +
+                               ///< kQuotaExceeded submissions
+  std::uint64_t quota_rejected = 0;  ///< the kQuotaExceeded subset
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t expired = 0;
@@ -233,6 +256,10 @@ struct EngineStats {
   /// Per-name span/instant counters over every event traced so far;
   /// empty rows when tracing is disabled.
   trace::CountersSnapshot trace_counters;
+
+  /// Per-tenant queue/fairness counters (registration order; includes
+  /// the auto-registered default tenant once it has submitted).
+  std::vector<TenantStats> tenants;
 };
 
 /// A serving engine: owns one core::Runtime (one IO pipeline, one set of
@@ -240,6 +267,8 @@ struct EngineStats {
 /// executing admitted queries concurrently, each through its own
 /// QueryContext. Thread-safe: any thread may submit; drain() completes all
 /// admitted work and stops the sessions.
+class GraphCatalog;
+
 class QueryEngine {
  public:
   explicit QueryEngine(core::Config config, EngineOptions opts = {});
@@ -249,9 +278,33 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Admits a query or throws ServeError (kOverloaded when the submission
-  /// queue is full, kShuttingDown after drain() began). The returned
-  /// ticket tracks the query to a terminal state.
+  /// queue is full, kQuotaExceeded when the spec's tenant is over its
+  /// max_queued, kShuttingDown after drain() began). A spec naming a
+  /// catalog graph additionally resolves — and pins — that graph here
+  /// (std::invalid_argument for unknown graphs or a missing catalog).
+  /// The returned ticket tracks the query to a terminal state.
   std::shared_ptr<QueryTicket> submit(QuerySpec spec);
+
+  /// Admits `specs` as ONE fused admission unit against `base.graph`
+  /// (catalog required): the members run in lockstep over a single
+  /// unioned page stream (serve::run_fused), so K same-graph BFS cost
+  /// ~1x IO. `base.run` is ignored; `results` receives the per-member
+  /// outputs before the ticket turns terminal.
+  std::shared_ptr<QueryTicket> submit_fused(
+      QuerySpec base, std::vector<FusedQuerySpec> specs,
+      std::shared_ptr<std::vector<FusedResult>> results);
+
+  /// Declares a tenant's fair-queueing weight and admission quota.
+  /// Unknown tenants named in submissions are auto-registered with
+  /// default options (weight 1, no quota), so single-tenant callers
+  /// never see this surface.
+  void register_tenant(const std::string& name, TenantOptions opts = {});
+
+  /// Points the engine at the catalog that resolves QuerySpec::graph.
+  /// The catalog must outlive the engine (or be detached with nullptr
+  /// after drain()).
+  void attach_catalog(GraphCatalog* catalog);
+  GraphCatalog* catalog() const { return catalog_; }
 
   /// Stops admitting, runs every already-admitted query to a terminal
   /// state, and joins the session threads. Idempotent; called by the
@@ -306,6 +359,10 @@ class QueryEngine {
     std::uint64_t submit_ns = 0;
     std::uint64_t deadline_ns = 0;     ///< absolute; 0 = none
     trace::QueryId query_id = 0;       ///< trace identity + slow-log join key
+    /// Catalog pin resolved at admission: holds the graph alive across a
+    /// concurrent close() until this query is terminal. Null for
+    /// non-catalog queries.
+    std::shared_ptr<const format::OnDiskGraph> graph;
   };
 
   /// Owned registry handles for the serve-layer series. Bound once in the
@@ -315,11 +372,25 @@ class QueryEngine {
   struct ServeMetrics {
     metrics::Counter* admitted = nullptr;
     metrics::Counter* rejected = nullptr;
+    metrics::Counter* quota_rejected = nullptr;
     metrics::Counter* completed = nullptr;
     metrics::Counter* failed = nullptr;
     metrics::Counter* expired = nullptr;
     metrics::Histogram* latency_us = nullptr;
   };
+
+  /// Per-tenant lock-free counter handles, created by register_tenant /
+  /// first submission (registry calls happen before mu_ is taken — see
+  /// the lock rules on metrics_bindings_).
+  struct TenantMetrics {
+    metrics::Counter* admitted = nullptr;
+    metrics::Counter* served = nullptr;
+    metrics::Counter* quota_rejected = nullptr;
+  };
+
+  /// Ensures `tenant`'s metric handles exist; returns them. Never called
+  /// with mu_ held.
+  TenantMetrics& tenant_metrics(const std::string& tenant);
 
   void session_main(std::size_t slot);
   void execute(Entry& entry, core::QueryContext& ctx);
@@ -333,10 +404,19 @@ class QueryEngine {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< sessions: work available / stop
   std::condition_variable drain_cv_;  ///< drain(): queue empty, none running
-  std::deque<Entry> queue_;
+  /// Cross-tenant DRR dispatch order over queued entry ids (guarded by
+  /// mu_, like the deque it replaced); pending_ maps the ids back.
+  TenantScheduler sched_;
+  std::unordered_map<std::uint64_t, Entry> pending_;
+  std::uint64_t next_entry_id_ = 1;
   std::size_t running_ = 0;
   bool draining_ = false;
   bool stop_ = false;
+
+  GraphCatalog* catalog_ = nullptr;  ///< set before serving; not owned
+
+  std::mutex tenant_metrics_mu_;
+  std::unordered_map<std::string, TenantMetrics> tenant_metrics_;
 
   mutable std::mutex stats_mu_;
   EngineStats stats_;

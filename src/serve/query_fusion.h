@@ -1,0 +1,79 @@
+// serve::run_fused — cross-query IO fusion over one page stream.
+//
+// Concurrent queries on the same graph already dedup page faults in the
+// shared cache; fusion goes one layer deeper. K same-graph queries run in
+// LOCKSTEP: per round, the union of their vertex frontiers becomes ONE
+// page frontier, streamed through the IO pipeline exactly once, and every
+// filled page is offered to each query in turn. K concurrent BFS from the
+// same region cost ~1x the IO of one BFS instead of K times — the batch
+// reads the union, not the sum.
+//
+// Determinism contract (the property the differential test pins): a query
+// fused with K-1 others produces BIT-IDENTICAL results to the same query
+// run through run_fused alone. The normal multi-threaded edge_map cannot
+// promise that (scatter order decides float-sum rounding and BFS parent
+// choice), so the fused runner buys determinism structurally:
+//
+//   * The round's union pages are processed in ascending logical-page
+//     order. Buffers arriving out of order (multi-device skew) are staged
+//     in a holdback map and replayed in sequence — a query's own pages
+//     are a fixed subsequence of that order whether it runs alone or
+//     fused, so its edge-application order never changes.
+//   * Per page, queries apply their updates sequentially on the calling
+//     thread (no bins, no atomics, no worker scheduling). Pages holding
+//     none of a query's frontier vertices contribute zero edges to it.
+//   * BFS levels make the update commutative anyway (every frontier
+//     source carries the same depth); PageRank's float accumulation is
+//     order-sensitive, which is exactly why the page order is pinned.
+//
+// The staging cost is bounded by the round's union page count (worst case
+// one device finishing before another starts) and pages are copied out so
+// pipeline buffers recycle immediately — acceptable for the serving
+// working sets fusion targets; DESIGN.md §11 discusses the bound.
+//
+// Works on flat and delta+varint adjacency (unweighted 4-byte records
+// only; weighted graphs are rejected).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query_context.h"
+#include "core/stats.h"
+#include "format/on_disk_graph.h"
+#include "util/common.h"
+
+namespace blaze::serve {
+
+/// Vertices BFS never reached keep this distance.
+inline constexpr std::uint32_t kBfsUnreached = 0xffffffffu;
+
+/// One member query of a fused batch.
+struct FusedQuerySpec {
+  enum class Kind { kBfs, kPageRank };
+  Kind kind = Kind::kBfs;
+  vertex_t source = 0;          ///< kBfs: start vertex
+  std::size_t iterations = 5;   ///< kPageRank: fixed power iterations
+  float damping = 0.85f;        ///< kPageRank
+};
+
+/// One member query's output.
+struct FusedResult {
+  std::vector<std::uint32_t> bfs_dist;  ///< kBfs: levels (kBfsUnreached)
+  std::vector<float> pr_rank;           ///< kPageRank: final ranks
+  std::uint64_t edges_processed = 0;    ///< this query's edge applications
+  std::size_t rounds_active = 0;        ///< lockstep rounds it participated in
+};
+
+/// Runs `specs` over `g` in fused lockstep on the calling thread, using
+/// `qc`'s IO buffer slice for the shared page stream. `stats` (optional)
+/// accumulates the BATCH IO accounting — bytes_read here is the fused
+/// cost of all K queries together, the figure the <1.5x differential
+/// test and the open-loop bench gate. Throws on device failure
+/// (io::IoError propagates; arenas stay reusable, as with edge_map).
+std::vector<FusedResult> run_fused(core::QueryContext& qc,
+                                   const format::OnDiskGraph& g,
+                                   const std::vector<FusedQuerySpec>& specs,
+                                   core::QueryStats* stats = nullptr);
+
+}  // namespace blaze::serve

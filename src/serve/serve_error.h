@@ -21,6 +21,10 @@ enum class RejectKind {
   kOverloaded,      ///< submission queue full: back off and resubmit
   kShuttingDown,    ///< engine draining: no new queries will ever be admitted
   kDeadlineExpired, ///< the query's deadline passed before it could run
+  kQuotaExceeded,   ///< the tenant's admission quota is full: this tenant
+                    ///< must drain its own backlog first — resubmitting
+                    ///< immediately would be rejected again, and other
+                    ///< tenants' capacity is deliberately not available
 };
 
 inline const char* to_string(RejectKind kind) {
@@ -28,6 +32,7 @@ inline const char* to_string(RejectKind kind) {
     case RejectKind::kOverloaded: return "overloaded";
     case RejectKind::kShuttingDown: return "shutting-down";
     case RejectKind::kDeadlineExpired: return "deadline-expired";
+    case RejectKind::kQuotaExceeded: return "quota-exceeded";
   }
   return "unknown";
 }
@@ -44,7 +49,10 @@ class ServeError : public std::runtime_error {
 
   RejectKind kind() const { return kind_; }
 
-  /// Only overload is worth resubmitting after backoff.
+  /// Only whole-engine overload is worth resubmitting after backoff. A
+  /// quota rejection is not: the engine has capacity, *this tenant* does
+  /// not, and hammering submit() from a quota-limited tenant is exactly the
+  /// behaviour the quota exists to stop.
   bool retryable() const { return kind_ == RejectKind::kOverloaded; }
 
  private:

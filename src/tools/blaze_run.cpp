@@ -22,6 +22,7 @@
 // --stats-json writes the machine-readable QueryStats + MemoryFootprint
 // record of a single-query run.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -44,6 +45,7 @@
 #include "metrics/http_export.h"
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
+#include "serve/graph_catalog.h"
 #include "serve/query_engine.h"
 #include "trace/chrome_export.h"
 #include "trace/tracer.h"
@@ -232,6 +234,105 @@ blaze::serve::QueryFn make_serve_query(
   return {};
 }
 
+/// One `--catalog` entry: name=index,adj (semicolon-separated list).
+struct CatalogEntrySpec {
+  std::string name, index_path, adj_path;
+};
+
+bool parse_catalog_spec(const std::string& arg,
+                        std::vector<CatalogEntrySpec>& out) {
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t end = arg.find(';', pos);
+    if (end == std::string::npos) end = arg.size();
+    const std::string item = arg.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::size_t comma =
+        eq == std::string::npos ? std::string::npos : item.find(',', eq);
+    if (eq == std::string::npos || comma == std::string::npos) {
+      std::fprintf(stderr,
+                   "bad --catalog entry '%s' (want name=index,adj)\n",
+                   item.c_str());
+      return false;
+    }
+    out.push_back({item.substr(0, eq), item.substr(eq + 1, comma - eq - 1),
+                   item.substr(comma + 1)});
+  }
+  return true;
+}
+
+/// One `--tenants` entry: name:weight[:quota] (comma-separated list).
+struct TenantSpec {
+  std::string name;
+  blaze::serve::TenantOptions opts;
+};
+
+bool parse_tenant_spec(const std::string& arg, std::vector<TenantSpec>& out) {
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t end = arg.find(',', pos);
+    if (end == std::string::npos) end = arg.size();
+    const std::string item = arg.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t c1 = item.find(':');
+    if (c1 == std::string::npos || c1 == 0) {
+      std::fprintf(stderr,
+                   "bad --tenants entry '%s' (want name:weight[:quota])\n",
+                   item.c_str());
+      return false;
+    }
+    TenantSpec t;
+    t.name = item.substr(0, c1);
+    const std::size_t c2 = item.find(':', c1 + 1);
+    try {
+      t.opts.weight = std::stod(item.substr(
+          c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1));
+      if (c2 != std::string::npos) {
+        t.opts.max_queued =
+            static_cast<std::size_t>(std::stoull(item.substr(c2 + 1)));
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad --tenants entry '%s' (numeric fields)\n",
+                   item.c_str());
+      return false;
+    }
+    if (t.opts.weight <= 0) {
+      std::fprintf(stderr, "tenant '%s' needs weight > 0\n", t.name.c_str());
+      return false;
+    }
+    out.push_back(std::move(t));
+  }
+  return true;
+}
+
+/// Serving body for catalog mode: the query runs against whatever graph
+/// the engine pinned into the context (QuerySpec::graph), so one body
+/// serves every resident graph. Only graph-only kinds qualify.
+blaze::serve::QueryFn make_catalog_query(
+    const std::string& query, blaze::vertex_t source,
+    const blaze::algorithms::PageRankOptions& pr_opts) {
+  using namespace blaze;
+  if (query == "bfs") {
+    return [source](core::QueryContext& qc) {
+      return algorithms::bfs(qc, *qc.graph(), source).stats;
+    };
+  }
+  if (query == "pr") {
+    return [pr_opts](core::QueryContext& qc) {
+      return algorithms::pagerank(qc, *qc.graph(), pr_opts).stats;
+    };
+  }
+  if (query == "sssp") {
+    return [source](core::QueryContext& qc) {
+      return algorithms::sssp(qc, *qc.graph(), source).stats;
+    };
+  }
+  return {};
+}
+
 /// Runs the closed-loop serving workload and prints the aggregate table.
 int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
                 const std::string& query,
@@ -247,7 +348,29 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
       static_cast<std::uint32_t>(opt.get_int("maxIterations", 100));
   pr_opts.epsilon = opt.get_double("epsilon", pr_opts.epsilon);
 
-  if (!make_serve_query(query, g, gt, source, pr_opts)) {
+  // Multi-graph / multi-tenant serving knobs, parsed before any engine
+  // spins up so a bad spec fails fast.
+  std::vector<CatalogEntrySpec> catalog_entries;
+  if (opt.has("catalog") &&
+      !parse_catalog_spec(opt.get_string("catalog", ""), catalog_entries)) {
+    return 2;
+  }
+  std::vector<TenantSpec> tenant_specs;
+  if (opt.has("tenants") &&
+      !parse_tenant_spec(opt.get_string("tenants", ""), tenant_specs)) {
+    return 2;
+  }
+  const bool catalog_mode = opt.has("catalog");
+
+  if (catalog_mode) {
+    if (!make_catalog_query(query, source, pr_opts)) {
+      std::fprintf(stderr,
+                   "--catalog serving supports bfs, pr, sssp (graph-only "
+                   "kinds); -query %s needs a transpose\n",
+                   query.c_str());
+      return 2;
+    }
+  } else if (!make_serve_query(query, g, gt, source, pr_opts)) {
     std::fprintf(
         stderr,
         "-query %s has no serving mode (use bfs, pr, sssp, wcc, kcore)\n",
@@ -267,9 +390,39 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   serve::QueryEngine engine(cfg, eopts);
   // Route the graphs through the shared page-cache pool when --cacheMB is
   // set; the wrapped copies must outlive drain(), hence locals here.
-  const format::OnDiskGraph cg = wrap_graph_cached(g, engine.runtime());
-  const format::OnDiskGraph cgt = wrap_graph_cached(gt, engine.runtime());
-  serve::QueryFn body = make_serve_query(query, cg, cgt, source, pr_opts);
+  // Catalog mode skips the plain wrapper — the catalog wraps each opened
+  // graph under its own pool namespace instead.
+  const format::OnDiskGraph cg =
+      catalog_mode ? g : wrap_graph_cached(g, engine.runtime());
+  const format::OnDiskGraph cgt =
+      catalog_mode ? gt : wrap_graph_cached(gt, engine.runtime());
+  serve::QueryFn body =
+      catalog_mode ? make_catalog_query(query, source, pr_opts)
+                   : make_serve_query(query, cg, cgt, source, pr_opts);
+
+  // Resident graph set: the positional graph opens as "main", every
+  // --catalog entry by its given name; clients spread round-robin.
+  std::unique_ptr<serve::GraphCatalog> catalog;
+  std::vector<std::string> graph_names;
+  if (catalog_mode) {
+    catalog = std::make_unique<serve::GraphCatalog>(engine.runtime());
+    catalog->open("main", g);
+    graph_names.push_back("main");
+    for (const CatalogEntrySpec& e : catalog_entries) {
+      try {
+        catalog->open_files(e.name, e.index_path, e.adj_path);
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "error opening catalog graph '%s': %s\n",
+                     e.name.c_str(), ex.what());
+        return 1;
+      }
+      graph_names.push_back(e.name);
+    }
+    engine.attach_catalog(catalog.get());
+  }
+  for (const TenantSpec& t : tenant_specs) {
+    engine.register_tenant(t.name, t.opts);
+  }
   const auto& pool = engine.runtime().page_cache();
   if (pool) engine.observe_cache(pool.get());
   if (engine.metrics_port() != 0) {
@@ -281,6 +434,7 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   }
 
   std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> quota_waits{0};
   Timer t;
   {
     std::vector<std::jthread> pool;
@@ -291,11 +445,25 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
           serve::QuerySpec spec;
           spec.run = body;
           spec.label = query + "/c" + std::to_string(c);
+          if (catalog_mode) {
+            spec.graph = graph_names[(c + q) % graph_names.size()];
+          }
+          if (!tenant_specs.empty()) {
+            spec.tenant = tenant_specs[c % tenant_specs.size()].name;
+          }
           for (;;) {
             try {
               engine.submit(spec)->wait();
               break;
             } catch (const serve::ServeError& e) {
+              if (e.kind() == serve::RejectKind::kQuotaExceeded) {
+                // Closed-loop clients back off until the tenant's queued
+                // work drains below quota; counts as a resubmit, not a
+                // permanent failure.
+                quota_waits.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                continue;
+              }
               if (!e.retryable()) throw;
               retries.fetch_add(1, std::memory_order_relaxed);
               std::this_thread::yield();
@@ -331,6 +499,11 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
   std::printf("  %-18s %llu (%llu client resubmits)\n", "rejected",
               static_cast<unsigned long long>(s.rejected),
               static_cast<unsigned long long>(retries.load()));
+  if (s.quota_rejected > 0 || quota_waits.load() > 0) {
+    std::printf("  %-18s %llu (%llu client backoffs)\n", "quota rejected",
+                static_cast<unsigned long long>(s.quota_rejected),
+                static_cast<unsigned long long>(quota_waits.load()));
+  }
   std::printf("  %-18s %llu\n", "completed",
               static_cast<unsigned long long>(s.completed));
   std::printf("  %-18s %llu\n", "failed",
@@ -363,6 +536,34 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
               "aggregate compute",
               static_cast<unsigned long long>(s.aggregate.edge_map_calls),
               static_cast<unsigned long long>(s.aggregate.edges_scattered));
+  if (!tenant_specs.empty()) {
+    std::printf("  tenants (weighted fair queueing, deficit round-robin)\n");
+    for (const auto& ts : s.tenants) {
+      std::printf("    %-14s w=%-5.2f served %6llu / enqueued %6llu, "
+                  "quota-rejected %llu%s\n",
+                  ts.name.empty() ? "default" : ts.name.c_str(), ts.weight,
+                  static_cast<unsigned long long>(ts.served),
+                  static_cast<unsigned long long>(ts.enqueued),
+                  static_cast<unsigned long long>(ts.quota_rejected),
+                  ts.max_queued > 0
+                      ? (" (quota " + std::to_string(ts.max_queued) + ")")
+                            .c_str()
+                      : "");
+    }
+  }
+  if (catalog) {
+    std::printf("  catalog (%zu resident graphs)\n", catalog->size());
+    for (const auto& row : catalog->snapshot()) {
+      std::printf("    %-14s budget %7.1f MiB cache + %6.1f MiB arena, "
+                  "resident %7.1f MiB, %llu queries%s\n",
+                  row.name.c_str(),
+                  static_cast<double>(row.cache_budget_bytes) / (1 << 20),
+                  static_cast<double>(row.arena_budget_bytes) / (1 << 20),
+                  static_cast<double>(row.resident_bytes) / (1 << 20),
+                  static_cast<unsigned long long>(row.queries),
+                  row.closing ? " (closing)" : "");
+    }
+  }
   for (const auto& slow : s.slow_queries) {
     std::printf("  slow query         %s: %.1f ms (%s)\n",
                 slow.label.c_str(), slow.latency_s * 1e3,
@@ -416,6 +617,11 @@ int main(int argc, char** argv) {
         "  --queries Q         serving mode: queries per client\n"
         "  --maxInflight N     serving mode: concurrent sessions\n"
         "  --slowQueryMs N     serving mode: slow-query log threshold\n"
+        "  --catalog SPEC      serving mode: extra resident graphs, "
+        "'name=index,adj;...'; the positional graph opens as 'main' and "
+        "clients spread round-robin (bfs/pr/sssp only)\n"
+        "  --tenants SPEC      serving mode: weighted-fair tenants, "
+        "'name:weight[:quota],...'; clients map to tenants round-robin\n"
         "  --trace FILE        write a Chrome trace-event JSON "
         "(chrome://tracing, Perfetto)\n"
         "  --metrics-port P    Prometheus scrape endpoint on port P "

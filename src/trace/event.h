@@ -45,6 +45,13 @@ enum class Name : std::uint8_t {
   kAdmissionWait,   ///< complete; submit -> session pickup
   kSessionExecute,  ///< one query body on a session thread
   kEngineDrain,     ///< QueryEngine::drain()
+  kQuotaReject,     ///< instant; a tenant hit its admission quota
+  // serve::GraphCatalog
+  kCatalogOpen,       ///< instant; a graph became resident
+  kCatalogClose,      ///< instant; a graph left the catalog
+  kCatalogRebalance,  ///< one budget rebalance; arg = resident graphs
+  // serve fused execution
+  kFusedRound,      ///< one fused lockstep iteration; arg = union pages
   // sched::AsyncRunner
   kSchedRound,      ///< one async priority round; arg = round index
   kSchedResidual,   ///< instant after a round; arg = queue occupancy
@@ -69,6 +76,11 @@ constexpr const char* to_string(Name n) {
     case Name::kAdmissionWait: return "admission_wait";
     case Name::kSessionExecute: return "session_execute";
     case Name::kEngineDrain: return "engine_drain";
+    case Name::kQuotaReject: return "quota_reject";
+    case Name::kCatalogOpen: return "catalog_open";
+    case Name::kCatalogClose: return "catalog_close";
+    case Name::kCatalogRebalance: return "catalog_rebalance";
+    case Name::kFusedRound: return "fused_round";
     case Name::kSchedRound: return "sched_round";
     case Name::kSchedResidual: return "sched_residual";
     case Name::kNumNames: break;
@@ -92,7 +104,12 @@ constexpr const char* category_of(Name n) {
     case Name::kIteration: return "core";
     case Name::kAdmissionWait:
     case Name::kSessionExecute:
-    case Name::kEngineDrain: return "serve";
+    case Name::kEngineDrain:
+    case Name::kQuotaReject:
+    case Name::kCatalogOpen:
+    case Name::kCatalogClose:
+    case Name::kCatalogRebalance:
+    case Name::kFusedRound: return "serve";
     case Name::kSchedRound:
     case Name::kSchedResidual: return "sched";
     case Name::kNumNames: break;

@@ -1,0 +1,263 @@
+// serve::GraphCatalog tests: resident-graph lifecycle, the exact
+// budget-sum invariant through every open/close/rebalance step, handle
+// pinning across close (in-flight queries survive a concurrent close of
+// a different graph — and of their own), and realized per-namespace pool
+// occupancy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "algorithms/bfs.h"
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "serve/graph_catalog.h"
+#include "serve/query_engine.h"
+#include "test_helpers.h"
+
+namespace blaze {
+namespace {
+
+core::Config catalog_test_config() {
+  core::Config cfg = testutil::test_config();
+  cfg.compute_workers = 2;
+  cfg.cache_bytes = 1 << 20;  // the budget the catalog splits
+  return cfg;
+}
+
+/// The invariant every lifecycle step must preserve: declared per-graph
+/// budgets sum EXACTLY to the configured budgets while anything is
+/// resident, and to zero when nothing is.
+void expect_budget_invariant(const serve::GraphCatalog& cat,
+                             const core::Config& cfg) {
+  if (cat.size() == 0) {
+    EXPECT_EQ(cat.total_cache_budget(), 0u);
+    EXPECT_EQ(cat.total_arena_budget(), 0u);
+  } else {
+    EXPECT_EQ(cat.total_cache_budget(), cfg.cache_bytes);
+    EXPECT_EQ(cat.total_arena_budget(),
+              cfg.bin_space_bytes + cfg.io_buffer_bytes);
+  }
+}
+
+TEST(Catalog, OpenCloseLifecycleKeepsBudgetSumExact) {
+  const core::Config cfg = catalog_test_config();
+  core::Runtime rt(cfg);
+  serve::GraphCatalog cat(rt);
+  expect_budget_invariant(cat, cfg);
+
+  graph::Csr g = graph::generate_rmat(8, 8, 700);
+  cat.open("a", format::make_mem_graph(g));
+  EXPECT_TRUE(cat.contains("a"));
+  EXPECT_EQ(cat.size(), 1u);
+  EXPECT_EQ(cat.cache_budget_of("a"), cfg.cache_bytes);  // sole resident
+  expect_budget_invariant(cat, cfg);
+
+  cat.open("b", format::make_mem_graph(g));
+  cat.open("c", format::make_mem_graph(g));
+  EXPECT_EQ(cat.size(), 3u);
+  expect_budget_invariant(cat, cfg);
+  // Equal (zero-traffic) weights: every share within a byte of the rest.
+  const auto ba = cat.cache_budget_of("a");
+  const auto bb = cat.cache_budget_of("b");
+  const auto bc = cat.cache_budget_of("c");
+  EXPECT_LE(std::max({ba, bb, bc}) - std::min({ba, bb, bc}), 1u);
+
+  // Duplicate and unknown names are typed errors, not silent misfiles.
+  EXPECT_THROW(cat.open("a", format::make_mem_graph(g)),
+               std::invalid_argument);
+  EXPECT_THROW(cat.close("nope"), std::invalid_argument);
+  EXPECT_THROW(cat.lookup("nope"), std::invalid_argument);
+  EXPECT_THROW(cat.cache_budget_of("nope"), std::invalid_argument);
+  expect_budget_invariant(cat, cfg);
+
+  cat.close("b");
+  EXPECT_FALSE(cat.contains("b"));
+  EXPECT_EQ(cat.size(), 2u);
+  expect_budget_invariant(cat, cfg);  // freed share moved to survivors
+
+  // A closed name is reusable immediately.
+  cat.open("b", format::make_mem_graph(g));
+  EXPECT_EQ(cat.size(), 3u);
+  expect_budget_invariant(cat, cfg);
+
+  cat.close("a");
+  cat.close("b");
+  cat.close("c");
+  EXPECT_EQ(cat.size(), 0u);
+  expect_budget_invariant(cat, cfg);
+}
+
+TEST(Catalog, RebalanceFollowsTrafficAndIdleSweepEvicts) {
+  const core::Config cfg = catalog_test_config();
+  core::Runtime rt(cfg);
+  serve::GraphCatalog cat(rt);
+  graph::Csr g = graph::generate_rmat(8, 8, 701);
+  cat.open("hot", format::make_mem_graph(g));
+  cat.open("cold", format::make_mem_graph(g));
+
+  for (int i = 0; i < 30; ++i) cat.note_query("hot");
+  cat.note_query("unknown-name-raced-a-close");  // ignored, never throws
+  cat.rebalance();
+  expect_budget_invariant(cat, cfg);
+  // Weights 1+30 vs 1+0: the hot graph owns the overwhelming share.
+  EXPECT_GT(cat.cache_budget_of("hot"), 10 * cat.cache_budget_of("cold"));
+
+  // rebalance() reset the recent counters; with no traffic since, another
+  // rebalance returns to the equal split.
+  cat.rebalance();
+  expect_budget_invariant(cat, cfg);
+  const auto hot = cat.cache_budget_of("hot");
+  const auto cold = cat.cache_budget_of("cold");
+  EXPECT_LE(std::max(hot, cold) - std::min(hot, cold), 1u);
+
+  // Idle sweep: only the graph with traffic since the last rebalance
+  // survives.
+  cat.note_query("hot");
+  EXPECT_EQ(cat.evict_idle(), 1u);
+  EXPECT_TRUE(cat.contains("hot"));
+  EXPECT_FALSE(cat.contains("cold"));
+  expect_budget_invariant(cat, cfg);
+
+  const auto rows = cat.snapshot();
+  bool saw_hot = false;
+  for (const auto& row : rows) {
+    if (row.name == "hot" && !row.closing) {
+      saw_hot = true;
+      EXPECT_EQ(row.cache_budget_bytes, cfg.cache_bytes);
+      EXPECT_GT(row.queries, 0u);
+      EXPECT_GT(row.metadata_bytes, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_hot);
+}
+
+TEST(Catalog, CloseNeverYanksStorageFromInFlightQueries) {
+  const core::Config cfg = catalog_test_config();
+  serve::EngineOptions opts;
+  opts.max_inflight_queries = 2;
+  opts.workers_per_query = 2;
+  serve::QueryEngine engine(cfg, opts);
+  serve::GraphCatalog cat(engine.runtime());
+  engine.attach_catalog(&cat);
+
+  graph::Csr g = graph::generate_rmat(9, 8, 702);
+  const auto oracle = testutil::reference_bfs_dist(g, 0);
+  cat.open("victim", format::make_mem_graph(g));
+  cat.open("other", format::make_mem_graph(g));
+
+  // A catalog query that holds its pinned graph until released, then runs
+  // a real BFS through it — by which time BOTH catalog entries have been
+  // closed underneath it.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  serve::QuerySpec spec;
+  spec.label = "pinned-bfs";
+  spec.graph = "victim";
+  spec.run = [&](core::QueryContext& qc) {
+    started = true;
+    {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+    auto r = algorithms::bfs(qc, *qc.graph(), 0);
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      const bool reached = r.parent[v] != kInvalidVertex;
+      EXPECT_EQ(reached, oracle[v] != ~0u) << v;
+    }
+    return r.stats;
+  };
+  auto ticket = engine.submit(spec);
+  while (!started) std::this_thread::yield();
+
+  // Close a DIFFERENT graph first (the common case), then the query's own.
+  cat.close("other");
+  cat.close("victim");
+  EXPECT_EQ(cat.size(), 0u);
+  expect_budget_invariant(cat, cfg);
+  EXPECT_THROW(cat.lookup("victim"), std::invalid_argument);
+  // The closing entry is still listed in the snapshot, budget zero, until
+  // the in-flight query drops its pin.
+  bool victim_closing = false;
+  for (const auto& row : cat.snapshot()) {
+    if (row.name == "victim") {
+      victim_closing = row.closing && row.cache_budget_bytes == 0;
+    }
+  }
+  EXPECT_TRUE(victim_closing);
+
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ticket->wait();
+  EXPECT_EQ(ticket->state(), serve::QueryState::kDone);
+
+  // With the pin dropped, the next lifecycle step reaps the entry.
+  cat.rebalance();
+  EXPECT_TRUE(cat.snapshot().empty());
+
+  // Submitting against a closed name is the typed lookup failure.
+  serve::QuerySpec stale;
+  stale.label = "stale";
+  stale.graph = "victim";
+  stale.run = [](core::QueryContext&) { return core::QueryStats{}; };
+  EXPECT_THROW(engine.submit(stale), std::invalid_argument);
+  engine.drain();
+}
+
+TEST(Catalog, NamespaceUsageMeasuresRealizedOccupancy) {
+  const core::Config cfg = catalog_test_config();
+  serve::EngineOptions opts;
+  opts.max_inflight_queries = 2;
+  opts.workers_per_query = 2;
+  serve::QueryEngine engine(cfg, opts);
+  serve::GraphCatalog cat(engine.runtime());
+  engine.attach_catalog(&cat);
+
+  graph::Csr g = graph::generate_rmat(9, 8, 703);
+  cat.open("left", format::make_mem_graph(g));
+  cat.open("right", format::make_mem_graph(g));
+
+  auto run_bfs = [&](const std::string& graph) {
+    serve::QuerySpec spec;
+    spec.label = "bfs-" + graph;
+    spec.graph = graph;
+    spec.run = [](core::QueryContext& qc) {
+      return algorithms::bfs(qc, *qc.graph(), 0).stats;
+    };
+    return engine.submit(spec);
+  };
+  auto t1 = run_bfs("left");
+  auto t2 = run_bfs("right");
+  t1->wait();
+  t2->wait();
+  ASSERT_EQ(t1->state(), serve::QueryState::kDone);
+  ASSERT_EQ(t2->state(), serve::QueryState::kDone);
+
+  // Both namespaces faulted pages into the shared pool; the realized
+  // figures surface per graph, and the snapshot joins them by name.
+  std::uint64_t left_pages = 0, right_pages = 0;
+  for (const auto& u : cat.namespace_usage()) {
+    if (u.name == "graph/left") left_pages = u.resident_pages;
+    if (u.name == "graph/right") right_pages = u.resident_pages;
+  }
+  EXPECT_GT(left_pages, 0u);
+  EXPECT_GT(right_pages, 0u);
+  for (const auto& row : cat.snapshot()) {
+    EXPECT_GT(row.resident_bytes, 0u) << row.name;
+  }
+  engine.drain();
+}
+
+}  // namespace
+}  // namespace blaze

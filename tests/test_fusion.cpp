@@ -1,0 +1,234 @@
+// Differential tests for serve::run_fused (cross-query IO fusion).
+//
+// The contract under test: a query fused with K-1 others returns results
+// BIT-IDENTICAL to the same query run through the fused runner alone —
+// on flat AND delta+varint adjacency, single- and multi-device — while
+// the fused batch's demand IO stays ~1x one query's, not Kx. Oracles:
+// reference BFS hop distances and a double-precision power iteration
+// with the same update rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.h"
+#include "format/on_disk_graph.h"
+#include "graph/generators.h"
+#include "serve/graph_catalog.h"
+#include "serve/query_engine.h"
+#include "serve/query_fusion.h"
+#include "test_helpers.h"
+
+namespace blaze {
+namespace {
+
+using serve::FusedQuerySpec;
+using serve::FusedResult;
+
+core::Config fusion_test_config() {
+  core::Config cfg = testutil::test_config();
+  cfg.compute_workers = 2;
+  return cfg;
+}
+
+/// Double-precision reference for the fused runner's PageRank semantics:
+/// fixed power iterations, per-round frozen contributions, no dangling
+/// redistribution.
+std::vector<float> reference_pagerank(const graph::Csr& g,
+                                      std::size_t iterations,
+                                      float damping) {
+  const std::size_t n = g.num_vertices();
+  std::vector<double> rank(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const double base =
+        n > 0 ? (1.0 - static_cast<double>(damping)) / n : 0.0;
+    std::fill(next.begin(), next.end(), base);
+    for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+      const auto deg = static_cast<double>(g.degree(u));
+      if (deg == 0) continue;
+      const double c = static_cast<double>(damping) * rank[u] / deg;
+      for (vertex_t v : g.neighbors(u)) next[v] += c;
+    }
+    rank.swap(next);
+  }
+  std::vector<float> out(n);
+  for (std::size_t v = 0; v < n; ++v) out[v] = static_cast<float>(rank[v]);
+  return out;
+}
+
+struct FusionCase {
+  format::AdjacencyEncoding encoding;
+  std::size_t num_devices;
+  const char* label;
+};
+
+const FusionCase kCases[] = {
+    {format::AdjacencyEncoding::kFlat, 1, "flat/1dev"},
+    {format::AdjacencyEncoding::kFlat, 2, "flat/2dev"},
+    {format::AdjacencyEncoding::kDeltaVarint, 1, "dvarint/1dev"},
+    {format::AdjacencyEncoding::kDeltaVarint, 2, "dvarint/2dev"},
+};
+
+TEST(Fusion, FusedBatchBitIdenticalToIsolatedRuns) {
+  graph::Csr g = graph::generate_rmat(10, 8, 910);
+  const std::vector<vertex_t> sources = {0, 7, 123, 500};
+
+  for (const FusionCase& tc : kCases) {
+    SCOPED_TRACE(tc.label);
+    auto og = format::make_mem_graph(g, tc.num_devices, tc.encoding);
+    core::Runtime rt(fusion_test_config());
+    core::QueryContext& qc = rt.default_context();
+
+    // Mixed batch: four BFS from scattered sources + two PageRanks with
+    // different damping (distinct float trajectories).
+    std::vector<FusedQuerySpec> specs;
+    for (vertex_t s : sources) {
+      FusedQuerySpec spec;
+      spec.kind = FusedQuerySpec::Kind::kBfs;
+      spec.source = s;
+      specs.push_back(spec);
+    }
+    FusedQuerySpec pr;
+    pr.kind = FusedQuerySpec::Kind::kPageRank;
+    pr.iterations = 5;
+    specs.push_back(pr);
+    pr.damping = 0.5f;
+    specs.push_back(pr);
+
+    core::QueryStats batch_stats;
+    const auto fused = serve::run_fused(qc, og, specs, &batch_stats);
+    ASSERT_EQ(fused.size(), specs.size());
+    EXPECT_GT(batch_stats.bytes_read, 0u);
+
+    // Each member, isolated through the same runner: bit-identical.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto solo = serve::run_fused(qc, og, {specs[i]});
+      ASSERT_EQ(solo.size(), 1u);
+      EXPECT_EQ(solo[0].bfs_dist, fused[i].bfs_dist) << "member " << i;
+      EXPECT_EQ(solo[0].pr_rank, fused[i].pr_rank) << "member " << i;
+      EXPECT_EQ(solo[0].edges_processed, fused[i].edges_processed);
+    }
+
+    // BFS members against the hop-distance oracle, exactly.
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(fused[i].bfs_dist,
+                testutil::reference_bfs_dist(g, sources[i]))
+          << "source " << sources[i];
+    }
+
+    // PageRank members against the double-precision reference.
+    for (std::size_t i = sources.size(); i < specs.size(); ++i) {
+      const auto want =
+          reference_pagerank(g, specs[i].iterations, specs[i].damping);
+      ASSERT_EQ(fused[i].pr_rank.size(), want.size());
+      for (std::size_t v = 0; v < want.size(); ++v) {
+        EXPECT_NEAR(fused[i].pr_rank[v], want[v],
+                    1e-4f * (1.0f + std::fabs(want[v])))
+            << "v" << v;
+      }
+      EXPECT_EQ(fused[i].rounds_active, specs[i].iterations);
+    }
+  }
+}
+
+TEST(Fusion, KConcurrentBfsCostOneBfsIo) {
+  // The headline property: K same-source BFS fused into one batch demand
+  // the SAME page stream as one BFS — not K of them. Raw MemDevices (no
+  // page cache), so bytes_read is true demand IO.
+  graph::Csr g = graph::generate_rmat(10, 8, 911);
+  for (const FusionCase& tc : kCases) {
+    SCOPED_TRACE(tc.label);
+    auto og = format::make_mem_graph(g, tc.num_devices, tc.encoding);
+    core::Runtime rt(fusion_test_config());
+    core::QueryContext& qc = rt.default_context();
+
+    FusedQuerySpec bfs;
+    bfs.kind = FusedQuerySpec::Kind::kBfs;
+    bfs.source = 0;
+
+    core::QueryStats one;
+    (void)serve::run_fused(qc, og, {bfs}, &one);
+    ASSERT_GT(one.bytes_read, 0u);
+
+    core::QueryStats eight;
+    const auto results =
+        serve::run_fused(qc, og, std::vector<FusedQuerySpec>(8, bfs),
+                         &eight);
+    for (const FusedResult& r : results) {
+      EXPECT_EQ(r.bfs_dist, results[0].bfs_dist);
+    }
+    // Identical frontiers → identical unions → identical demand. The 1.5x
+    // ceiling is the acceptance gate; equality is the expectation.
+    EXPECT_LT(static_cast<double>(eight.bytes_read),
+              1.5 * static_cast<double>(one.bytes_read));
+    EXPECT_EQ(eight.bytes_read, one.bytes_read);
+  }
+}
+
+TEST(Fusion, DisjointSourcesReadTheUnionNotTheSum) {
+  // Different sources from the same component: the fused demand is the
+  // union of the per-round page sets — at most the sum, typically far
+  // less once the frontiers converge.
+  graph::Csr g = graph::generate_rmat(10, 8, 912);
+  auto og = format::make_mem_graph(g);
+  core::Runtime rt(fusion_test_config());
+  core::QueryContext& qc = rt.default_context();
+
+  const std::vector<vertex_t> sources = {0, 33, 512, 900};
+  std::uint64_t sum_bytes = 0;
+  std::vector<FusedQuerySpec> specs;
+  for (vertex_t s : sources) {
+    FusedQuerySpec spec;
+    spec.kind = FusedQuerySpec::Kind::kBfs;
+    spec.source = s;
+    core::QueryStats solo;
+    (void)serve::run_fused(qc, og, {spec}, &solo);
+    sum_bytes += solo.bytes_read;
+    specs.push_back(spec);
+  }
+  core::QueryStats fused;
+  (void)serve::run_fused(qc, og, specs, &fused);
+  EXPECT_LT(fused.bytes_read, sum_bytes);
+}
+
+TEST(Fusion, EngineSubmitFusedRunsThroughCatalog) {
+  // End-to-end through the serving stack: catalog-resolved graph, fused
+  // admission unit, results delivered before the ticket turns terminal.
+  core::Config cfg = fusion_test_config();
+  cfg.cache_bytes = 1 << 20;
+  serve::EngineOptions opts;
+  opts.max_inflight_queries = 2;
+  opts.workers_per_query = 2;
+  serve::QueryEngine engine(cfg, opts);
+  serve::GraphCatalog cat(engine.runtime());
+  engine.attach_catalog(&cat);
+
+  graph::Csr g = graph::generate_rmat(9, 8, 913);
+  cat.open("g", format::make_mem_graph(g));
+
+  std::vector<FusedQuerySpec> specs(3);
+  specs[0].source = 0;
+  specs[1].source = 42;
+  specs[2].source = 7;
+  auto results = std::make_shared<std::vector<FusedResult>>();
+  serve::QuerySpec base;
+  base.label = "fused-bfs";
+  base.graph = "g";
+  base.tenant = "batch";
+  auto ticket = engine.submit_fused(base, specs, results);
+  ticket->wait();
+  ASSERT_EQ(ticket->state(), serve::QueryState::kDone);
+  ASSERT_EQ(results->size(), 3u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ((*results)[i].bfs_dist,
+              testutil::reference_bfs_dist(g, specs[i].source))
+        << "member " << i;
+  }
+  EXPECT_GT(ticket->stats().bytes_read, 0u);
+  engine.drain();
+}
+
+}  // namespace
+}  // namespace blaze

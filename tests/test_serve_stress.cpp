@@ -43,6 +43,7 @@
 #include "graph/generators.h"
 #include "io/io_error.h"
 #include "io/page_verify.h"
+#include "serve/graph_catalog.h"
 #include "serve/query_engine.h"
 #include "test_helpers.h"
 #include "util/rng.h"
@@ -363,6 +364,189 @@ TEST(ServeStress, ChaosRoundsReconcileAgainstOracle) {
       EXPECT_EQ(stats.failed, 0u);
       EXPECT_EQ(stats.aggregate.retries, faulty->injected_failures());
       EXPECT_EQ(stats.aggregate.gave_up, 0u);
+    }
+
+    EXPECT_FALSE(mismatch.hit.load())
+        << "completed query diverged from oracle: " << mismatch.what;
+  }
+}
+
+bool stress_catalog() {
+  const char* env = std::getenv("BLAZE_STRESS_CATALOG");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+// Multi-graph, multi-tenant chaos: a catalog of mixed graphs (one of them
+// behind a FaultyDevice) served to weighted tenants while rounds inject
+// mid-stream drain and catalog eviction. Reconciled every round:
+//   - engine accounting (admitted == completed+failed+expired) and the
+//     per-tenant counters (sum of tenant enqueues == admitted),
+//   - quota rejections typed kQuotaExceeded, never mislabeled overload,
+//   - IO-buffer occupancy back at 100 % after drain,
+//   - pool namespace accounting only ever names registered graphs,
+//   - every completed BFS matches the oracle despite the chaos.
+// Heavier than the tier-1 budget: nightly runs it with
+// BLAZE_STRESS_CATALOG=1 across the ASan/TSan matrix.
+TEST(ServeStress, CatalogMultiTenantChaosReconciles) {
+  if (!stress_catalog()) {
+    GTEST_SKIP() << "set BLAZE_STRESS_CATALOG=1 to run the catalog leg";
+  }
+  const std::uint64_t seed = stress_seed() ^ 0xca7a106ULL;
+  std::printf("catalog stress seed: %llu\n",
+              static_cast<unsigned long long>(seed));
+  SCOPED_TRACE("replay with BLAZE_STRESS_SEED=" + std::to_string(seed));
+  Xoshiro256 rng(seed);
+
+  graph::Csr g = graph::generate_rmat(9, 8, rng.next());
+  auto inner = std::make_shared<device::MemDevice>(
+      "adj", format::serialize_adjacency(g));
+  std::vector<std::uint32_t> degrees(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+
+  std::vector<vertex_t> sources;
+  std::vector<std::vector<std::uint32_t>> oracle_dist;
+  for (int i = 0; i < 3; ++i) {
+    sources.push_back(static_cast<vertex_t>(rng.next_below(g.num_vertices())));
+    oracle_dist.push_back(baseline::inmem::bfs_dist(g, sources.back()));
+  }
+
+  constexpr int kRounds = 4;
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kPerClient = 4;
+  const char* kTenants[] = {"gold", "silver", "bronze"};
+
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const bool chaos_drain = round == 1 || round == 3;
+    const bool evict_mid_stream = round >= 2;
+
+    auto ecfg = testutil::test_config();
+    ecfg.cache_bytes = 1 << 20;  // shared pool: namespaces in play
+    serve::EngineOptions eopts;
+    eopts.max_inflight_queries = 3;
+    eopts.max_queue_depth = kClients * kPerClient;
+    serve::QueryEngine engine(ecfg, eopts);
+    serve::GraphCatalog catalog(engine.runtime());
+    engine.attach_catalog(&catalog);
+    engine.register_tenant("gold", {3.0, 0});
+    engine.register_tenant("silver", {1.0, 0});
+    engine.register_tenant("bronze", {1.0, 2});  // quota-capped
+
+    // Graph mix: a clean one and one behind bounded transient faults.
+    const std::uint64_t budget = 1 + rng.next_below(3);
+    auto faulty = std::make_shared<FaultyDevice>(
+        inner, [](std::uint64_t, std::uint64_t) { return true; },
+        FaultMode::kTransient, budget);
+    catalog.open("clean",
+                 format::OnDiskGraph(format::GraphIndex(degrees), inner));
+    catalog.open("shaky",
+                 format::OnDiskGraph(format::GraphIndex(degrees), faulty));
+
+    MismatchLog mismatch;
+    std::atomic<std::uint64_t> shutdown_rejects{0};
+    std::atomic<std::uint64_t> quota_rejects{0};
+    const std::uint64_t drain_after_us = rng.next_below(2000);
+
+    // Fixed per-client schedule (tenant, graph, source), replayable.
+    struct Planned {
+      std::size_t tenant, src_idx;
+      bool shaky;
+    };
+    std::vector<std::vector<Planned>> plan(kClients);
+    for (auto& per_client : plan) {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        per_client.push_back({rng.next_below(3),
+                              rng.next_below(sources.size()),
+                              rng.next_below(2) == 1});
+      }
+    }
+
+    {
+      std::vector<std::jthread> clients;
+      for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          for (std::size_t q = 0; q < kPerClient; ++q) {
+            const Planned pq = plan[c][q];
+            serve::QuerySpec spec;
+            spec.label = "c" + std::to_string(c) + "q" + std::to_string(q);
+            spec.tenant = kTenants[pq.tenant];
+            spec.graph = pq.shaky ? "shaky" : "clean";
+            const std::string label = spec.label;
+            spec.run = [&, pq, label](core::QueryContext& qc) {
+              auto r = algorithms::bfs(qc, *qc.graph(),
+                                       sources[pq.src_idx]);
+              const auto& dist = oracle_dist[pq.src_idx];
+              for (vertex_t v = 0; v < r.parent.size(); ++v) {
+                const bool reached = r.parent[v] != kInvalidVertex;
+                if (reached != (dist[v] != kUnreached)) {
+                  mismatch.note(label + ": reachability of v" +
+                                std::to_string(v));
+                  break;
+                }
+              }
+              return r.stats;
+            };
+            try {
+              auto t = engine.submit(std::move(spec));
+              t->wait();
+            } catch (const serve::ServeError& e) {
+              if (e.kind() == serve::RejectKind::kShuttingDown) {
+                shutdown_rejects.fetch_add(1, std::memory_order_relaxed);
+                return;
+              }
+              if (e.kind() == serve::RejectKind::kQuotaExceeded) {
+                quota_rejects.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::yield();
+                --q;  // the capped tenant retries once its backlog drains
+                continue;
+              }
+              std::this_thread::yield();
+              --q;  // overloaded: back off and resubmit
+            } catch (const std::invalid_argument&) {
+              // Raced the mid-stream eviction of "shaky"; that graph is
+              // gone for this round — the client drops the query.
+            }
+          }
+        });
+      }
+      if (evict_mid_stream) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::int64_t>(drain_after_us)));
+        // Unlist mid-stream: in-flight pins keep storage alive; new
+        // submissions for it fail typed.
+        catalog.close("shaky");
+      }
+      if (chaos_drain) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::int64_t>(drain_after_us)));
+        engine.drain();
+      }
+    }
+    engine.drain();
+
+    EXPECT_TRUE(engine.io_pools_full());
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.admitted,
+              stats.completed + stats.failed + stats.expired);
+    EXPECT_EQ(stats.expired, 0u);
+    EXPECT_EQ(stats.failed, 0u);  // transient budget within retry bounds
+    EXPECT_EQ(stats.quota_rejected, quota_rejects.load());
+    EXPECT_GE(stats.rejected,
+              shutdown_rejects.load() + quota_rejects.load());
+    std::uint64_t tenant_enqueued = 0;
+    for (const auto& ts : stats.tenants) tenant_enqueued += ts.enqueued;
+    EXPECT_EQ(tenant_enqueued, stats.admitted);
+
+    // Pool namespaces only ever name the graphs this round registered.
+    for (const auto& u : catalog.namespace_usage()) {
+      EXPECT_TRUE(u.name == "graph/clean" || u.name == "graph/shaky")
+          << u.name;
+    }
+    // Budget invariant holds whatever the round did to the catalog.
+    if (catalog.size() > 0) {
+      EXPECT_EQ(catalog.total_cache_budget(), ecfg.cache_bytes);
+    } else {
+      EXPECT_EQ(catalog.total_cache_budget(), 0u);
     }
 
     EXPECT_FALSE(mismatch.hit.load())
