@@ -49,6 +49,15 @@
 //   BLAZE_BENCH_SLO_MS            p95 SLO in ms (default 10000)
 //   BLAZE_BENCH_SEED              arrival-process seed (default 42)
 //   BLAZE_BENCH_OPENLOOP_INFLIGHT concurrent sessions (default 4)
+//
+// The open-loop pass also emits one "serving_apportion" A/B row (gated by
+// check_bench_baseline.py --profile): the same skewed two-graph workload
+// under Config::catalog_apportion = recent vs mrc with budgets enforced
+// as namespace admission caps, reporting each mode's post-rebalance
+// aggregate hit rate. Knobs:
+//   BLAZE_BENCH_APPORTION         0 skips the A/B row (default 1)
+//   BLAZE_BENCH_APPORTION_WARM    warm queries per graph (default 2)
+//   BLAZE_BENCH_APPORTION_QUERIES measured queries per graph (default 3)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -148,6 +157,118 @@ std::vector<std::string> split_list(const std::string& s) {
     start = comma + 1;
   }
   return out;
+}
+
+/// One leg of the catalog-apportioning A/B: the skewed two-graph workload
+/// (a hot graph that fits in a generous share of the pool next to a
+/// larger graph whose scans never will) under one apportioning mode, with
+/// the declared budgets physically enforced as namespace admission caps.
+/// Equal per-graph query counts make the legacy `recent` heuristic split
+/// the pool 50/50 — starving the hot graph to bankroll scans the cache
+/// cannot help — while `mrc` reads the knee off the hot graph's profiled
+/// miss-ratio curve and funds it fully. Returns the measured-phase
+/// aggregate pool hit rate (post-rebalance counter delta).
+struct ApportionLeg {
+  double hit_rate = 0.0;
+  std::uint64_t hot_budget = 0;
+  std::uint64_t scan_budget = 0;
+  bool ok = false;
+};
+
+ApportionLeg run_apportion_leg(core::CatalogApportion mode,
+                               std::size_t warm_queries,
+                               std::size_t measured_queries) {
+  const auto profile = bench_optane();
+  auto hot_base = format::make_simulated_graph(dataset("r2").csr, profile);
+  auto scan_base = format::make_simulated_graph(dataset("r3").csr, profile);
+  // 1.5x the hot graph: room for all of it plus change, but only if the
+  // apportioner refuses to bankroll the big graph's scans.
+  const std::uint64_t cache_bytes = hot_base.input_bytes() * 3 / 2;
+
+  serve::EngineOptions opts;
+  opts.max_inflight_queries = 1;  // closed loop, deterministic access order
+  auto cfg = bench_config(hot_base);
+  cfg.cache_bytes = cache_bytes;
+  cfg.catalog_apportion = mode;
+  cfg.catalog_enforce_budgets = true;
+  serve::QueryEngine engine(cfg, opts);
+  serve::GraphCatalog catalog(engine.runtime());
+  catalog.open("hot", std::move(hot_base));
+  catalog.open("scan", std::move(scan_base));
+  engine.attach_catalog(&catalog);
+
+  std::atomic<bool> mismatch{false};
+  std::size_t want_reached[2] = {0, 0};
+  const char* names[2] = {"hot", "scan"};
+  auto run_queries = [&](std::size_t per_graph) {
+    for (std::size_t q = 0; q < per_graph; ++q) {
+      for (int gi = 0; gi < 2; ++gi) {
+        serve::QuerySpec spec;
+        spec.graph = names[gi];
+        spec.label = std::string("bfs/") + names[gi];
+        std::size_t* want = &want_reached[gi];
+        spec.run = [want, &mismatch](core::QueryContext& qc) {
+          auto r = algorithms::bfs(qc, *qc.graph(), 0);
+          const std::size_t reached = reached_count(r.parent);
+          if (*want == 0) {
+            *want = reached;  // first run is the reference
+          } else if (reached != *want) {
+            mismatch = true;
+          }
+          return r.stats;
+        };
+        engine.submit(spec)->wait();
+      }
+    }
+  };
+
+  // Warm: give both heuristics the same traffic history (equal counts)
+  // and, in mrc mode, the profiler its curves. Then rebalance — this is
+  // where the modes diverge — and measure the pool counter delta.
+  run_queries(warm_queries);
+  catalog.rebalance();
+  ApportionLeg leg;
+  leg.hot_budget = catalog.cache_budget_of("hot");
+  leg.scan_budget = catalog.cache_budget_of("scan");
+  const auto& pool = engine.runtime().page_cache();
+  const auto before = pool->cache_counters();
+  run_queries(measured_queries);
+  const auto after = pool->cache_counters();
+  engine.drain();
+  leg.hit_rate = rate(after.hits - before.hits, after.misses - before.misses);
+  leg.ok = !mismatch.load() &&
+           leg.hot_budget + leg.scan_budget == cache_bytes;
+  return leg;
+}
+
+/// Catalog-apportioning A/B row: `recent` vs `mrc` on the same seeded
+/// skewed workload. The check_bench_baseline.py --profile gate pins
+/// hit_mrc >= hit_recent (minus configured slack).
+int run_apportion_ab() {
+  const auto warm = static_cast<std::size_t>(
+      env_long("BLAZE_BENCH_APPORTION_WARM", 2));
+  const auto measured = static_cast<std::size_t>(
+      env_long("BLAZE_BENCH_APPORTION_QUERIES", 3));
+  const auto recent =
+      run_apportion_leg(core::CatalogApportion::kRecent, warm, measured);
+  const auto mrc =
+      run_apportion_leg(core::CatalogApportion::kMrc, warm, measured);
+  std::printf(
+      "{\"bench\":\"serving_apportion\",\"hot\":\"r2\",\"scan\":\"r3\","
+      "\"warm_per_graph\":%zu,\"measured_per_graph\":%zu,"
+      "\"hot_budget_recent_mib\":%.1f,\"hot_budget_mrc_mib\":%.1f,"
+      "\"scan_budget_recent_mib\":%.1f,\"scan_budget_mrc_mib\":%.1f,"
+      "\"hit_recent\":%.4f,\"hit_mrc\":%.4f,\"mrc_wins\":%s,"
+      "\"results_match\":%s}\n",
+      warm, measured,
+      static_cast<double>(recent.hot_budget) / (1 << 20),
+      static_cast<double>(mrc.hot_budget) / (1 << 20),
+      static_cast<double>(recent.scan_budget) / (1 << 20),
+      static_cast<double>(mrc.scan_budget) / (1 << 20), recent.hit_rate,
+      mrc.hit_rate, mrc.hit_rate >= recent.hit_rate ? "true" : "false",
+      recent.ok && mrc.ok ? "true" : "false");
+  std::fflush(stdout);
+  return recent.ok && mrc.ok ? 0 : 1;
 }
 
 /// Open-loop catalog serving: seeded Poisson arrivals over two resident
@@ -314,7 +435,11 @@ int run_openloop() {
 
 int main() {
   if (env_long("BLAZE_BENCH_OPENLOOP", 0) != 0) {
-    return run_openloop();
+    int rc = run_openloop();
+    if (env_long("BLAZE_BENCH_APPORTION", 1) != 0) {
+      rc = run_apportion_ab() != 0 ? 1 : rc;
+    }
+    return rc;
   }
   const auto per_client =
       static_cast<std::size_t>(env_long("BLAZE_BENCH_QUERIES", 3));

@@ -16,6 +16,7 @@ Usage:
   check_bench_baseline.py ... --cache cache.jsonl      # contention micro gate
   check_bench_baseline.py ... --compression comp.jsonl # dvarint vs flat gate
   check_bench_baseline.py ... --async async.jsonl      # async vs BSP gate
+  check_bench_baseline.py ... --profile profile.jsonl  # profiler MRC + overhead
   check_bench_baseline.py --update bench_micro.json   # reseed micro section
 
 Every checked row prints an OK/FAIL line with the measured value against
@@ -112,7 +113,7 @@ def check_fig8(baseline, csv_path):
     return failures
 
 
-def load_jsonl(path, bench_name):
+def load_jsonl(path, bench_name, required=True):
     """Reads the JSON rows a bench binary printed (one object per line,
     non-JSON chatter ignored) and keeps those matching bench_name."""
     rows = []
@@ -131,7 +132,7 @@ def load_jsonl(path, bench_name):
     except OSError as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    if not rows:
+    if not rows and required:
         print(f"error: no {bench_name} rows in {path}", file=sys.stderr)
         sys.exit(2)
     return rows
@@ -448,6 +449,131 @@ def check_async(baseline, path):
     return failures
 
 
+def check_apportion(baseline, path):
+    """Gates the bench_serving open-loop catalog-apportioning A/B row:
+    on the skewed two-graph workload, catalog_apportion=mrc must deliver
+    an aggregate hit rate at least min_mrc_gain above =recent, and both
+    legs must reproduce their references and keep the budget-sum
+    invariant (the row's ok bit folds those in)."""
+    failures = []
+    section = baseline.get("serving_apportion")
+    if not section:
+        return failures
+    rows = load_jsonl(path, "serving_apportion", required=False)
+    if not rows:
+        print("MISSING  serving_apportion: row not in open-loop output")
+        failures.append("serving_apportion row missing")
+        return failures
+    min_gain = float(section.get("min_mrc_gain", 0.0))
+    for row in rows:
+        label = f"apportion {row.get('hot')}+{row.get('scan')}"
+        hit_r = float(row.get("hit_recent", 0.0))
+        hit_m = float(row.get("hit_mrc", 0.0))
+        gain = hit_m - hit_r
+        ok = True
+        if not row.get("results_match", False):
+            failures.append(f"{label}: results_match is false")
+            ok = False
+        if gain < min_gain:
+            failures.append(
+                f"{label}: mrc gain {gain:+.4f} < floor {min_gain:g}"
+                f" (mrc {hit_m:.4f} vs recent {hit_r:.4f})"
+            )
+            ok = False
+        print(
+            f"{'OK' if ok else 'FAIL':7s}  {label}: hit mrc {hit_m:.4f}"
+            f" vs recent {hit_r:.4f} (gain {gain:+.4f},"
+            f" floor {min_gain:g}); hot budget"
+            f" {float(row.get('hot_budget_recent_mib', 0.0)):.1f} ->"
+            f" {float(row.get('hot_budget_mrc_mib', 0.0)):.1f} MiB"
+        )
+    return failures
+
+
+def check_profile(baseline, path):
+    """Gates bench_profile. profile_mrc rows: the sampled SHARDS curve
+    must stay within max_mrc_mae of the exact LRU stack simulation on
+    every expected trace. profile_overhead: the edgemap MODELED ratio
+    (calibrated per-page cost x pages observed over best wall; see
+    bench_profile.cpp for why 1-core wall time cannot carry a 5% gate)
+    must stay under max_edgemap_model_ratio, with loose order-of-magnitude
+    guards on the measured wall ratio and the worst-case pool-loop
+    ratio."""
+    failures = []
+    section = baseline.get("profile")
+    if not section:
+        return failures
+    max_mae = float(section.get("max_mrc_mae", 0.05))
+    want_traces = set(section.get("traces", ["uniform", "zipf", "scan"]))
+    seen = set()
+    for row in load_jsonl(path, "profile_mrc"):
+        trace = row.get("trace")
+        seen.add(trace)
+        mae = float(row.get("mae", 1.0))
+        ok = mae <= max_mae
+        print(
+            f"{'OK' if ok else 'FAIL':7s}  profile mrc/{trace}:"
+            f" mae {mae:.4f} (limit {max_mae:g},"
+            f" rate {float(row.get('sample_rate', 0.0)):.3f},"
+            f" sampled {int(row.get('sampled', 0))}/"
+            f"{int(row.get('accesses', 0))})"
+        )
+        if not ok:
+            failures.append(
+                f"profile mrc/{trace}: mae {mae:.4f} > {max_mae:g}"
+            )
+    for trace in sorted(want_traces - seen):
+        print(f"MISSING  profile mrc/{trace}: row not in run")
+        failures.append(f"profile mrc/{trace} row missing")
+
+    max_model = float(section.get("max_edgemap_model_ratio", 1.05))
+    max_measured = float(section.get("max_edgemap_measured_ratio", 5.0))
+    max_pool = float(section.get("max_pool_worst_ratio", 5.0))
+    scopes = set()
+    for row in load_jsonl(path, "profile_overhead"):
+        scope = row.get("scope")
+        scopes.add(scope)
+        if scope == "edgemap":
+            model = float(row.get("model_ratio", 0.0))
+            measured = float(row.get("measured_ratio", 0.0))
+            ok = 0.0 < model <= max_model and measured <= max_measured
+            print(
+                f"{'OK' if ok else 'FAIL':7s}  profile overhead/edgemap:"
+                f" model x{model:.4f} (limit {max_model:g}),"
+                f" measured x{measured:.3f} (guard {max_measured:g}),"
+                f" {int(row.get('pages_observed', 0))} pages @"
+                f" {float(row.get('per_page_ns', 0.0)):.0f} ns"
+            )
+            if not (0.0 < model <= max_model):
+                failures.append(
+                    f"profile overhead/edgemap: model ratio {model:.4f}"
+                    f" not in (1, {max_model:g}]"
+                )
+            if measured > max_measured:
+                failures.append(
+                    f"profile overhead/edgemap: measured ratio"
+                    f" {measured:.3f} > {max_measured:g}"
+                )
+        elif scope == "pool_hit":
+            worst = float(row.get("worst_ratio", 0.0))
+            ok = 0.0 < worst <= max_pool
+            print(
+                f"{'OK' if ok else 'FAIL':7s}  profile overhead/pool_hit:"
+                f" worst x{worst:.3f} (guard {max_pool:g}),"
+                f" adapted x{float(row.get('adapted_ratio', 0.0)):.3f},"
+                f" base {float(row.get('ns_disabled', 0.0)):.0f} ns/access"
+            )
+            if not ok:
+                failures.append(
+                    f"profile overhead/pool_hit: worst ratio {worst:.3f}"
+                    f" not in (0, {max_pool:g}]"
+                )
+    for scope in sorted({"edgemap", "pool_hit"} - scopes):
+        print(f"MISSING  profile overhead/{scope}: row not in run")
+        failures.append(f"profile overhead/{scope} row missing")
+    return failures
+
+
 def update_baseline(baseline_path, bench_json):
     baseline = load_json(baseline_path)
     micro = baseline.setdefault("micro", {})
@@ -487,6 +613,10 @@ def main():
         help="bench_async JSON-rows output to gate as well",
     )
     ap.add_argument(
+        "--profile",
+        help="bench_profile JSON-rows output to gate as well",
+    )
+    ap.add_argument(
         "--update", action="store_true",
         help="reseed the baseline's micro timings from this run",
     )
@@ -507,6 +637,9 @@ def main():
         sections.append(
             ("serving_openloop", check_openloop(baseline, args.openloop))
         )
+        sections.append(
+            ("serving_apportion", check_apportion(baseline, args.openloop))
+        )
     if args.cache:
         sections.append(("cache", check_cache(baseline, args.cache)))
     if args.compression:
@@ -515,6 +648,8 @@ def main():
         )
     if args.async_path:
         sections.append(("async", check_async(baseline, args.async_path)))
+    if args.profile:
+        sections.append(("profile", check_profile(baseline, args.profile)))
 
     print("\nsection summary:")
     for name, section_failures in sections:

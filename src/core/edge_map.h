@@ -189,6 +189,7 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
 
   std::atomic<std::uint64_t> edges_scattered{0};
   std::atomic<std::uint64_t> records_binned{0};
+  std::atomic<std::uint64_t> io_wait_ns{0};
 
   const bool sync_mode = cfg.sync_mode;
   BinSet* bins = sync_mode ? nullptr : &qc.acquire_bins();
@@ -293,7 +294,7 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
     // call's so worker spans land in the right per-query tree.
     trace::ScopedQuery worker_scope(qc.trace_id());
     const bool is_scatter = worker < scatter_threads;
-    std::uint64_t local_edges = 0, local_records = 0;
+    std::uint64_t local_edges = 0, local_records = 0, local_io_wait = 0;
     if (is_scatter) {
       trace::Span scatter_span(trace::Name::kScatter, worker);
       ScatterBuffer* sbuf = sync_mode ? nullptr : &qc.scatter_buffer(worker);
@@ -305,8 +306,16 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
             buf = io->pop_filled();  // re-check after the release fence
             if (!buf) break;
           } else {
-            if (!sync_mode && bins->pop_full_hint()) help_gather_once();
-            else backoff.pause();
+            if (!sync_mode && bins->pop_full_hint()) {
+              help_gather_once();
+            } else {
+              // Genuine IO starvation: no filled buffer and no gather work
+              // to steal. Timed so prof::StallBreakdown can attribute the
+              // query's wall clock (clock reads cost only on the idle path).
+              const std::uint64_t t0 = Timer::now_ns();
+              backoff.pause();
+              local_io_wait += Timer::now_ns() - t0;
+            }
             continue;
           }
         }
@@ -326,6 +335,7 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
     }
     edges_scattered.fetch_add(local_edges, std::memory_order_relaxed);
     records_binned.fetch_add(local_records, std::memory_order_relaxed);
+    io_wait_ns.fetch_add(local_io_wait, std::memory_order_relaxed);
   });
 
   io->wait();
@@ -344,6 +354,7 @@ VertexSubset edge_map(QueryContext& qc, const format::OnDiskGraph& g,
   }
   if (opts.stats) {
     opts.stats->merge(io->stats());  // unified device->io accounting
+    opts.stats->io_wait_ns += io_wait_ns.load(std::memory_order_relaxed);
     opts.stats->edges_scattered +=
         edges_scattered.load(std::memory_order_relaxed);
     opts.stats->records_binned +=

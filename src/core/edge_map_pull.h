@@ -66,6 +66,7 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
   }
 
   std::atomic<std::uint64_t> edges_scanned{0};
+  std::atomic<std::uint64_t> io_wait_ns{0};
 
   const format::GraphIndex& index = in_g.index();
   const format::PageVertexMap& pvmap = in_g.page_map();
@@ -76,7 +77,7 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
     // Pull workers scan and gather in place (no bins): one scatter-side
     // span covers each worker's whole page-consumption loop.
     trace::Span scatter_span(trace::Name::kScatter, worker);
-    std::uint64_t local_edges = 0;
+    std::uint64_t local_edges = 0, local_io_wait = 0;
     Backoff backoff;
     for (;;) {
       auto buf = io->pop_filled();
@@ -85,7 +86,12 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
           buf = io->pop_filled();  // re-check after the release fence
           if (!buf) break;
         } else {
+          // IO starvation, timed for prof::StallBreakdown (pull workers
+          // have no gather bins to steal from — an empty queue is always
+          // the device's fault).
+          const std::uint64_t t0 = Timer::now_ns();
           backoff.pause();
+          local_io_wait += Timer::now_ns() - t0;
           continue;
         }
       }
@@ -151,6 +157,7 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
       io_pool.release(*buf);
     }
     edges_scanned.fetch_add(local_edges, std::memory_order_relaxed);
+    io_wait_ns.fetch_add(local_io_wait, std::memory_order_relaxed);
   });
   io->wait();
 
@@ -164,6 +171,7 @@ VertexSubset edge_map_pull(QueryContext& qc, const format::OnDiskGraph& in_g,
   }
   if (opts.stats) {
     opts.stats->merge(io->stats());
+    opts.stats->io_wait_ns += io_wait_ns.load(std::memory_order_relaxed);
     opts.stats->edges_scattered +=
         edges_scanned.load(std::memory_order_relaxed);
     if (prefetch) {

@@ -10,6 +10,7 @@
 #include "device/page_cache.h"
 #include "io/io_pipeline.h"
 #include "metrics/metrics.h"
+#include "prof/profiler.h"
 #include "trace/tracer.h"
 #include "util/thread_pool.h"
 
@@ -95,6 +96,26 @@ class Runtime {
     return page_cache_;
   }
 
+  /// The workload profiler, lazily built when profiling is requested —
+  /// profile_enabled, or catalog_apportion == kMrc (the apportioner needs
+  /// curves) — and attached to the shared pool's access stream. Returns
+  /// nullptr when profiling is off AND the apportioner doesn't need it, or
+  /// when there is no pool to observe.
+  prof::WorkloadProfiler* profiler() {
+    const bool wanted =
+        config_.profile_enabled ||
+        config_.catalog_apportion == CatalogApportion::kMrc;
+    if (!profiler_ && wanted) {
+      const auto& pool = page_cache();
+      if (!pool) return nullptr;
+      prof::ProfilerOptions opts;
+      opts.sample_budget = config_.profile_sample_budget;
+      profiler_ = std::make_unique<prof::WorkloadProfiler>(opts);
+      profiler_->attach(pool);
+    }
+    return profiler_.get();
+  }
+
   /// Wraps `dev` in a CachedDevice over the shared pool; returns `dev`
   /// unchanged when caching is disabled (cache_bytes == 0).
   std::shared_ptr<device::BlockDevice> wrap_cached(
@@ -132,6 +153,9 @@ class Runtime {
   ThreadPool pool_;
   io::IoPipeline pipeline_;
   std::shared_ptr<device::ShardedPageCache> page_cache_;  ///< lazy; may stay null
+  /// Declared after page_cache_ so it dies FIRST: its destructor detaches
+  /// the observer from the (still-alive) pool.
+  std::unique_ptr<prof::WorkloadProfiler> profiler_;  ///< lazy; may stay null
   // Declared after the pipeline: destroyed first, and its destructor
   // quiesces the (still-alive) pipeline, so no reader touches the arenas
   // while they die; the pipeline's own destructor then joins the readers.

@@ -70,6 +70,11 @@ class CachedDevice : public BlockDevice, public CacheStatsSource {
   /// The pool backing this device (shared or private).
   const std::shared_ptr<ShardedPageCache>& pool() const { return pool_; }
 
+  /// This device's pool key-namespace base (register_device() return
+  /// value): pool key = namespace_base() + device page number. The catalog
+  /// uses it to join profiler curves and occupancy/caps to graphs.
+  std::uint64_t namespace_base() const { return base_; }
+
   // --- Per-device counter view. A shared pool mixes several devices'
   // --- traffic, so the adapter counts its own outcomes; the pool/shard
   // --- counters aggregate across devices.

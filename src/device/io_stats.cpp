@@ -1,6 +1,7 @@
 #include "device/io_stats.h"
 
 #include "trace/tracer.h"
+#include "util/histogram.h"
 
 namespace blaze::device {
 
@@ -21,6 +22,8 @@ void IoStats::record_read(std::uint64_t bytes, std::uint64_t busy_ns) {
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   total_reads_.fetch_add(1, std::memory_order_relaxed);
   busy_ns_.fetch_add(busy_ns, std::memory_order_relaxed);
+  latency_hist_[Log2Histogram::bucket_of(busy_ns)].fetch_add(
+      1, std::memory_order_relaxed);
   current_epoch_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   // Metrics-off runs pay one atomic load + null branch here. Acquire
   // pairs with bind_metrics' release store so the companion handles are
@@ -63,6 +66,7 @@ void IoStats::reset() {
   total_bytes_.store(0, std::memory_order_relaxed);
   total_reads_.store(0, std::memory_order_relaxed);
   busy_ns_.store(0, std::memory_order_relaxed);
+  for (auto& b : latency_hist_) b.store(0, std::memory_order_relaxed);
   current_epoch_bytes_.store(0, std::memory_order_relaxed);
   {
     std::lock_guard lock(epoch_mu_);
@@ -83,6 +87,14 @@ std::vector<std::uint64_t> IoStats::epoch_bytes() const {
   std::lock_guard lock(epoch_mu_);
   std::vector<std::uint64_t> out = closed_epochs_;
   out.push_back(current_epoch_bytes_.load(std::memory_order_relaxed));
+  return out;
+}
+
+std::vector<std::uint64_t> IoStats::latency_histogram() const {
+  std::vector<std::uint64_t> out(64, 0);
+  for (std::size_t b = 0; b < 64; ++b) {
+    out[b] = latency_hist_[b].load(std::memory_order_relaxed);
+  }
   return out;
 }
 

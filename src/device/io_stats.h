@@ -55,6 +55,12 @@ class IoStats {
   std::vector<std::uint64_t> timeline_bytes() const;
   std::uint64_t timeline_bucket_ns() const { return bucket_ns_; }
 
+  /// Read-latency histogram: count of completed reads whose busy_ns fell
+  /// in log2 bucket b (b = floor(log2(busy_ns)), bucket 0 = {0, 1}) — the
+  /// raw series behind the --profile report's per-device latency
+  /// percentiles. Always recorded: one relaxed increment per completion.
+  std::vector<std::uint64_t> latency_histogram() const;
+
   /// Completions whose bucket index ran past the preallocated ring
   /// (clamped into the final bucket so timeline totals still reconcile
   /// with total_bytes()). Non-zero means the run outlived the timeline
@@ -74,6 +80,7 @@ class IoStats {
   std::atomic<std::uint64_t> total_bytes_{0};
   std::atomic<std::uint64_t> total_reads_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> latency_hist_[64] = {};
 
   std::uint64_t bucket_ns_;
   /// Timeline epoch origin. Atomic (relaxed) because reset() may race with

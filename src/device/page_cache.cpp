@@ -386,6 +386,18 @@ bool CacheShard::fill_locked(std::uint64_t key, const std::byte* data) {
     slot = it->second;
     policy_->touched(slot);
   } else {
+    // Namespace budget enforcement (admission bypass): refuse to retain a
+    // NEW page of an at-cap namespace. The read itself already completed
+    // into the caller's buffer, and the dedup protocol is unaffected —
+    // end_run() still releases the in-flight marks, so deferred peers
+    // re-probe, miss, and claim their own read.
+    if (auto cap = ns_cap_pages_.find(key >> kNamespaceShift);
+        cap != ns_cap_pages_.end()) {
+      auto res = ns_resident_.find(key >> kNamespaceShift);
+      if (res != ns_resident_.end() && res->second >= cap->second) {
+        return false;
+      }
+    }
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
       free_slots_.pop_back();
@@ -449,6 +461,14 @@ void CacheShard::add_resident_by_namespace(
     std::unordered_map<std::uint64_t, std::uint64_t>& acc) const {
   std::lock_guard lock(mu_);
   for (const auto& [ns, pages] : ns_resident_) acc[ns] += pages;
+}
+
+void CacheShard::set_ns_cap(std::uint64_t ns, std::uint64_t cap_pages) {
+  std::lock_guard lock(mu_);
+  if (cap_pages == 0) ns_cap_pages_.erase(ns);
+  else ns_cap_pages_[ns] = cap_pages;
+  // Over-cap residents (the cap shrank) are not evicted eagerly: they age
+  // out through normal eviction while new admissions are refused.
 }
 
 std::size_t CacheShard::resident_pages() const {
@@ -590,6 +610,9 @@ RunState ShardedPageCache::start_run(std::uint64_t first_key,
 RunState ShardedPageCache::try_start_run(std::uint64_t first_key,
                                          std::uint32_t num_pages,
                                          std::byte* out) {
+  // One logical access — a later retry_deferred_run() of the same run is
+  // the same access and is not re-reported.
+  notify_access(first_key, num_pages);
   return start_run(first_key, num_pages, out, /*deferred_retry=*/false);
 }
 
@@ -613,6 +636,7 @@ bool ShardedPageCache::fill(std::uint64_t key, const std::byte* data) {
 
 bool ShardedPageCache::lookup_run(std::uint64_t first_key,
                                   std::uint32_t num_pages, std::byte* out) {
+  notify_access(first_key, num_pages);
   if (first_key / kShardGroupPages ==
       (first_key + num_pages - 1) / kShardGroupPages) {
     return shards_[shard_of(first_key)]->lookup_run(first_key, num_pages,
@@ -648,7 +672,20 @@ bool ShardedPageCache::lookup_run(std::uint64_t first_key,
 
 SyncAcquire ShardedPageCache::acquire_page_sync(std::uint64_t key,
                                                 std::byte* dst) {
+  notify_access(key, 1);
   return shards_[shard_of(key)]->acquire_page_sync(key, dst);
+}
+
+void ShardedPageCache::set_namespace_cap(std::uint64_t ns_base,
+                                         std::uint64_t cap_bytes) {
+  const std::uint64_t ns = ns_base >> kNamespaceShift;
+  std::uint64_t per_shard = 0;
+  if (cap_bytes != 0) {
+    const std::uint64_t cap_pages =
+        std::max<std::uint64_t>(1, cap_bytes / kPageSize);
+    per_shard = (cap_pages + shards_.size() - 1) / shards_.size();
+  }
+  for (const auto& s : shards_) s->set_ns_cap(ns, per_shard);
 }
 
 CacheCounters ShardedPageCache::cache_counters() const {

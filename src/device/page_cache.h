@@ -80,6 +80,21 @@ class CacheStatsSource {
   virtual CacheCounters cache_counters() const = 0;
 };
 
+/// Hook for profiling layers that want to see the cache access stream
+/// without the cache depending on them (prof::WorkloadProfiler implements
+/// this; the device layer never includes prof). Called OUTSIDE any shard
+/// lock, once per logical access — retries of a deferred run are not
+/// re-reported. Implementations must be cheap and thread-safe: the hook
+/// runs on the read workers' hot path.
+class CacheAccessObserver {
+ public:
+  virtual ~CacheAccessObserver() = default;
+
+  /// One cache access covering `num_pages` consecutive pool keys starting
+  /// at `first_key` (namespace id = key >> kNamespaceShift).
+  virtual void on_access(std::uint64_t first_key, std::uint32_t num_pages) = 0;
+};
+
 /// Per-shard eviction policy. Not thread-safe: every call happens under
 /// the owning shard's lock. Slots are dense indices [0, capacity); the
 /// shard guarantees victim() is only called when every slot is resident.
@@ -190,6 +205,14 @@ class CacheShard {
   void add_resident_by_namespace(
       std::unordered_map<std::uint64_t, std::uint64_t>& acc) const;
 
+  /// Caps namespace `ns` (key >> kNamespaceShift) at `cap_pages` resident
+  /// pages in THIS shard; 0 removes the cap. Enforced as admission bypass:
+  /// fill() of a new page in an at-cap namespace is refused (the read
+  /// still completes — the page just isn't retained), so one graph cannot
+  /// squeeze the others out of their apportioned budgets. Racing fills and
+  /// evictions keep their exact semantics.
+  void set_ns_cap(std::uint64_t ns, std::uint64_t cap_pages);
+
  private:
   static constexpr std::size_t kNil = ~std::size_t{0};
 
@@ -219,6 +242,8 @@ class CacheShard {
   /// Resident pages per key namespace (key >> kNamespaceShift), kept
   /// exactly in sync with map_ by fill_locked (insert / evict).
   std::unordered_map<std::uint64_t, std::uint64_t> ns_resident_;
+  /// Admission caps per namespace (absent = uncapped); see set_ns_cap().
+  std::unordered_map<std::uint64_t, std::uint64_t> ns_cap_pages_;
 
   // Counters are atomic (relaxed): monitoring threads read them while
   // sessions update under mu_, and TSan must stay clean.
@@ -259,6 +284,23 @@ class ShardedPageCache : public CacheStatsSource {
   /// whose pages were all evicted report 0, not absence — the catalog's
   /// occupancy reconciliation depends on seeing every registrant.
   std::vector<NamespaceUsage> namespace_usage() const;
+
+  /// Installs (or clears, with nullptr) the access-stream observer. The
+  /// observer must outlive its installation — clear it before destroying
+  /// the observing object. Disabled cost is one relaxed atomic load and a
+  /// branch per access.
+  void set_access_observer(CacheAccessObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+  CacheAccessObserver* access_observer() const {
+    return observer_.load(std::memory_order_relaxed);
+  }
+
+  /// Caps the namespace rooted at `ns_base` (a register_device() return
+  /// value) at `cap_bytes` of residency, spread evenly across shards
+  /// (rounded up, so the effective cap is within one page per shard of
+  /// the request); 0 removes the cap. See CacheShard::set_ns_cap.
+  void set_namespace_cap(std::uint64_t ns_base, std::uint64_t cap_bytes);
 
   // --- Miss-dedup protocol over pool keys (run = consecutive keys; at
   // --- most kMaxMergePages, so at most two shards are involved).
@@ -316,6 +358,15 @@ class ShardedPageCache : public CacheStatsSource {
   std::vector<std::string> device_names_;    ///< guarded by devices_mu_
 
   metrics::BindingSet metrics_bindings_;
+
+  std::atomic<CacheAccessObserver*> observer_{nullptr};
+
+  /// Reports one logical access to the installed observer (if any).
+  void notify_access(std::uint64_t first_key, std::uint32_t num_pages) {
+    if (CacheAccessObserver* obs = observer_.load(std::memory_order_acquire)) {
+      obs->on_access(first_key, num_pages);
+    }
+  }
 
   /// Splits [first, first+n) at shard-group boundaries and invokes
   /// fn(shard, first_key, num_pages) per segment (1 or 2 calls).

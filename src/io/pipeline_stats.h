@@ -31,6 +31,12 @@ struct PipelineStats {
   std::uint64_t buffer_stalls = 0;     ///< acquire() found the pool exhausted
   std::uint64_t buffer_stall_ns = 0;   ///< time spent waiting for a free buffer
 
+  // ---- compute side: IO starvation (prof::StallBreakdown's io axis) ------
+  /// Worker-nanoseconds the compute consumers spent idle because no filled
+  /// buffer was available AND no other work (gather help) existed — summed
+  /// across workers, so N workers starved 1 ms each contribute N ms.
+  std::uint64_t io_wait_ns = 0;
+
   // ---- io layer: fault handling (io::IoError taxonomy) -------------------
   std::uint64_t retries = 0;           ///< resubmissions after transient failures
   std::uint64_t failed_requests = 0;   ///< requests whose failure propagated
@@ -53,6 +59,7 @@ struct PipelineStats {
     inflight_peak = std::max(inflight_peak, o.inflight_peak);
     buffer_stalls += o.buffer_stalls;
     buffer_stall_ns += o.buffer_stall_ns;
+    io_wait_ns += o.io_wait_ns;
     retries += o.retries;
     failed_requests += o.failed_requests;
     gave_up += o.gave_up;

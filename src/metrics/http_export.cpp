@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -102,16 +103,27 @@ void MetricsHttpServer::accept_loop() {
 }
 
 void MetricsHttpServer::handle_connection(int fd) {
-  // One read is enough for "GET /path HTTP/1.1"; scrape requests carry no
-  // body and the routes ignore headers.
+  // TCP may deliver the request in arbitrarily small segments — a single
+  // recv() once truncated request lines split across packets. Read until
+  // the header terminator (scrape requests carry no body and the routes
+  // ignore headers), a bounded header cap, or peer close. The receive
+  // timeout bounds a client that connects and stalls mid-request.
+  constexpr std::size_t kMaxHeaderBytes = 8192;
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string req;
   char buf[2048];
-  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  const char* line_end = std::strstr(buf, "\r\n");
-  std::string request_line(buf, line_end != nullptr
-                                    ? static_cast<std::size_t>(line_end - buf)
-                                    : static_cast<std::size_t>(n));
+  while (req.size() < kMaxHeaderBytes &&
+         req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // close / error / timeout: parse what arrived
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  if (req.empty()) return;
+  const std::size_t line_end = req.find("\r\n");
+  const std::string request_line =
+      req.substr(0, line_end == std::string::npos ? req.size() : line_end);
   std::string path;
   {
     const std::size_t sp1 = request_line.find(' ');

@@ -1,0 +1,122 @@
+// prof::WorkloadProfiler — the profiling front end: routes the page-cache
+// access stream into per-namespace ReuseSamplers, snapshots miss-ratio
+// curves, exports them through the metric registry, and turns curves into
+// cache apportionments (the greedy marginal-gain allocator GraphCatalog
+// uses in `Config::catalog_apportion = mrc` mode).
+//
+// Wiring: WorkloadProfiler implements device::CacheAccessObserver and is
+// installed on the shared ShardedPageCache by Runtime::profiler() — the
+// device layer never depends on prof. The hot path (on_access) is one
+// array-indexed relaxed atomic load to find the namespace's sampler, then
+// ReuseSampler::record per page (itself mostly a hash-and-reject);
+// samplers are created lazily under a mutex the first time a namespace is
+// seen.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "device/page_cache.h"
+#include "metrics/metrics.h"
+#include "prof/reuse_sampler.h"
+
+namespace blaze::prof {
+
+struct ProfilerOptions {
+  /// Per-namespace sampler budget (ReuseSamplerOptions::sample_budget).
+  std::size_t sample_budget = 4096;
+
+  /// Initial per-namespace sampling rate (adapts downward on its own).
+  double initial_rate = 1.0;
+};
+
+/// One namespace's curve snapshot, joined to its registered name when the
+/// profiler has been told it (bind_namespace / GraphCatalog).
+struct NamespaceCurve {
+  std::uint64_t ns_base = 0;  ///< ShardedPageCache::register_device() base
+  std::string name;           ///< empty until bind_namespace()
+  MissRatioCurve curve;
+};
+
+class WorkloadProfiler final : public device::CacheAccessObserver {
+ public:
+  explicit WorkloadProfiler(ProfilerOptions opts = {});
+  ~WorkloadProfiler() override;
+
+  WorkloadProfiler(const WorkloadProfiler&) = delete;
+  WorkloadProfiler& operator=(const WorkloadProfiler&) = delete;
+
+  /// Installs this profiler as `pool`'s access observer. The destructor
+  /// uninstalls it (via a weak_ptr, so a pool that died first is fine).
+  void attach(const std::shared_ptr<device::ShardedPageCache>& pool);
+  void detach();
+
+  /// device::CacheAccessObserver — called from the read workers.
+  void on_access(std::uint64_t first_key, std::uint32_t num_pages) override;
+
+  /// Names a namespace (idempotent) and, when the metric registry is
+  /// enabled, publishes its curve as polled gauges:
+  ///   blaze_prof_mrc_bucket{ns=<name>, cache_pages=2^k}  (miss ratio)
+  ///   blaze_prof_sample_rate{ns=<name>}
+  /// Callbacks read the sampler under its own leaf lock at sample time.
+  void bind_namespace(std::uint64_t ns_base, const std::string& name,
+                      bool bind_metrics);
+
+  /// Curve snapshot for one namespace; empty curve when never accessed.
+  MissRatioCurve curve_of(std::uint64_t ns_base) const;
+
+  /// All namespaces with samplers, ascending namespace id.
+  std::vector<NamespaceCurve> curves() const;
+
+  /// Raw access count routed to a namespace's sampler so far.
+  std::uint64_t accesses_of(std::uint64_t ns_base) const;
+
+ private:
+  /// One slot per namespace id (key >> kNamespaceShift). 256 namespaces
+  /// is far beyond any catalog; ids past the array are ignored.
+  static constexpr std::size_t kMaxNamespaces = 256;
+
+  ReuseSampler* sampler_slow(std::size_t ns);
+  const ReuseSampler* sampler_of(std::uint64_t ns_base) const;
+
+  const ProfilerOptions opts_;
+  std::array<std::atomic<ReuseSampler*>, kMaxNamespaces> samplers_{};
+
+  mutable std::mutex mu_;
+  // Guarded by mu_:
+  std::vector<std::unique_ptr<ReuseSampler>> owned_;
+  std::array<std::string, kMaxNamespaces> names_{};
+
+  std::weak_ptr<device::ShardedPageCache> pool_;
+  metrics::BindingSet metrics_bindings_;
+};
+
+/// Input for the MRC-driven apportioner: one catalog entry's curve (may be
+/// empty — a graph that has not been accessed yet), its traffic weight
+/// (same 1 + recent_queries weight the legacy heuristic uses, so an idle
+/// graph cannot starve an active one purely on curve shape), and a
+/// keep-warm floor.
+struct MrcShareInput {
+  MissRatioCurve curve;
+  double weight = 1.0;
+  std::uint64_t floor_bytes = 0;
+};
+
+/// Splits `total_bytes` across the entries by greedy marginal gain: floors
+/// first, then chunk-by-chunk to whichever entry's weighted miss-ratio
+/// drop per chunk is largest — the standard MRC-partitioning greedy that
+/// is optimal for convex curves. Entries with empty curves compete with a
+/// flat curve (zero marginal gain); when every gain is zero the remainder
+/// falls back to weight-proportional largest-remainder division, which
+/// reproduces the legacy `recent` split. The result sums to total_bytes
+/// exactly.
+std::vector<std::uint64_t> apportion_by_mrc(
+    const std::vector<MrcShareInput>& entries, std::uint64_t total_bytes,
+    std::uint64_t chunk_bytes);
+
+}  // namespace blaze::prof

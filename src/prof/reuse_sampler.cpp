@@ -1,0 +1,243 @@
+#include "prof/reuse_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blaze::prof {
+
+namespace {
+
+/// splitmix64 finalizer — the spatial filter needs a hash whose low-order
+/// structure is independent of page adjacency (consecutive pages of one
+/// run must be sampled independently).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::size_t bucket_of(std::uint64_t d) {
+  // d >= 1: floor(log2(d)); bucket 0 holds exactly {1}.
+  if (d <= 1) return 0;
+  return static_cast<std::size_t>(64 - __builtin_clzll(d)) - 1;
+}
+
+constexpr std::uint64_t kMaxThreshold = ~std::uint64_t{0};
+
+}  // namespace
+
+double MissRatioCurve::miss_ratio_at(std::uint64_t cache_pages) const {
+  if (empty()) return 1.0;
+  if (cache_pages == 0) return 1.0;
+  if (cache_pages <= points.front().cache_pages) {
+    return points.front().miss_ratio;
+  }
+  if (cache_pages >= points.back().cache_pages) {
+    return points.back().miss_ratio;
+  }
+  // Points sit at powers of two; interpolate linearly in log2 space.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (cache_pages <= points[i].cache_pages) {
+      const double lo = std::log2(static_cast<double>(points[i - 1].cache_pages));
+      const double hi = std::log2(static_cast<double>(points[i].cache_pages));
+      const double x = std::log2(static_cast<double>(cache_pages));
+      const double t = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+      return points[i - 1].miss_ratio +
+             t * (points[i].miss_ratio - points[i - 1].miss_ratio);
+    }
+  }
+  return points.back().miss_ratio;
+}
+
+ReuseSampler::ReuseSampler(ReuseSamplerOptions opts)
+    : opts_(opts), hist_(64, 0) {
+  double rate = opts_.exact ? 1.0 : opts_.initial_rate;
+  if (rate <= 0.0 || rate > 1.0) rate = 1.0;
+  threshold_.store(
+      rate >= 1.0 ? kMaxThreshold
+                  : static_cast<std::uint64_t>(
+                        rate * static_cast<double>(kMaxThreshold)),
+      std::memory_order_relaxed);
+  const std::size_t budget = std::max<std::size_t>(16, opts_.sample_budget);
+  bit_.assign(std::max<std::size_t>(4 * budget, 1 << 12), 0);
+}
+
+void ReuseSampler::bit_add(std::uint64_t slot, std::int64_t delta) {
+  for (std::uint64_t i = slot + 1; i <= bit_.size(); i += i & (~i + 1)) {
+    bit_[i - 1] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(bit_[i - 1]) + delta);
+  }
+}
+
+std::uint64_t ReuseSampler::bit_prefix(std::uint64_t slot) const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = slot + 1; i > 0; i -= i & (~i + 1)) {
+    sum += bit_[i - 1];
+  }
+  return sum;
+}
+
+void ReuseSampler::compact_locked() {
+  // Renumber live keys by last-access order: collect (time, key), sort,
+  // reassign 0..n-1, rebuild the Fenwick array. O(budget log budget),
+  // amortized over ~3x budget record() calls between compactions.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
+  live.reserve(table_.size());
+  for (const auto& [key, t] : table_) live.emplace_back(t.time, key);
+  std::sort(live.begin(), live.end());
+  const std::size_t want = std::max<std::size_t>(
+      {4 * live.size(), static_cast<std::size_t>(1) << 12, bit_.size()});
+  bit_.assign(want, 0);
+  clock_ = 0;
+  for (const auto& [time, key] : live) {
+    table_[key].time = clock_;
+    bit_add(clock_, +1);
+    ++clock_;
+  }
+}
+
+void ReuseSampler::shrink_locked() {
+  // Budget exceeded: lower the hash threshold until the tracked set fits,
+  // evicting the largest-hash keys (they are exactly the ones a smaller
+  // threshold would never have admitted). Heap entries are lazily
+  // validated — a key may have been evicted by an earlier shrink.
+  const std::size_t budget = std::max<std::size_t>(16, opts_.sample_budget);
+  std::uint64_t new_threshold = threshold_.load(std::memory_order_relaxed);
+  while (table_.size() > budget && !heap_.empty()) {
+    const auto [hash, key] = heap_.top();
+    heap_.pop();
+    auto it = table_.find(key);
+    if (it == table_.end() || it->second.hash != hash) continue;  // stale
+    bit_add(it->second.time, -1);
+    table_.erase(it);
+    new_threshold = hash;  // future keys with hash >= this are rejected
+  }
+  threshold_.store(new_threshold, std::memory_order_relaxed);
+}
+
+void ReuseSampler::track_locked(std::uint64_t key, std::uint64_t hash) {
+  if (clock_ >= bit_.size()) compact_locked();
+  Tracked t;
+  t.time = clock_++;
+  t.hash = hash;
+  bit_add(t.time, +1);
+  table_.emplace(key, t);
+  heap_.emplace(hash, key);
+  if (!opts_.exact &&
+      table_.size() > std::max<std::size_t>(16, opts_.sample_budget)) {
+    shrink_locked();
+  }
+}
+
+std::uint64_t ReuseSampler::observe_locked(Tracked& t) {
+  // Distinct tracked keys accessed strictly after this key's last access:
+  // every such key's weight-1 marker sits in a slot > t.time.
+  const std::uint64_t d = bit_prefix(clock_ - 1) - bit_prefix(t.time);
+  // Move the marker to "now".
+  bit_add(t.time, -1);
+  if (clock_ >= bit_.size()) compact_locked();
+  t.time = clock_++;
+  bit_add(t.time, +1);
+  return d;
+}
+
+void ReuseSampler::record(std::uint64_t key) {
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = mix64(key ^ opts_.seed);
+  const std::uint64_t threshold = threshold_.load(std::memory_order_relaxed);
+  if (h >= threshold) return;  // not in the spatial sample
+  std::lock_guard lock(mu_);
+  ++sampled_;
+  // Rate in effect for THIS observation; scales the measured distance to
+  // the full key space and sets the observation's inverse-probability
+  // weight (see the hist_ comment in the header).
+  const double rate = std::max(
+      static_cast<double>(threshold) / static_cast<double>(kMaxThreshold),
+      1e-12);
+  const double weight = 1.0 / rate;
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    ++cold_;
+    cold_w_ += weight;
+    track_locked(key, h);
+    return;
+  }
+  const std::uint64_t d = observe_locked(it->second);
+  const auto scaled = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(d) / rate));
+  if (scaled == 0) {
+    zero_w_ += weight;
+  } else {
+    hist_[bucket_of(scaled)] += weight;
+  }
+}
+
+MissRatioCurve ReuseSampler::curve() const {
+  MissRatioCurve out;
+  out.accesses = accesses();
+  out.sample_rate = sample_rate();
+  std::lock_guard lock(mu_);
+  out.sampled = sampled_;
+  out.cold = cold_;
+  if (sampled_ == 0) return out;
+  std::size_t max_bucket = 0;
+  double mass = zero_w_ + cold_w_;
+  for (std::size_t b = 0; b < hist_.size(); ++b) {
+    if (hist_[b] != 0.0) max_bucket = b + 1;
+    mass += hist_[b];
+  }
+  if (mass <= 0.0) return out;
+  // SHARDS_adj: the weighted mass estimates the full access count, but a
+  // spatial sample that happens to miss (or catch) hot keys lands far from
+  // it — hot keys carry many short-distance references each, so the
+  // shortfall is short-distance mass. Credit the signed difference to the
+  // zero-distance bucket (clamped), which re-anchors the curve without
+  // touching the measured long-distance shape. Exact mode: mass equals the
+  // access count and the adjustment vanishes.
+  const double zero_adj = std::max(
+      0.0, zero_w_ + (static_cast<double>(out.accesses) - mass));
+  const double total = zero_adj + cold_w_ +
+                       (mass - zero_w_ - cold_w_);
+  if (total <= 0.0) return out;
+  // Point k: cache of 2^k pages hits an access iff its distance d < 2^k,
+  // i.e. d == 0 or bucket(d) <= k-1 — exact at these sizes by bucket
+  // alignment (weights preserve it: every observation in a bucket shares
+  // the same hit/miss verdict at these sizes). One point past the last
+  // non-empty bucket shows the floor (cold misses only).
+  double hits = zero_adj;
+  out.points.reserve(max_bucket + 2);
+  out.points.push_back({1, 1.0 - hits / total});
+  for (std::size_t k = 1; k <= max_bucket + 1; ++k) {
+    hits += hist_[k - 1];
+    out.points.push_back({std::uint64_t{1} << k, 1.0 - hits / total});
+  }
+  return out;
+}
+
+double ReuseSampler::sample_rate() const {
+  const std::uint64_t t = threshold_.load(std::memory_order_relaxed);
+  if (t == kMaxThreshold) return 1.0;
+  return static_cast<double>(t) / static_cast<double>(kMaxThreshold);
+}
+
+std::size_t ReuseSampler::tracked_keys() const {
+  std::lock_guard lock(mu_);
+  return table_.size();
+}
+
+void ReuseSampler::reset() {
+  std::lock_guard lock(mu_);
+  table_.clear();
+  heap_ = {};
+  std::fill(bit_.begin(), bit_.end(), 0);
+  clock_ = 0;
+  sampled_ = 0;
+  cold_ = 0;
+  cold_w_ = 0.0;
+  zero_w_ = 0.0;
+  std::fill(hist_.begin(), hist_.end(), 0.0);
+  accesses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace blaze::prof

@@ -1,0 +1,78 @@
+// prof::StallBreakdown — per-query bottleneck attribution.
+//
+// A slow query is slow for one of a small number of reasons: it sat in
+// the admission queue, its workers starved waiting for pages, compute
+// itself was the bottleneck, or the buffer pool backpressured the IO
+// path. The raw telemetry for all four already exists (QueryTicket
+// timestamps, PipelineStats counters, the io_wait_ns consumer-side stall
+// clock) — this header is the one fold that turns it into a decomposition
+// of wall-clock time, so EngineStats, the slow-query log, and the
+// --profile report all speak the same language.
+//
+// Attribution model: `io_stall_ns` is summed across workers (N workers
+// each stalled 1ms = N ms of lost parallelism), so the wall-clock IO
+// share is io_stall_ns / workers, clamped to the execution time; what
+// remains of execution is attributed to compute. Admission wait and
+// buffer backpressure are kept as separate axes (backpressure overlaps
+// execution; it is evidence that compute — not the device — was the
+// limiter).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "io/pipeline_stats.h"
+
+namespace blaze::prof {
+
+struct StallBreakdown {
+  std::uint64_t admission_wait_ns = 0;  ///< submitted -> started
+  std::uint64_t io_stall_ns = 0;        ///< worker-ns starved for pages (summed)
+  std::uint64_t compute_ns = 0;         ///< exec wall-clock minus IO share
+  std::uint64_t backpressure_ns = 0;    ///< buffer-pool stalls inside the IO path
+  std::uint64_t exec_ns = 0;            ///< started -> finished wall clock
+
+  /// Folds one query's telemetry. `workers` is the compute parallelism the
+  /// query ran with (converts summed worker-ns into a wall-clock share).
+  static StallBreakdown fold(const io::PipelineStats& stats,
+                             std::uint64_t exec_ns,
+                             std::uint64_t admission_wait_ns,
+                             unsigned workers) {
+    StallBreakdown b;
+    b.admission_wait_ns = admission_wait_ns;
+    b.exec_ns = exec_ns;
+    b.io_stall_ns = stats.io_wait_ns;
+    b.backpressure_ns = stats.buffer_stall_ns;
+    const std::uint64_t w = workers == 0 ? 1 : workers;
+    const std::uint64_t io_wall = std::min(exec_ns, stats.io_wait_ns / w);
+    b.compute_ns = exec_ns - io_wall;
+    return b;
+  }
+
+  void merge(const StallBreakdown& o) {
+    admission_wait_ns += o.admission_wait_ns;
+    io_stall_ns += o.io_stall_ns;
+    compute_ns += o.compute_ns;
+    backpressure_ns += o.backpressure_ns;
+    exec_ns += o.exec_ns;
+  }
+
+  /// Wall-clock share of execution attributed to IO starvation, in [0, 1].
+  double io_fraction() const {
+    if (exec_ns == 0) return 0.0;
+    return static_cast<double>(exec_ns - compute_ns) /
+           static_cast<double>(exec_ns);
+  }
+
+  /// The dominant axis, for the slow-query log: where did the query spend
+  /// the most time?
+  std::string dominant() const {
+    const std::uint64_t io_wall = exec_ns - compute_ns;
+    if (admission_wait_ns >= exec_ns && admission_wait_ns > 0) return "admission";
+    if (io_wall >= compute_ns) return io_wall == 0 ? "compute" : "io";
+    return "compute";
+  }
+};
+
+}  // namespace blaze::prof

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "device/cached_device.h"
+#include "prof/profiler.h"
 #include "trace/tracer.h"
 
 namespace blaze::serve {
@@ -54,14 +55,23 @@ void GraphCatalog::open(const std::string& name, format::OnDiskGraph g) {
   // Wrap the adjacency device through the shared pool under a per-graph
   // namespace, outside mu_ (register_device takes the pool's own lock).
   std::shared_ptr<const format::OnDiskGraph> resident;
+  std::shared_ptr<device::CachedDevice> wrapped;
   const auto& pool = rt_->page_cache();
   if (pool && g.device_ptr()) {
-    auto wrapped = std::make_shared<device::CachedDevice>(
+    wrapped = std::make_shared<device::CachedDevice>(
         g.device_ptr(), pool, "graph/" + name);
-    format::OnDiskGraph cached(g.index(), std::move(wrapped));
+    format::OnDiskGraph cached(g.index(), wrapped);
     if (g.page_verifier()) cached.set_page_verifier(g.page_verifier());
     resident =
         std::make_shared<const format::OnDiskGraph>(std::move(cached));
+    // Bind this graph's namespace into the profiler (when one is wanted):
+    // names its miss-ratio curve and, under metrics, registers the
+    // blaze_prof_mrc_bucket gauges. Outside mu_ — bind_namespace takes the
+    // profiler's lock and the metric registry's.
+    if (prof::WorkloadProfiler* p = rt_->profiler()) {
+      p->bind_namespace(wrapped->namespace_base(), "graph/" + name,
+                        metrics::enabled());
+    }
   } else {
     resident = std::make_shared<const format::OnDiskGraph>(std::move(g));
   }
@@ -78,6 +88,7 @@ void GraphCatalog::open(const std::string& name, format::OnDiskGraph g) {
     Entry e;
     e.name = name;
     e.graph = std::move(resident);
+    e.cached = std::move(wrapped);
     entries_.push_back(std::move(e));
     rebalance_locked();
   }
@@ -187,9 +198,86 @@ void GraphCatalog::rebalance_locked() {
       --leftover;
     }
   };
-  apportion(cfg.cache_bytes, &Entry::cache_budget);
+  // Arena bytes always split by traffic weight: the miss-ratio curves
+  // model page re-reference, which says nothing about bin/IO arenas.
   apportion(cfg.bin_space_bytes + cfg.io_buffer_bytes, &Entry::arena_budget);
-  trace::instant(trace::Name::kCatalogRebalance, open.size());
+
+  // Cache bytes: MRC-driven when configured AND curves exist, else the
+  // recent-weight split. apportion_by_mrc degrades to weight-proportional
+  // largest-remainder while every curve is still empty (cold start), so
+  // flipping the knob before traffic arrives reproduces kRecent exactly.
+  prof::WorkloadProfiler* profiler =
+      cfg.catalog_apportion == core::CatalogApportion::kMrc
+          ? rt_->profiler()
+          : nullptr;
+  std::uint32_t predicted_pm = trace::kCatalogNoRate;
+  if (profiler != nullptr) {
+    // One chunk is the greedy step AND the per-graph keep-warm floor (the
+    // MRC analogue of the +1 weight above).
+    const std::uint64_t chunk = std::max<std::uint64_t>(
+        cfg.cache_bytes / 64, 64ull * kPageSize);
+    std::vector<prof::MrcShareInput> inputs;
+    inputs.reserve(open.size());
+    for (const Entry* e : open) {
+      prof::MrcShareInput in;
+      if (e->cached) in.curve = profiler->curve_of(e->cached->namespace_base());
+      in.weight = 1.0 + static_cast<double>(e->recent);
+      in.floor_bytes = chunk;
+      inputs.push_back(std::move(in));
+    }
+    const std::vector<std::uint64_t> shares =
+        prof::apportion_by_mrc(inputs, cfg.cache_bytes, chunk);
+    double hit_mass = 0, access_mass = 0;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      open[i]->cache_budget = shares[i];
+      if (inputs[i].curve.empty()) continue;
+      // Predicted aggregate hit rate under the NEW budgets, weighted by
+      // each graph's observed access volume.
+      const auto acc = static_cast<double>(inputs[i].curve.accesses);
+      const double miss =
+          inputs[i].curve.miss_ratio_at(shares[i] / kPageSize);
+      hit_mass += acc * (1.0 - miss);
+      access_mass += acc;
+    }
+    if (access_mass > 0) {
+      predicted_pm = static_cast<std::uint32_t>(
+          std::min(1000.0, 1000.0 * hit_mass / access_mass));
+    }
+  } else {
+    apportion(cfg.cache_bytes, &Entry::cache_budget);
+  }
+
+  // Realized pool hit rate over the window since the previous rebalance —
+  // what the last apportionment actually bought. counters() reads relaxed
+  // atomics, no shard locks, so holding mu_ here is fine.
+  std::uint32_t realized_pm = trace::kCatalogNoRate;
+  const auto& pool = rt_->page_cache();
+  if (pool) {
+    const device::CacheCounters pc = pool->cache_counters();
+    const std::uint64_t dh = pc.hits - last_pool_hits_;
+    const std::uint64_t dm = pc.misses - last_pool_misses_;
+    if (dh + dm > 0) {
+      realized_pm = static_cast<std::uint32_t>(
+          (1000ull * dh) / (dh + dm));
+    }
+    last_pool_hits_ = pc.hits;
+    last_pool_misses_ = pc.misses;
+  }
+
+  // Give the declared budgets physical teeth when asked: push them into
+  // the pool as per-namespace admission caps. Closing entries get their
+  // cap removed — they are draining, and their residual pages age out.
+  if (cfg.catalog_enforce_budgets && pool) {
+    for (const Entry& e : entries_) {
+      if (!e.cached) continue;
+      pool->set_namespace_cap(e.cached->namespace_base(),
+                              e.closing ? 0 : e.cache_budget);
+    }
+  }
+
+  trace::instant(
+      trace::Name::kCatalogRebalance,
+      trace::catalog_rebalance_arg(open.size(), predicted_pm, realized_pm));
 }
 
 void GraphCatalog::rebalance() {
@@ -253,6 +341,7 @@ std::vector<CatalogEntryInfo> GraphCatalog::snapshot() const {
     info.queries = e.queries;
     info.recent_queries = e.recent;
     info.metadata_bytes = e.graph ? e.graph->metadata_bytes() : 0;
+    if (e.cached) info.cache = e.cached->cache_counters();
     info.closing = e.closing;
     for (const auto& u : usage) {
       if (u.name == "graph/" + e.name) {

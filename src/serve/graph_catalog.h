@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/runtime.h"
+#include "device/cached_device.h"
 #include "format/on_disk_graph.h"
 
 namespace blaze::serve {
@@ -54,6 +55,10 @@ struct CatalogEntryInfo {
   std::uint64_t queries = 0;             ///< note_query() lifetime count
   std::uint64_t recent_queries = 0;      ///< since the last rebalance
   std::uint64_t metadata_bytes = 0;      ///< DRAM index + page map
+  /// This graph's adapter-level cache outcomes (hits/misses/dedup/ghost) —
+  /// the per-namespace view a shared pool cannot give from its aggregate
+  /// shard counters. Zero when the graph is uncached.
+  device::CacheCounters cache;
   bool closing = false;  ///< unlisted, waiting for in-flight handles
 };
 
@@ -132,6 +137,10 @@ class GraphCatalog {
   struct Entry {
     std::string name;
     std::shared_ptr<const format::OnDiskGraph> graph;
+    /// The pool adapter wrapped around this graph's device at open(), kept
+    /// for the per-graph counter view and the pool key namespace. Null
+    /// when the graph is uncached (no pool / no device).
+    std::shared_ptr<device::CachedDevice> cached;
     std::uint64_t cache_budget = 0;
     std::uint64_t arena_budget = 0;
     std::uint64_t queries = 0;
@@ -139,8 +148,15 @@ class GraphCatalog {
     bool closing = false;
   };
 
-  /// Largest-remainder apportionment of `total` over the open entries'
-  /// use weights; writes the per-entry budgets. Caller holds mu_.
+  /// Recomputes the per-entry budgets. Cache bytes go by the configured
+  /// rule — kRecent: largest-remainder over use weights; kMrc: greedy
+  /// marginal gain over the profiler's per-graph miss-ratio curves
+  /// (prof::apportion_by_mrc), falling back to the recent split until
+  /// curves exist. Arena bytes always use the recent split (curves say
+  /// nothing about bin/IO arenas). Emits one kCatalogRebalance instant
+  /// whose packed arg carries graphs + predicted/realized hit per-mille
+  /// (trace::catalog_rebalance_arg), and pushes namespace admission caps
+  /// when Config::catalog_enforce_budgets. Caller holds mu_.
   void rebalance_locked();
   Entry* find_locked(const std::string& name);
   const Entry* find_locked(const std::string& name) const;
@@ -151,6 +167,10 @@ class GraphCatalog {
   /// true and zero budget) until their last external handle drops; a
   /// periodic sweep in open/close/rebalance reaps them.
   std::vector<Entry> entries_;
+  /// Pool aggregate counters at the previous rebalance — the realized
+  /// hit-rate window the next kCatalogRebalance instant reports against.
+  std::uint64_t last_pool_hits_ = 0;
+  std::uint64_t last_pool_misses_ = 0;
   metrics::BindingSet metrics_bindings_;
 };
 

@@ -56,6 +56,10 @@ QueryEngine::QueryEngine(core::Config config, EngineOptions opts)
   metrics_.failed = reg.counter("blaze_serve_failed_total");
   metrics_.expired = reg.counter("blaze_serve_expired_total");
   metrics_.latency_us = reg.histogram("blaze_serve_latency_us");
+  metrics_.io_stall_ns = reg.counter("blaze_serve_io_stall_ns_total");
+  metrics_.compute_ns = reg.counter("blaze_serve_compute_ns_total");
+  metrics_.admission_wait_ns =
+      reg.counter("blaze_serve_admission_wait_ns_total");
   metrics_bindings_.add(
       reg.callback("blaze_serve_queue_depth", {}, metrics::Kind::kGauge,
                    [this] {
@@ -265,13 +269,18 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     // Expired while queued: never run it — the client's budget is gone and
     // the cycles belong to queries that can still meet theirs.
     const double lat = elapsed_s();
+    // An expired query never executed: its whole life was admission wait.
+    prof::StallBreakdown stall;
+    stall.admission_wait_ns = start_ns - entry.submit_ns;
     {
       std::lock_guard slock(stats_mu_);
       ++stats_.expired;
       metrics_.expired->inc();
       record_latency(lat);
-      record_slow_locked(entry, lat, QueryState::kExpired);
+      stats_.stalls.merge(stall);
+      record_slow_locked(entry, lat, QueryState::kExpired, stall);
     }
+    metrics_.admission_wait_ns->add(stall.admission_wait_ns);
     entry.graph.reset();
     entry.ticket->finish(
         QueryState::kExpired, {},
@@ -279,7 +288,7 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
             RejectKind::kDeadlineExpired,
             "query '" + entry.spec.label + "' spent " +
                 std::to_string(lat) + "s queued, past its deadline")),
-        lat);
+        lat, stall);
     return;
   }
   entry.ticket->set_running();
@@ -303,15 +312,24 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
     ctx.set_tenant({});
     entry.graph.reset();  // pin drops before the ticket turns terminal
     const double lat = elapsed_s();
+    // Fold the query's telemetry into its bottleneck attribution: queue
+    // wait, then execution split into IO-starved vs compute wall clock.
+    const prof::StallBreakdown stall = prof::StallBreakdown::fold(
+        qs, Timer::now_ns() - start_ns, start_ns - entry.submit_ns,
+        static_cast<unsigned>(session_cfg_.compute_workers));
     {
       std::lock_guard slock(stats_mu_);
       ++stats_.completed;
       metrics_.completed->inc();
       stats_.aggregate.merge(qs);
+      stats_.stalls.merge(stall);
       record_latency(lat);
-      record_slow_locked(entry, lat, QueryState::kDone);
+      record_slow_locked(entry, lat, QueryState::kDone, stall);
     }
-    entry.ticket->finish(QueryState::kDone, qs, nullptr, lat);
+    metrics_.io_stall_ns->add(stall.io_stall_ns);
+    metrics_.compute_ns->add(stall.compute_ns);
+    metrics_.admission_wait_ns->add(stall.admission_wait_ns);
+    entry.ticket->finish(QueryState::kDone, qs, nullptr, lat, stall);
   } catch (...) {
     ctx.set_graph(nullptr);
     ctx.set_tenant({});
@@ -330,7 +348,8 @@ void QueryEngine::execute(Entry& entry, core::QueryContext& ctx) {
 }
 
 void QueryEngine::record_slow_locked(const Entry& entry, double latency_s,
-                                     QueryState state) {
+                                     QueryState state,
+                                     const prof::StallBreakdown& stall) {
   if (opts_.slow_query_threshold_s <= 0 ||
       latency_s < opts_.slow_query_threshold_s) {
     return;
@@ -339,7 +358,7 @@ void QueryEngine::record_slow_locked(const Entry& entry, double latency_s,
     stats_.slow_queries.erase(stats_.slow_queries.begin());
   }
   stats_.slow_queries.push_back(
-      {entry.spec.label, latency_s, state, entry.query_id});
+      {entry.spec.label, latency_s, state, entry.query_id, stall});
 }
 
 void QueryEngine::drain() {

@@ -58,6 +58,7 @@
 #include "metrics/http_export.h"
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
+#include "prof/stall.h"
 #include "serve/query_fusion.h"
 #include "serve/serve_error.h"
 #include "serve/tenant_sched.h"
@@ -172,6 +173,14 @@ class QueryTicket {
     return latency_s_;
   }
 
+  /// Where this query's time went (prof::StallBreakdown: admission wait,
+  /// IO starvation vs compute, buffer backpressure); meaningful once
+  /// terminal. Zeroes for expired queries (they never executed).
+  prof::StallBreakdown stall() const {
+    std::lock_guard lock(mu_);
+    return stall_;
+  }
+
   const std::string& label() const { return label_; }
 
  private:
@@ -184,13 +193,14 @@ class QueryTicket {
   }
 
   void finish(QueryState s, core::QueryStats stats, std::exception_ptr err,
-              double latency_s) {
+              double latency_s, const prof::StallBreakdown& stall = {}) {
     {
       std::lock_guard lock(mu_);
       state_ = s;
       stats_ = stats;
       error_ = err;
       latency_s_ = latency_s;
+      stall_ = stall;
     }
     cv_.notify_all();
   }
@@ -207,6 +217,7 @@ class QueryTicket {
   core::QueryStats stats_;
   std::exception_ptr error_;
   double latency_s_ = 0;
+  prof::StallBreakdown stall_;
 };
 
 /// One entry of the slow-query log (EngineOptions::slow_query_threshold_s).
@@ -215,6 +226,9 @@ struct SlowQuery {
   double latency_s = 0;
   QueryState state = QueryState::kDone;  ///< terminal state it reached
   trace::QueryId query = 0;  ///< joins against the exported trace's pid
+  /// Bottleneck attribution — the log answers "slow WHY", not just "slow":
+  /// stall.dominant() is one of admission/io/compute.
+  prof::StallBreakdown stall;
 };
 
 /// Engine-level aggregate statistics (one snapshot; see QueryEngine::stats).
@@ -230,6 +244,12 @@ struct EngineStats {
   /// Sum over completed queries' QueryStats — the PR-2 fault counters
   /// (retries, failed_requests, gave_up) aggregate across sessions here.
   core::QueryStats aggregate;
+
+  /// Sum of per-query stall breakdowns over executed terminal queries
+  /// (prof::StallBreakdown; expired queries contribute only admission
+  /// wait). stalls.io_fraction() is the engine-level "how IO-bound are
+  /// we" answer.
+  prof::StallBreakdown stalls;
 
   /// Submission-to-completion latency, microseconds, over terminal queries.
   Log2Histogram latency_us;
@@ -377,6 +397,10 @@ class QueryEngine {
     metrics::Counter* failed = nullptr;
     metrics::Counter* expired = nullptr;
     metrics::Histogram* latency_us = nullptr;
+    // Stall-attribution axes (prof::StallBreakdown), cumulative ns.
+    metrics::Counter* io_stall_ns = nullptr;
+    metrics::Counter* compute_ns = nullptr;
+    metrics::Counter* admission_wait_ns = nullptr;
   };
 
   /// Per-tenant lock-free counter handles, created by register_tenant /
@@ -395,7 +419,8 @@ class QueryEngine {
   void session_main(std::size_t slot);
   void execute(Entry& entry, core::QueryContext& ctx);
   void record_slow_locked(const Entry& entry, double latency_s,
-                          QueryState state);
+                          QueryState state,
+                          const prof::StallBreakdown& stall = {});
 
   const EngineOptions opts_;
   core::Config session_cfg_;  ///< per-session view: partitioned IO budget

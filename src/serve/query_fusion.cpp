@@ -185,6 +185,7 @@ std::vector<FusedResult> run_fused(core::QueryContext& qc,
                                         qc.config().max_inflight_io);
       std::unordered_map<std::uint64_t, std::vector<std::byte>> holdback;
       std::size_t next_idx = 0;
+      std::uint64_t io_wait_ns = 0;
       auto drain_holdback = [&] {
         while (next_idx < canonical.size()) {
           auto it = holdback.find(canonical[next_idx]);
@@ -201,7 +202,11 @@ std::vector<FusedResult> run_fused(core::QueryContext& qc,
             buf = io->pop_filled();  // re-check after the release fence
             if (!buf) break;
           } else {
+            // The fused consumer is single-threaded: an empty queue is
+            // pure IO starvation. Timed for prof::StallBreakdown.
+            const std::uint64_t t0 = Timer::now_ns();
             std::this_thread::yield();
+            io_wait_ns += Timer::now_ns() - t0;
             continue;
           }
         }
@@ -231,6 +236,7 @@ std::vector<FusedResult> run_fused(core::QueryContext& qc,
                   "fused sequencer lost pages");
       if (stats) {
         stats->merge(io->stats());
+        stats->io_wait_ns += io_wait_ns;
         ++stats->edge_map_calls;
       }
     }

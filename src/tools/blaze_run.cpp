@@ -45,10 +45,13 @@
 #include "metrics/http_export.h"
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
+#include "prof/profiler.h"
+#include "prof/stall.h"
 #include "serve/graph_catalog.h"
 #include "serve/query_engine.h"
 #include "trace/chrome_export.h"
 #include "trace/tracer.h"
+#include "util/histogram.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -131,11 +134,22 @@ make_live_reporter() {
   };
 }
 
+/// One pool namespace's row for --stats-json: realized occupancy joined
+/// with the owning adapter's outcome counters (hits/misses/ghost).
+struct NamespaceStatsRow {
+  std::string name;
+  std::uint64_t resident_bytes = 0;
+  blaze::device::CacheCounters cache;
+};
+
 /// --stats-json: one query's machine-readable record — the full unified
-/// QueryStats (device -> io -> core) plus the Figure-12 DRAM breakdown.
+/// QueryStats (device -> io -> core), the stall attribution, per-namespace
+/// cache occupancy + ghost-hit counters, and the Figure-12 DRAM breakdown.
 bool write_stats_json(const std::string& path, const std::string& query,
                       double wall_s, const blaze::core::QueryStats& s,
-                      const blaze::core::MemoryFootprint& fp) {
+                      const blaze::core::MemoryFootprint& fp,
+                      const blaze::prof::StallBreakdown& stall,
+                      const std::vector<NamespaceStatsRow>& namespaces) {
   std::string out = "{\n";
   char buf[256];
   auto add_u64 = [&](const char* k, unsigned long long v, bool comma = true) {
@@ -170,6 +184,31 @@ bool write_stats_json(const std::string& path, const std::string& query,
   add_u64("device_busy_ns", s.device_busy_ns);
   add_u64("prefetch_pages", s.prefetch_pages);
   add_u64("prefetch_bytes", s.prefetch_bytes);
+  add_u64("io_wait_ns", s.io_wait_ns);
+  std::snprintf(buf, sizeof(buf),
+                "  \"stall\": {\"exec_ns\": %llu, \"io_stall_ns\": %llu, "
+                "\"compute_ns\": %llu, \"backpressure_ns\": %llu, "
+                "\"dominant\": \"%s\"},\n",
+                static_cast<unsigned long long>(stall.exec_ns),
+                static_cast<unsigned long long>(stall.io_stall_ns),
+                static_cast<unsigned long long>(stall.compute_ns),
+                static_cast<unsigned long long>(stall.backpressure_ns),
+                stall.dominant().c_str());
+  out += buf;
+  out += "  \"cache_namespaces\": [";
+  for (std::size_t i = 0; i < namespaces.size(); ++i) {
+    const NamespaceStatsRow& ns = namespaces[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"name\": \"%s\", \"resident_bytes\": %llu, "
+                  "\"hits\": %llu, \"misses\": %llu, \"ghost_hits\": %llu}",
+                  i == 0 ? "" : ",", ns.name.c_str(),
+                  static_cast<unsigned long long>(ns.resident_bytes),
+                  static_cast<unsigned long long>(ns.cache.hits),
+                  static_cast<unsigned long long>(ns.cache.misses),
+                  static_cast<unsigned long long>(ns.cache.ghost_hits));
+    out += buf;
+  }
+  out += namespaces.empty() ? "],\n" : "\n  ],\n";
   out += "  \"memory\": {\n";
   auto add_mem = [&](const char* k, unsigned long long v, bool comma) {
     std::snprintf(buf, sizeof(buf), "    \"%s\": %llu%s\n", k, v,
@@ -183,6 +222,113 @@ bool write_stats_json(const std::string& path, const std::string& query,
   add_mem("algorithm", fp.algorithm, true);
   add_mem("total", fp.total(), false);
   out += "  }\n}\n";
+  return blaze::metrics::write_file(path, out);
+}
+
+/// One device's read-latency histogram snapshot (IoStats log2 buckets).
+using DeviceLatency = std::pair<std::string, std::vector<std::uint64_t>>;
+
+/// Collects latency histograms from a graph's device — and, when the
+/// device is a cache adapter, from the physical device underneath (the
+/// interesting one: cache hits never touch it). Deduplicates by name so
+/// graph + transpose over one device yield one row.
+void collect_device_latency(const blaze::format::OnDiskGraph& g,
+                            std::vector<DeviceLatency>& out) {
+  const auto& dev = g.device_ptr();
+  if (!dev) return;
+  auto push = [&out](const std::string& name,
+                     std::vector<std::uint64_t> hist) {
+    for (const DeviceLatency& d : out) {
+      if (d.first == name) return;
+    }
+    out.emplace_back(name, std::move(hist));
+  };
+  push(dev->name(), dev->stats().latency_histogram());
+  if (auto* cd = dynamic_cast<blaze::device::CachedDevice*>(dev.get())) {
+    push(cd->inner().name(), cd->inner().stats().latency_histogram());
+  }
+}
+
+/// --profile FILE: the profiler's JSON report — per-namespace miss-ratio
+/// curves (SHARDS-sampled), the run's stall breakdown, and per-device
+/// read-latency percentiles reconstructed from the IoStats log2 buckets.
+bool write_profile_json(const std::string& path, double wall_s,
+                        blaze::prof::WorkloadProfiler* profiler,
+                        const blaze::prof::StallBreakdown& stalls,
+                        const std::vector<DeviceLatency>& devices) {
+  using namespace blaze;
+  std::string out = "{\n";
+  char buf[320];
+  std::snprintf(buf, sizeof(buf), "  \"wall_seconds\": %.9g,\n", wall_s);
+  out += buf;
+  out += "  \"mrc\": [";
+  bool first = true;
+  if (profiler != nullptr) {
+    for (const prof::NamespaceCurve& nc : profiler->curves()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"namespace\": \"%s\", \"ns_id\": %llu, "
+          "\"sample_rate\": %.9g, \"accesses\": %llu, \"sampled\": %llu, "
+          "\"cold\": %llu, \"points\": [",
+          nc.name.c_str(),
+          static_cast<unsigned long long>(nc.ns_base >>
+                                          device::kNamespaceShift),
+          nc.curve.sample_rate,
+          static_cast<unsigned long long>(nc.curve.accesses),
+          static_cast<unsigned long long>(nc.curve.sampled),
+          static_cast<unsigned long long>(nc.curve.cold));
+      out += buf;
+      for (std::size_t i = 0; i < nc.curve.points.size(); ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"cache_pages\": %llu, \"miss_ratio\": %.6f}",
+                      i == 0 ? "" : ", ",
+                      static_cast<unsigned long long>(
+                          nc.curve.points[i].cache_pages),
+                      nc.curve.points[i].miss_ratio);
+        out += buf;
+      }
+      out += "]}";
+    }
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"stalls\": {\"exec_ns\": %llu, \"admission_wait_ns\": %llu, "
+      "\"io_stall_ns\": %llu, \"compute_ns\": %llu, "
+      "\"backpressure_ns\": %llu, \"dominant\": \"%s\"},\n",
+      static_cast<unsigned long long>(stalls.exec_ns),
+      static_cast<unsigned long long>(stalls.admission_wait_ns),
+      static_cast<unsigned long long>(stalls.io_stall_ns),
+      static_cast<unsigned long long>(stalls.compute_ns),
+      static_cast<unsigned long long>(stalls.backpressure_ns),
+      stalls.dominant().c_str());
+  out += buf;
+  out += "  \"devices\": [";
+  first = true;
+  for (const DeviceLatency& d : devices) {
+    Log2Histogram h;
+    std::uint64_t reads = 0;
+    for (std::size_t b = 0; b < d.second.size(); ++b) {
+      h.add_many(1ull << b, d.second[b]);
+      reads += d.second[b];
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"device\": \"%s\", \"reads\": %llu, "
+        "\"read_latency_ns\": {\"p50\": %llu, \"p90\": %llu, "
+        "\"p99\": %llu, \"p999\": %llu}}",
+        d.first.c_str(), static_cast<unsigned long long>(reads),
+        static_cast<unsigned long long>(h.percentile(0.50)),
+        static_cast<unsigned long long>(h.percentile(0.90)),
+        static_cast<unsigned long long>(h.percentile(0.99)),
+        static_cast<unsigned long long>(h.percentile(0.999)));
+    out += buf;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
   return blaze::metrics::write_file(path, out);
 }
 
@@ -514,6 +660,15 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
               wall > 0 ? static_cast<double>(s.completed) / wall : 0.0);
   std::printf("  %-18s p50 %.2f ms, p95 %.2f ms\n", "latency", s.p50_ms(),
               s.p95_ms());
+  if (s.stalls.exec_ns > 0) {
+    std::printf("  %-18s io %.1f ms, compute %.1f ms, admission %.1f ms "
+                "(io fraction %.1f%%)\n",
+                "stall profile",
+                static_cast<double>(s.stalls.io_stall_ns) / 1e6,
+                static_cast<double>(s.stalls.compute_ns) / 1e6,
+                static_cast<double>(s.stalls.admission_wait_ns) / 1e6,
+                100.0 * s.stalls.io_fraction());
+  }
   if (pool) {
     std::printf("  %-18s %.1f%% (%llu hits, %llu misses, %llu dedup, "
                 "%llu ghost) [%s x%zu]\n",
@@ -555,19 +710,45 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
     std::printf("  catalog (%zu resident graphs)\n", catalog->size());
     for (const auto& row : catalog->snapshot()) {
       std::printf("    %-14s budget %7.1f MiB cache + %6.1f MiB arena, "
-                  "resident %7.1f MiB, %llu queries%s\n",
+                  "resident %7.1f MiB, %llu queries, hit %5.1f%% "
+                  "(%llu ghost)%s\n",
                   row.name.c_str(),
                   static_cast<double>(row.cache_budget_bytes) / (1 << 20),
                   static_cast<double>(row.arena_budget_bytes) / (1 << 20),
                   static_cast<double>(row.resident_bytes) / (1 << 20),
                   static_cast<unsigned long long>(row.queries),
+                  100.0 * row.cache.hit_rate(),
+                  static_cast<unsigned long long>(row.cache.ghost_hits),
                   row.closing ? " (closing)" : "");
+    }
+  } else if (pool) {
+    // No catalog: still break the pool occupancy down by namespace (one
+    // row per wrapped device).
+    for (const auto& u : pool->namespace_usage()) {
+      std::printf("    ns %-11s resident %7.1f MiB\n", u.name.c_str(),
+                  static_cast<double>(u.resident_bytes()) / (1 << 20));
     }
   }
   for (const auto& slow : s.slow_queries) {
-    std::printf("  slow query         %s: %.1f ms (%s)\n",
+    std::printf("  slow query         %s: %.1f ms (%s, %s-bound)\n",
                 slow.label.c_str(), slow.latency_s * 1e3,
-                serve::to_string(slow.state));
+                serve::to_string(slow.state),
+                slow.stall.dominant().c_str());
+  }
+  const std::string profile_path = opt.get_string("profile", "");
+  if (!profile_path.empty()) {
+    std::vector<DeviceLatency> devices;
+    collect_device_latency(cg, devices);
+    collect_device_latency(cgt, devices);
+    collect_device_latency(g, devices);
+    collect_device_latency(gt, devices);
+    if (write_profile_json(profile_path, wall,
+                           engine.runtime().profiler(), s.stalls, devices)) {
+      std::printf("profile: wrote %s\n", profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "profile: failed to write %s\n",
+                   profile_path.c_str());
+    }
   }
   if (!s.trace_counters.rows.empty()) {
     std::printf("  trace counters (%llu events, %llu dropped)\n",
@@ -586,7 +767,7 @@ int run_serving(const blaze::core::Config& cfg, const blaze::Options& opt,
 
 int main(int argc, char** argv) {
   using namespace blaze;
-  Options opt(argc, argv, {"sync", "live"});
+  Options opt(argc, argv, {"sync", "live", "catalog-enforce"});
   if (opt.positional().size() != 2) {
     std::fprintf(
         stderr,
@@ -622,6 +803,16 @@ int main(int argc, char** argv) {
         "clients spread round-robin (bfs/pr/sssp only)\n"
         "  --tenants SPEC      serving mode: weighted-fair tenants, "
         "'name:weight[:quota],...'; clients map to tenants round-robin\n"
+        "  --catalog-apportion recent|mrc  cache-budget split rule for "
+        "--catalog serving: traffic weights (default) or profiled "
+        "miss-ratio curves (greedy marginal gain)\n"
+        "  --catalog-enforce   push the catalog's per-graph budgets into "
+        "the pool as admission caps (default: advisory)\n"
+        "  --profile FILE      workload-profiler JSON report at exit: "
+        "per-namespace miss-ratio curves, the stall breakdown, and "
+        "per-device read-latency percentiles\n"
+        "  --profile-budget N  SHARDS sampler budget per namespace "
+        "(default 4096 tracked keys)\n"
         "  --trace FILE        write a Chrome trace-event JSON "
         "(chrome://tracing, Perfetto)\n"
         "  --metrics-port P    Prometheus scrape endpoint on port P "
@@ -757,6 +948,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Workload profiler + MRC-apportioning knobs (blaze::prof).
+  const std::string profile_path = opt.get_string("profile", "");
+  cfg.profile_enabled = !profile_path.empty();
+  cfg.profile_sample_budget = static_cast<std::size_t>(
+      opt.get_int("profile-budget", 4096));
+  const std::string apportion_name =
+      opt.get_string("catalog-apportion", "recent");
+  if (apportion_name == "mrc") {
+    cfg.catalog_apportion = core::CatalogApportion::kMrc;
+  } else if (apportion_name != "recent") {
+    std::fprintf(stderr,
+                 "unknown --catalog-apportion %s (want recent|mrc)\n",
+                 apportion_name.c_str());
+    return 2;
+  }
+  cfg.catalog_enforce_budgets = opt.get_bool("catalog-enforce", false);
+
   // Telemetry flags. Any of them flips Config::metrics_enabled (the sticky
   // process gate); serving mode additionally always publishes.
   const std::string metrics_out = opt.get_string("metrics-out", "");
@@ -820,6 +1028,21 @@ int main(int argc, char** argv) {
   core::Runtime rt(cfg);
   g = wrap_graph_cached(g, rt);
   if (needs_transpose) gt = wrap_graph_cached(gt, rt);
+  // Name the wrapped devices' namespaces in the profiler so the --profile
+  // report and blaze_prof_mrc_bucket gauges read per-device, not "ns 0".
+  if (prof::WorkloadProfiler* p = rt.profiler()) {
+    auto bind = [&](const format::OnDiskGraph& graph) {
+      if (auto* cd = dynamic_cast<device::CachedDevice*>(
+              graph.device_ptr().get())) {
+        // Bind under the pool's registered namespace name (the inner
+        // device), matching namespace_usage() rows.
+        p->bind_namespace(cd->namespace_base(), cd->inner().name(),
+                          cfg.metrics_enabled);
+      }
+    };
+    bind(g);
+    if (needs_transpose) bind(gt);
+  }
   core::QueryStats run_stats;
   std::uint64_t algo_bytes = 0;
   Timer t;
@@ -897,6 +1120,37 @@ int main(int argc, char** argv) {
                 static_cast<double>(pool->capacity_bytes()) / (1 << 20));
   }
 
+  // Stall attribution of the run: exec time is the accumulated EdgeMap
+  // wall time, no admission wait in single-query mode.
+  const prof::StallBreakdown run_stall = prof::StallBreakdown::fold(
+      run_stats, static_cast<std::uint64_t>(run_stats.seconds * 1e9), 0,
+      static_cast<unsigned>(cfg.compute_workers));
+
+  // Per-namespace occupancy + adapter counters (ghost hits live on the
+  // CachedDevice, not the pool's aggregate shard counters).
+  std::vector<NamespaceStatsRow> ns_rows;
+  if (const auto& pool = rt.page_cache()) {
+    std::vector<const device::CachedDevice*> adapters;
+    for (const format::OnDiskGraph* graph : {&g, &gt}) {
+      if (auto* cd = dynamic_cast<const device::CachedDevice*>(
+              graph->device_ptr().get())) {
+        adapters.push_back(cd);
+      }
+    }
+    for (const auto& u : pool->namespace_usage()) {
+      NamespaceStatsRow row;
+      row.name = u.name;
+      row.resident_bytes = u.resident_bytes();
+      for (const device::CachedDevice* cd : adapters) {
+        if (cd->namespace_base() == u.base) {
+          row.cache = cd->cache_counters();
+          break;
+        }
+      }
+      ns_rows.push_back(std::move(row));
+    }
+  }
+
   int rc = 0;
   if (!stats_json.empty()) {
     // The Figure-12 DRAM breakdown, computed the same way as bench_fig12.
@@ -907,10 +1161,24 @@ int main(int argc, char** argv) {
     fp.algorithm = algo_bytes;
     fp.io_buffers = rt.io_pool().memory_bytes();
     fp.bins = cfg.sync_mode ? 0 : cfg.bin_space_bytes;
-    if (write_stats_json(stats_json, query, wall, run_stats, fp)) {
+    if (write_stats_json(stats_json, query, wall, run_stats, fp, run_stall,
+                         ns_rows)) {
       std::printf("stats: wrote %s\n", stats_json.c_str());
     } else {
       std::fprintf(stderr, "stats: failed to write %s\n", stats_json.c_str());
+      rc = 1;
+    }
+  }
+  if (!profile_path.empty()) {
+    std::vector<DeviceLatency> devices;
+    collect_device_latency(g, devices);
+    if (needs_transpose) collect_device_latency(gt, devices);
+    if (write_profile_json(profile_path, wall, rt.profiler(), run_stall,
+                           devices)) {
+      std::printf("profile: wrote %s\n", profile_path.c_str());
+    } else {
+      std::fprintf(stderr, "profile: failed to write %s\n",
+                   profile_path.c_str());
       rc = 1;
     }
   }

@@ -255,7 +255,48 @@ TEST(Catalog, NamespaceUsageMeasuresRealizedOccupancy) {
   EXPECT_GT(right_pages, 0u);
   for (const auto& row : cat.snapshot()) {
     EXPECT_GT(row.resident_bytes, 0u) << row.name;
+    // Satellite counters: the per-graph adapter view must show traffic.
+    EXPECT_GT(row.cache.hits + row.cache.misses, 0u) << row.name;
   }
+  engine.drain();
+}
+
+TEST(Catalog, MrcApportioningKeepsBudgetSumExact) {
+  // catalog_apportion = mrc must preserve the byte-exact budget invariant
+  // even on a cold start (no traffic -> every curve empty -> the allocator
+  // falls back to the weight split) and after real traffic shaped the
+  // curves. With enforcement on, declared budgets become pool admission
+  // caps, so the realized occupancy must respect them too.
+  core::Config cfg = catalog_test_config();
+  cfg.catalog_apportion = core::CatalogApportion::kMrc;
+  cfg.catalog_enforce_budgets = true;
+  serve::QueryEngine engine(cfg);
+  serve::GraphCatalog cat(engine.runtime());
+  engine.attach_catalog(&cat);
+
+  graph::Csr g = graph::generate_rmat(9, 8, 701);
+  cat.open("a", format::make_mem_graph(g));
+  cat.open("b", format::make_mem_graph(g));
+  expect_budget_invariant(cat, cfg);
+  cat.rebalance();  // cold: empty curves, fallback path
+  expect_budget_invariant(cat, cfg);
+  ASSERT_NE(engine.runtime().profiler(), nullptr);  // kMrc implies it
+
+  serve::QuerySpec spec;
+  spec.label = "bfs-a";
+  spec.graph = "a";
+  spec.run = [](core::QueryContext& qc) {
+    return algorithms::bfs(qc, *qc.graph(), 0).stats;
+  };
+  auto t = engine.submit(spec);
+  t->wait();
+  ASSERT_EQ(t->state(), serve::QueryState::kDone);
+
+  cat.rebalance();  // warm: curve-driven path
+  expect_budget_invariant(cat, cfg);
+  // The only graph with traffic (and the only non-empty curve) must not
+  // end up with less cache than the idle one.
+  EXPECT_GE(cat.cache_budget_of("a"), cat.cache_budget_of("b"));
   engine.drain();
 }
 
